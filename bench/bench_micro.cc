@@ -1,0 +1,154 @@
+// E13 — micro-benchmarks (google-benchmark): throughput of the primitives
+// the schemes are built from — canonical forms, query indexing, automaton
+// runs, the Lemma 3 decomposition and pair-cost accounting.
+#include <benchmark/benchmark.h>
+
+#include "qpwm/core/local_scheme.h"
+#include "qpwm/core/pairs.h"
+#include "qpwm/logic/parser.h"
+#include "qpwm/structure/generators.h"
+#include "qpwm/structure/isomorphism.h"
+#include "qpwm/structure/neighborhood.h"
+#include "qpwm/structure/typemap.h"
+#include "qpwm/tree/decomposition.h"
+#include "qpwm/tree/mso.h"
+#include "qpwm/tree/query.h"
+#include "qpwm/util/random.h"
+
+namespace qpwm {
+namespace {
+
+void BM_CanonicalForm(benchmark::State& state) {
+  Rng rng(1);
+  Structure g = RandomBoundedDegreeGraph(static_cast<size_t>(state.range(0)), 3,
+                                         3 * state.range(0), false, rng);
+  GaifmanGraph gg(g);
+  IncidenceIndex idx(g);
+  ElemId e = 0;
+  for (auto _ : state) {
+    Neighborhood nb = ExtractNeighborhood(g, gg, idx, Tuple{e}, 2);
+    benchmark::DoNotOptimize(CanonicalForm(nb.local, nb.distinguished));
+    e = (e + 1) % g.universe_size();
+  }
+}
+BENCHMARK(BM_CanonicalForm)->Arg(100)->Arg(1000);
+
+void BM_NeighborhoodTyping(benchmark::State& state) {
+  Rng rng(2);
+  Structure g = RandomBoundedDegreeGraph(static_cast<size_t>(state.range(0)), 3,
+                                         3 * state.range(0), false, rng);
+  for (auto _ : state) {
+    NeighborhoodTyper typer(g, 1);
+    for (ElemId e = 0; e < g.universe_size(); ++e) {
+      benchmark::DoNotOptimize(typer.TypeOf(Tuple{e}));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NeighborhoodTyping)->Arg(500)->Arg(2000);
+
+void BM_QueryIndexBuild(benchmark::State& state) {
+  Rng rng(3);
+  Structure g = RandomBoundedDegreeGraph(static_cast<size_t>(state.range(0)), 3,
+                                         3 * state.range(0), false, rng);
+  auto query = AtomQuery::Adjacency("E");
+  for (auto _ : state) {
+    QueryIndex index(g, *query, AllParams(g, 1));
+    benchmark::DoNotOptimize(index.num_active());
+  }
+}
+BENCHMARK(BM_QueryIndexBuild)->Arg(1000)->Arg(10000);
+
+void BM_PairCost(benchmark::State& state) {
+  Rng rng(4);
+  Structure g = RandomBoundedDegreeGraph(static_cast<size_t>(state.range(0)), 3,
+                                         3 * state.range(0), false, rng);
+  auto query = AtomQuery::Adjacency("E");
+  QueryIndex index(g, *query, AllParams(g, 1));
+  std::vector<WeightPair> pairs;
+  for (uint32_t i = 0; i + 1 < index.num_active(); i += 2) pairs.push_back({i, i + 1});
+  PairMarking marking(index, pairs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(marking.MaxCost());
+  }
+}
+BENCHMARK(BM_PairCost)->Arg(1000)->Arg(10000);
+
+void BM_LocalSchemePlan(benchmark::State& state) {
+  Rng rng(5);
+  Structure g = RandomBoundedDegreeGraph(static_cast<size_t>(state.range(0)), 3,
+                                         3 * state.range(0), false, rng);
+  auto query = AtomQuery::Adjacency("E");
+  QueryIndex index(g, *query, AllParams(g, 1));
+  LocalSchemeOptions opts;
+  opts.key = {5, 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LocalScheme::Plan(index, opts).ValueOrDie());
+  }
+}
+BENCHMARK(BM_LocalSchemePlan)->Arg(1000)->Arg(4000);
+
+struct TreeFixtureData {
+  Alphabet sigma;
+  BinaryTree tree;
+  Dta dta{0, 1};
+
+  explicit TreeFixtureData(size_t n) {
+    sigma.Intern("a");
+    sigma.Intern("b");
+    sigma.Intern("c");
+    Rng rng(6);
+    tree = RandomBinaryTree(n, 3, rng);
+    dta = CompileMso(*MustParseFormula("LEQ(u, v) & P_b(v)"), sigma, {"u", "v"})
+              .ValueOrDie()
+              .dta;
+  }
+};
+
+void BM_AutomatonRun(benchmark::State& state) {
+  TreeFixtureData fixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.dta.RunRoot(fixture.tree, fixture.tree.labels()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AutomatonRun)->Arg(1000)->Arg(100000);
+
+void BM_EvaluateWa(benchmark::State& state) {
+  TreeFixtureData fixture(static_cast<size_t>(state.range(0)));
+  NodeId a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EvaluateWa(fixture.tree, fixture.tree.labels(), 3, fixture.dta, 1, a));
+    a = (a + 1) % fixture.tree.size();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EvaluateWa)->Arg(1000)->Arg(30000);
+
+void BM_FindMarkRegions(benchmark::State& state) {
+  TreeFixtureData fixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    DecompositionStats stats;
+    benchmark::DoNotOptimize(FindMarkRegions(fixture.tree, fixture.tree.labels(), 3,
+                                             fixture.dta, 1, {}, &stats));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FindMarkRegions)->Arg(3000)->Arg(30000);
+
+void BM_MsoCompile(benchmark::State& state) {
+  Alphabet sigma;
+  sigma.Intern("a");
+  sigma.Intern("b");
+  sigma.Intern("c");
+  FormulaPtr f = MustParseFormula("exists w (CHILD(u, w) & P_b(w) & LEQ(w, v))");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompileMso(*f, sigma, {"u", "v"}).ValueOrDie());
+  }
+}
+BENCHMARK(BM_MsoCompile);
+
+}  // namespace
+}  // namespace qpwm

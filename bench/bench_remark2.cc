@@ -1,0 +1,69 @@
+// E6 — Remark 2's numeric capacity table: hidden bits l = |W|^(1 - q eps)
+// for the scheme parameters, e.g. q = 30 and 1/eps = 40 give |W| = 5000 ->
+// 8 bits -> 2^8 distributable copies. We tabulate the formula (the paper's
+// analytical capacity) next to the realized capacity of our planner on
+// instances of matching |W|.
+#include <cmath>
+#include <iostream>
+
+#include "qpwm/core/local_scheme.h"
+#include "qpwm/logic/query.h"
+#include "qpwm/structure/generators.h"
+#include "qpwm/util/random.h"
+#include "qpwm/util/str.h"
+#include "qpwm/util/table.h"
+
+using namespace qpwm;
+
+int main() {
+  std::cout << "=== bench_remark2: the paper's capacity formula ===\n";
+
+  TextTable formula("Analytical capacity l = |W|^(1 - q eps) (Remark 2)");
+  formula.SetHeader({"|W|", "q", "1/eps", "bits l", "copies 2^l"});
+  for (double w : {5000.0, 10000.0, 100000.0}) {
+    for (double q : {4.0, 10.0, 30.0}) {
+      for (double inv_eps : {10.0, 40.0}) {
+        double exponent = 1.0 - q / inv_eps;
+        if (exponent <= 0) {
+          formula.AddRow({StrCat(static_cast<uint64_t>(w)), StrCat(q),
+                          StrCat(inv_eps), "0", "1"});
+          continue;
+        }
+        double bits = std::pow(w, exponent);
+        formula.AddRow({StrCat(static_cast<uint64_t>(w)), StrCat(q),
+                        StrCat(inv_eps), FmtDouble(bits, 1),
+                        bits < 60 ? StrCat(uint64_t{1} << static_cast<int>(bits))
+                                  : "2^" + FmtDouble(bits, 0)});
+      }
+    }
+  }
+  formula.Print(std::cout);
+  std::cout << "paper's example row: q=30, 1/eps=40, |W|=5000 -> 5000^(1/4) ~ 8 "
+               "bits -> ~2^8 copies.\n";
+
+  // Realized capacity of the planner (the analytical l is a worst-case
+  // guarantee; adjacency queries on degree-bounded graphs do far better).
+  TextTable realized("Realized planner capacity (query E(u,v), k=3)");
+  realized.SetHeader({"|W|~", "1/eps", "bits l", "bound", "l / |W|"});
+  for (size_t n : {1000, 5000, 10000}) {
+    for (double inv_eps : {2.0, 10.0, 40.0}) {
+      Rng rng(n + static_cast<uint64_t>(inv_eps));
+      Structure g = RandomBoundedDegreeGraph(n, 3, 3 * n, false, rng);
+      auto query = AtomQuery::Adjacency("E");
+      QueryIndex index(g, *query, AllParams(g, 1));
+      LocalSchemeOptions opts;
+      opts.epsilon = 1.0 / inv_eps;
+      opts.key = {n, 7};
+      auto scheme = LocalScheme::Plan(index, opts).ValueOrDie();
+      realized.AddRow({StrCat(index.num_active()), StrCat(inv_eps),
+                       StrCat(scheme.CapacityBits()), StrCat(scheme.DistortionBound()),
+                       FmtDouble(static_cast<double>(scheme.CapacityBits()) /
+                                     static_cast<double>(index.num_active()),
+                                 3)});
+    }
+  }
+  realized.Print(std::cout);
+  std::cout << "capacity grows with |W| and with the allowed distortion 1/eps, as "
+               "Definition 4 requires.\n";
+  return 0;
+}

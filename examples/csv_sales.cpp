@@ -1,0 +1,126 @@
+// A downstream-user workflow on CSV data: load a sales ledger from CSV,
+// watermark it while preserving the per-region revenue query a BI dashboard
+// runs, export the marked CSV, and later identify which partner leaked it —
+// comparing against the Agrawal-Kiernan baseline on the same data.
+//
+//   $ ./csv_sales
+#include <iostream>
+
+#include "qpwm/baseline/agrawal_kiernan.h"
+#include "qpwm/core/distortion.h"
+#include "qpwm/core/local_scheme.h"
+#include "qpwm/logic/conjunctive.h"
+#include "qpwm/relational/csv.h"
+#include "qpwm/relational/table.h"
+#include "qpwm/util/random.h"
+#include "qpwm/util/str.h"
+#include "qpwm/util/table.h"
+
+using namespace qpwm;
+
+namespace {
+
+// Synthesizes the CSV a customer would hand us: orders with a region key and
+// a revenue weight.
+std::string MakeSalesCsv(size_t rows, Rng& rng) {
+  static const char* kRegions[] = {"EMEA", "APAC", "AMER", "LATAM"};
+  std::string csv = "order,region,revenue\n";
+  for (size_t i = 0; i < rows; ++i) {
+    csv += StrCat("o", i, ",", kRegions[rng.Below(4)], ",",
+                  rng.Uniform(100, 9999), "\n");
+  }
+  return csv;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(20260706);
+
+  // 1. Ingest the customer CSV.
+  std::string csv = MakeSalesCsv(600, rng);
+  Table sales = TableFromCsv("Sales",
+                             {{"order", ColumnRole::kKey, ""},
+                              {"region", ColumnRole::kKey, ""},
+                              {"revenue", ColumnRole::kWeight, "order"}},
+                             csv)
+                    .ValueOrDie();
+  Database db;
+  db.AddTable(sales);
+  RelationalInstance instance = ToWeightedStructure(db).ValueOrDie();
+  std::cout << "loaded " << sales.num_rows() << " orders, universe "
+            << instance.structure.universe_size() << " elements\n";
+
+  // 2. The dashboard's registered query: orders of region u (their revenues
+  //    feed a per-region total).
+  auto query = ConjunctiveQuery::Parse("Sales(v1, u1)").ValueOrDie();
+  // Parameters range over regions only.
+  std::vector<Tuple> domain;
+  for (const char* region : {"EMEA", "APAC", "AMER", "LATAM"}) {
+    auto e = instance.structure.FindElement(region);
+    if (e.ok()) domain.push_back(Tuple{e.value()});
+  }
+  QueryIndex index(instance.structure, query, domain);
+  std::cout << "|W| = " << index.num_active() << " revenue-bearing orders, "
+            << index.num_params() << " registered parameters\n";
+
+  // 3. Plan, embed a partner id, export marked CSV.
+  LocalSchemeOptions opts;
+  opts.key = {0x5A1E5, 0xC5F};
+  opts.epsilon = 0.1;  // total per-region revenue drifts by <= 10
+  LocalScheme scheme = LocalScheme::Plan(index, opts).ValueOrDie();
+  std::cout << "capacity " << scheme.CapacityBits() << " bits, certified drift <= "
+            << scheme.Budget() << " per region total\n";
+
+  // Partner id in the low bits; remaining capacity stays zero (or could
+  // carry redundancy via the adversarial wrapper).
+  const uint64_t partner = 183;
+  BitVec mark(scheme.CapacityBits());
+  for (size_t i = 0; i < std::min<size_t>(scheme.CapacityBits(), 16); ++i) {
+    mark.Set(i, (partner >> i) & 1);
+  }
+  WeightMap marked = scheme.Embed(instance.weights, mark);
+  Database marked_db = ApplyWeightsToDatabase(db, instance, marked).ValueOrDie();
+  std::string marked_csv = TableToCsv(*marked_db.Find("Sales").ValueOrDie());
+  std::cout << "exported marked CSV (" << marked_csv.size() << " bytes); "
+            << "region totals drift:\n";
+
+  TextTable totals("Per-region revenue totals");
+  totals.SetHeader({"region", "original", "marked", "|drift|"});
+  for (size_t p = 0; p < index.num_params(); ++p) {
+    Weight f0 = index.SumWeights(p, instance.weights);
+    Weight f1 = index.SumWeights(p, marked);
+    totals.AddRow({instance.structure.ElementName(index.param(p)[0]), StrCat(f0),
+                   StrCat(f1), StrCat(std::abs(f1 - f0))});
+  }
+  totals.Print(std::cout);
+
+  // 4. A leak shows up: detect through dashboard answers.
+  HonestServer suspect(index, marked);
+  BitVec detected = scheme.Detect(instance.weights, suspect).ValueOrDie();
+  uint64_t traced = 0;
+  for (size_t i = 0; i < std::min<size_t>(detected.size(), 16); ++i) {
+    traced |= static_cast<uint64_t>(detected.Get(i)) << i;
+  }
+  std::cout << "leak traced to partner #" << traced
+            << (detected == mark ? " (correct)" : " (MISMATCH)") << "\n";
+
+  // 5. Baseline comparison on the same table.
+  AkOptions ak;
+  ak.key = {7, 8};
+  Table ak_marked = AkEmbed(sales, ak, nullptr).ValueOrDie();
+  Database ak_db;
+  ak_db.AddTable(ak_marked);
+  auto ak_instance = ToWeightedStructure(ak_db).ValueOrDie();
+  Weight ak_worst = 0;
+  for (size_t p = 0; p < index.num_params(); ++p) {
+    // Rebuild the f totals under AK weights (same universe interning order).
+    Weight f0 = index.SumWeights(p, instance.weights);
+    Weight f1 = index.SumWeights(p, ak_instance.weights);
+    ak_worst = std::max(ak_worst, std::abs(f1 - f0));
+  }
+  std::cout << "Agrawal-Kiernan on the same data: worst region-total drift "
+            << ak_worst << " (no a priori bound) vs our certified <= "
+            << scheme.Budget() << "\n";
+  return detected == mark ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+#include "qpwm/baseline/agrawal_kiernan.h"
+
+#include <cmath>
+#include <vector>
+
+#include "qpwm/util/check.h"
+
+namespace qpwm {
+namespace {
+
+struct CellSelection {
+  bool selected = false;
+  size_t weight_col = 0;
+  uint32_t bit = 0;
+  bool bit_value = false;
+};
+
+// The keyed per-row selection shared by embedder and detector.
+CellSelection SelectCell(const Table& table, size_t row, const AkOptions& options) {
+  CellSelection out;
+  std::vector<size_t> weight_cols = table.WeightColumns();
+  if (weight_cols.empty()) return out;
+
+  const std::string& pk = table.KeyAt(row, options.pk_column);
+  uint64_t h = Prf(options.key, pk);
+  if (h % options.gamma != 0) return out;
+
+  out.selected = true;
+  uint64_t h2 = Prf(options.key.Derive(1), pk);
+  out.weight_col = weight_cols[h2 % weight_cols.size()];
+  uint64_t h3 = Prf(options.key.Derive(2), pk);
+  out.bit = static_cast<uint32_t>(h3 % options.num_lsb);
+  uint64_t h4 = Prf(options.key.Derive(3), pk);
+  out.bit_value = (h4 & 1) != 0;
+  return out;
+}
+
+}  // namespace
+
+Result<Table> AkEmbed(const Table& table, const AkOptions& options,
+                      AkEmbedStats* stats) {
+  if (options.pk_column >= table.columns().size() ||
+      table.columns()[options.pk_column].role != ColumnRole::kKey) {
+    return Status::InvalidArgument("pk_column must name a key column");
+  }
+  Table out = table;
+  size_t marked = 0;
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    CellSelection sel = SelectCell(out, r, options);
+    if (!sel.selected) continue;
+    Weight w = out.WeightAt(r, sel.weight_col);
+    Weight mask = Weight{1} << sel.bit;
+    Weight updated = sel.bit_value ? (w | mask) : (w & ~mask);
+    out.SetWeightAt(r, sel.weight_col, updated);
+    ++marked;
+  }
+  if (stats != nullptr) {
+    stats->rows = out.num_rows();
+    stats->marked_cells = marked;
+  }
+  return out;
+}
+
+Result<AkDetection> AkDetect(const Table& suspect, const AkOptions& options) {
+  if (options.pk_column >= suspect.columns().size() ||
+      suspect.columns()[options.pk_column].role != ColumnRole::kKey) {
+    return Status::InvalidArgument("pk_column must name a key column");
+  }
+  AkDetection out;
+  for (size_t r = 0; r < suspect.num_rows(); ++r) {
+    CellSelection sel = SelectCell(suspect, r, options);
+    if (!sel.selected) continue;
+    ++out.total;
+    Weight w = suspect.WeightAt(r, sel.weight_col);
+    bool actual = ((w >> sel.bit) & 1) != 0;
+    if (actual == sel.bit_value) ++out.matches;
+  }
+  // Smallest k with P[Bin(total, 1/2) >= k] < alpha.
+  size_t k = out.total + 1;
+  while (k > 0 && BinomialTailAtLeast(out.total, k - 1) < options.alpha) --k;
+  out.threshold = k;
+  out.detected = out.total > 0 && out.matches >= out.threshold;
+  return out;
+}
+
+double BinomialTailAtLeast(size_t n, size_t k) {
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  // Sum C(n, i) / 2^n for i in [k, n], in log space for stability.
+  double tail = 0.0;
+  double log_c = 0.0;  // log C(n, k), built incrementally
+  for (size_t i = 1; i <= k; ++i) {
+    log_c += std::log(static_cast<double>(n - i + 1)) - std::log(static_cast<double>(i));
+  }
+  const double log_half_n = -static_cast<double>(n) * std::log(2.0);
+  for (size_t i = k; i <= n; ++i) {
+    tail += std::exp(log_c + log_half_n);
+    if (i < n) {
+      log_c += std::log(static_cast<double>(n - i)) -
+               std::log(static_cast<double>(i + 1));
+    }
+  }
+  return std::min(tail, 1.0);
+}
+
+}  // namespace qpwm

@@ -1,0 +1,61 @@
+// Reimplementation of the Agrawal-Kiernan watermarking scheme (VLDB 2002,
+// the paper's reference [1]) as the baseline the introduction compares
+// against. A keyed hash of each row's primary key decides (i) whether the
+// row is marked (one in `gamma` rows), (ii) which weight column is used,
+// (iii) which of the `num_lsb` low bits is set, and (iv) the bit value.
+// Detection recomputes the selections and applies a binomial significance
+// threshold — no access to the original table is needed.
+//
+// AK preserves aggregate statistics (mean/variance drift is tiny) but gives
+// *no guarantee* on parametric query results — the property the
+// query-preserving schemes of this library add. bench_baseline_ak measures
+// exactly that contrast.
+#ifndef QPWM_BASELINE_AGRAWAL_KIERNAN_H_
+#define QPWM_BASELINE_AGRAWAL_KIERNAN_H_
+
+#include <cstdint>
+
+#include "qpwm/relational/table.h"
+#include "qpwm/util/hash.h"
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+struct AkOptions {
+  PrfKey key;
+  /// One row in `gamma` is marked.
+  uint32_t gamma = 4;
+  /// Candidate low bits per weight value.
+  uint32_t num_lsb = 2;
+  /// Detection significance: declare a watermark when the match count is
+  /// this unlikely (or less) under the null (coin-flip) hypothesis.
+  double alpha = 0.01;
+  /// Key column used as the primary key (index into the table's columns).
+  size_t pk_column = 0;
+};
+
+struct AkEmbedStats {
+  size_t rows = 0;
+  size_t marked_cells = 0;
+};
+
+/// Embeds the watermark into a copy of `table` (its weight columns).
+Result<Table> AkEmbed(const Table& table, const AkOptions& options,
+                      AkEmbedStats* stats = nullptr);
+
+struct AkDetection {
+  size_t total = 0;    // cells the key selects
+  size_t matches = 0;  // cells whose selected bit has the expected value
+  size_t threshold = 0;
+  bool detected = false;
+};
+
+/// Runs detection against a (possibly attacked or unrelated) table.
+Result<AkDetection> AkDetect(const Table& suspect, const AkOptions& options);
+
+/// P[Binomial(n, 1/2) >= k]: the detector's false-positive tail.
+double BinomialTailAtLeast(size_t n, size_t k);
+
+}  // namespace qpwm
+
+#endif  // QPWM_BASELINE_AGRAWAL_KIERNAN_H_

@@ -1,0 +1,47 @@
+// Exact watermarking capacity (Theorem 1). #Mark counts the weight
+// perturbation vectors m (one entry per active element, each in a bounded
+// range) whose induced drift sum_{b in W_a} m_b meets a per-parameter
+// constraint — exactly d for #Mark(=d), at most d in absolute value for
+// #Mark(<=d). The counter is a DFS over elements with interval-based
+// feasibility pruning; #P-hardness (reduction from PERMANENT) means every
+// exact counter is exponential in the worst case, which the benchmark
+// demonstrates empirically against Ryser's permanent.
+#ifndef QPWM_CAPACITY_CAPACITY_H_
+#define QPWM_CAPACITY_CAPACITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qpwm/core/answers.h"
+
+namespace qpwm {
+
+/// The per-parameter incidence view the counter consumes: sets[a] lists the
+/// element indices of W_a.
+struct MarkCountProblem {
+  size_t num_elements = 0;
+  std::vector<std::vector<uint32_t>> sets;
+  /// Allowed per-element perturbations (e.g. {-1, 0, +1}, or {0, +1} for the
+  /// PERMANENT reduction).
+  std::vector<int32_t> moves{-1, 0, +1};
+};
+
+MarkCountProblem ProblemFromQuery(const QueryIndex& index);
+
+/// Number of perturbation vectors with drift(a) == d for every parameter.
+uint64_t CountMarkingsExact(const MarkCountProblem& problem, int64_t d);
+
+/// Number of perturbation vectors with |drift(a)| <= d for every parameter.
+uint64_t CountMarkingsAtMost(const MarkCountProblem& problem, int64_t d);
+
+/// Permanent of a 0/1 matrix via Ryser's formula, O(2^n n). n <= 30.
+uint64_t Permanent01(const std::vector<std::vector<uint8_t>>& matrix);
+
+/// Theorem 1's reduction: the bipartite graph with adjacency `matrix`
+/// becomes a marking problem with moves {0, +1} whose #Mark(=1) equals the
+/// number of perfect matchings (the permanent).
+MarkCountProblem PermanentReduction(const std::vector<std::vector<uint8_t>>& matrix);
+
+}  // namespace qpwm
+
+#endif  // QPWM_CAPACITY_CAPACITY_H_

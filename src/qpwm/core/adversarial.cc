@@ -1,0 +1,104 @@
+#include "qpwm/core/adversarial.h"
+
+#include <algorithm>
+
+#include "qpwm/util/check.h"
+
+namespace qpwm {
+namespace {
+
+class LocalCarrier : public PairCarrier {
+ public:
+  explicit LocalCarrier(const LocalScheme& base) : base_(&base) {}
+  size_t NumPairs() const override { return base_->CapacityBits(); }
+  void Apply(const BitVec& expanded_mark, WeightMap& weights,
+             PairEncoding encoding) const override {
+    base_->marking().Apply(expanded_mark, weights, encoding);
+  }
+  Result<std::vector<Weight>> PairDeltas(const WeightMap& original,
+                                         const AnswerServer& suspect) const override {
+    return base_->PairDeltas(original, suspect);
+  }
+
+ private:
+  const LocalScheme* base_;
+};
+
+class TreeCarrier : public PairCarrier {
+ public:
+  explicit TreeCarrier(const TreeScheme& base) : base_(&base) {}
+  size_t NumPairs() const override { return base_->CapacityBits(); }
+  void Apply(const BitVec& expanded_mark, WeightMap& weights,
+             PairEncoding encoding) const override {
+    base_->ApplyMark(expanded_mark, weights, encoding);
+  }
+  Result<std::vector<Weight>> PairDeltas(const WeightMap& original,
+                                         const AnswerServer& suspect) const override {
+    return base_->PairDeltas(original, suspect);
+  }
+
+ private:
+  const TreeScheme* base_;
+};
+
+}  // namespace
+
+AdversarialScheme::AdversarialScheme(std::unique_ptr<PairCarrier> carrier,
+                                     size_t redundancy)
+    : carrier_(std::move(carrier)), redundancy_(redundancy) {
+  QPWM_CHECK_GE(redundancy, 1u);
+  capacity_ = carrier_->NumPairs() / redundancy_;
+}
+
+AdversarialScheme::AdversarialScheme(const LocalScheme& base, size_t redundancy)
+    : AdversarialScheme(std::make_unique<LocalCarrier>(base), redundancy) {}
+
+AdversarialScheme::AdversarialScheme(const TreeScheme& base, size_t redundancy)
+    : AdversarialScheme(std::make_unique<TreeCarrier>(base), redundancy) {}
+
+WeightMap AdversarialScheme::Embed(const WeightMap& original,
+                                   const BitVec& message) const {
+  QPWM_CHECK_EQ(message.size(), capacity_);
+  // Expand the message over the pair groups; pairs beyond the last full
+  // group carry a fixed 0 and are ignored by the detector.
+  BitVec expanded(carrier_->NumPairs());
+  for (size_t j = 0; j < capacity_; ++j) {
+    for (size_t k = 0; k < redundancy_; ++k) {
+      expanded.Set(j * redundancy_ + k, message.Get(j));
+    }
+  }
+  WeightMap out = original;
+  carrier_->Apply(expanded, out, PairEncoding::kAntipodal);
+  return out;
+}
+
+Result<AdversarialDetection> AdversarialScheme::Detect(
+    const WeightMap& original, const AnswerServer& suspect) const {
+  auto deltas = carrier_->PairDeltas(original, suspect);
+  if (!deltas.ok()) return deltas.status();
+
+  AdversarialDetection out;
+  out.mark = BitVec(capacity_);
+  out.margins.resize(capacity_);
+  out.min_margin = capacity_ == 0 ? 0.0 : 1.0;
+  for (size_t j = 0; j < capacity_; ++j) {
+    int votes_one = 0;
+    int votes_zero = 0;
+    for (size_t k = 0; k < redundancy_; ++k) {
+      Weight d = deltas.value()[j * redundancy_ + k];
+      if (d > 0) {
+        ++votes_one;
+      } else if (d < 0) {
+        ++votes_zero;
+      }
+      // d == 0: the attacker neutralized this pair; abstain.
+    }
+    out.mark.Set(j, votes_one >= votes_zero);
+    out.margins[j] =
+        static_cast<double>(std::abs(votes_one - votes_zero)) / redundancy_;
+    out.min_margin = std::min(out.min_margin, out.margins[j]);
+  }
+  return out;
+}
+
+}  // namespace qpwm

@@ -1,0 +1,78 @@
+// Khanna-Zane transform (Fact 1): turning the non-adversarial schemes into
+// adversarial ones. Each message bit is spread over a group of `redundancy`
+// pairs with antipodal encoding; the detector takes a majority vote of the
+// per-pair delta signs. Under the bounded-distortion and limited-knowledge
+// assumptions an attacker flips few votes, so majorities survive; on an
+// unrelated database the votes are coin flips, bounding false positives.
+//
+// The wrapper is scheme-agnostic: it drives any base scheme exposing mark
+// application and per-pair delta reading (the local scheme of Theorem 3 and
+// the tree scheme of Theorems 4/5 both do).
+#ifndef QPWM_CORE_ADVERSARIAL_H_
+#define QPWM_CORE_ADVERSARIAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "qpwm/core/local_scheme.h"
+#include "qpwm/core/tree_scheme.h"
+#include "qpwm/util/bitvec.h"
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+/// Detection output with per-bit confidence.
+struct AdversarialDetection {
+  BitVec mark;
+  /// Vote margin per bit: (votes for winner - votes against) / group size,
+  /// in [0, 1]. A margin of 0 means a tie (that bit is untrusted).
+  std::vector<double> margins;
+  /// Smallest margin — the detection confidence.
+  double min_margin = 0;
+};
+
+/// What the wrapper needs from a base scheme: how many mark-carrying pairs
+/// it has, how to write a full-width mark, and how to read the pair deltas
+/// back through a suspect server.
+class PairCarrier {
+ public:
+  virtual ~PairCarrier() = default;
+  virtual size_t NumPairs() const = 0;
+  virtual void Apply(const BitVec& expanded_mark, WeightMap& weights,
+                     PairEncoding encoding) const = 0;
+  virtual Result<std::vector<Weight>> PairDeltas(const WeightMap& original,
+                                                 const AnswerServer& suspect) const = 0;
+};
+
+/// Adversarial wrapper around a planned base scheme.
+class AdversarialScheme {
+ public:
+  /// `redundancy` pairs per message bit (odd values avoid ties). The base
+  /// scheme must outlive the wrapper.
+  AdversarialScheme(const LocalScheme& base, size_t redundancy);
+  AdversarialScheme(const TreeScheme& base, size_t redundancy);
+
+  /// Message capacity: floor(base pairs / redundancy).
+  size_t CapacityBits() const { return capacity_; }
+  size_t Redundancy() const { return redundancy_; }
+
+  /// Embeds an l-bit message (l = CapacityBits()) by repeating each bit over
+  /// its pair group with antipodal encoding.
+  WeightMap Embed(const WeightMap& original, const BitVec& message) const;
+
+  /// Majority decoding from suspect answers.
+  Result<AdversarialDetection> Detect(const WeightMap& original,
+                                      const AnswerServer& suspect) const;
+
+ private:
+  explicit AdversarialScheme(std::unique_ptr<PairCarrier> carrier, size_t redundancy);
+
+  std::unique_ptr<PairCarrier> carrier_;
+  size_t redundancy_;
+  size_t capacity_;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_CORE_ADVERSARIAL_H_

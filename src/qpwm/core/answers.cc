@@ -1,0 +1,83 @@
+#include "qpwm/core/answers.h"
+
+#include <algorithm>
+
+#include "qpwm/util/check.h"
+
+namespace qpwm {
+
+QueryIndex::QueryIndex(const Structure& g, const ParametricQuery& query,
+                       std::vector<Tuple> domain)
+    : g_(&g), query_(&query), domain_(std::move(domain)) {
+  results_.resize(domain_.size());
+  for (size_t i = 0; i < domain_.size(); ++i) {
+    param_index_.emplace(domain_[i], static_cast<uint32_t>(i));
+    QPWM_CHECK_EQ(domain_[i].size(), query.ParamArity());
+    std::vector<Tuple> w = query.Evaluate(g, domain_[i]);
+    auto& row = results_[i];
+    row.reserve(w.size());
+    for (Tuple& t : w) {
+      QPWM_CHECK_EQ(t.size(), query.ResultArity());
+      auto [it, inserted] =
+          active_index_.emplace(t, static_cast<uint32_t>(active_.size()));
+      if (inserted) active_.push_back(std::move(t));
+      row.push_back(it->second);
+    }
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  containing_.resize(active_.size());
+  for (size_t i = 0; i < results_.size(); ++i) {
+    for (uint32_t w : results_[i]) {
+      containing_[w].push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+Result<size_t> QueryIndex::FindParam(const Tuple& params) const {
+  auto it = param_index_.find(params);
+  if (it == param_index_.end()) return Status::NotFound("parameter outside domain");
+  return static_cast<size_t>(it->second);
+}
+
+Result<size_t> QueryIndex::FindActive(const Tuple& t) const {
+  auto it = active_index_.find(t);
+  if (it == active_index_.end()) return Status::NotFound("tuple is not an active element");
+  return static_cast<size_t>(it->second);
+}
+
+bool QueryIndex::Contains(size_t param_idx, size_t w) const {
+  const auto& row = results_[param_idx];
+  return std::binary_search(row.begin(), row.end(), static_cast<uint32_t>(w));
+}
+
+Weight QueryIndex::SumWeights(size_t param_idx, const WeightMap& weights) const {
+  Weight sum = 0;
+  for (uint32_t w : results_[param_idx]) sum += weights.Get(active_[w]);
+  return sum;
+}
+
+AnswerSet QueryIndex::AnswersFor(size_t param_idx, const WeightMap& weights) const {
+  AnswerSet out;
+  out.reserve(results_[param_idx].size());
+  for (uint32_t w : results_[param_idx]) {
+    out.push_back({active_[w], weights.Get(active_[w])});
+  }
+  return out;
+}
+
+AnswerSet HonestServer::Answer(const Tuple& params) const {
+  // A real server would evaluate the query; ours serves from the shared
+  // index, which is observationally identical and keeps benches fast.
+  auto idx = index_->FindParam(params);
+  if (idx.ok()) return index_->AnswersFor(idx.value(), weights_);
+  // Parameter outside the registered domain: evaluate directly.
+  AnswerSet out;
+  for (Tuple& t : index_->query().Evaluate(index_->structure(), params)) {
+    Weight w = weights_.Get(t);
+    out.push_back({std::move(t), w});
+  }
+  return out;
+}
+
+}  // namespace qpwm

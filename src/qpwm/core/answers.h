@@ -1,0 +1,112 @@
+// Query answer machinery: the sets W_a = psi(a, G) of weighted elements a
+// query touches, the active set W = union_a W_a, the answer sets
+// A_a = {(b, W(b)) : b in W_a} a server returns, and the AnswerServer
+// interface that models the paper's indirect-access threat model (the
+// detector may only see answers, never the suspect's weight table).
+#ifndef QPWM_CORE_ANSWERS_H_
+#define QPWM_CORE_ANSWERS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "qpwm/logic/query.h"
+#include "qpwm/structure/structure.h"
+#include "qpwm/structure/weighted.h"
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+/// One answer row: a result tuple and its weight.
+struct AnswerRow {
+  Tuple element;
+  Weight weight;
+};
+
+/// A_a for one parameter.
+using AnswerSet = std::vector<AnswerRow>;
+
+/// Precomputed query results over a parameter domain.
+///
+/// Active elements (the paper's W) are interned to dense indices; per-param
+/// results and the inverse map (which params contain a given active element)
+/// are both kept, since the schemes need both directions.
+class QueryIndex {
+ public:
+  QueryIndex(const Structure& g, const ParametricQuery& query, std::vector<Tuple> domain);
+
+  const Structure& structure() const { return *g_; }
+  const ParametricQuery& query() const { return *query_; }
+
+  size_t num_params() const { return domain_.size(); }
+  const Tuple& param(size_t i) const { return domain_[i]; }
+  const std::vector<Tuple>& domain() const { return domain_; }
+
+  /// Index of a parameter tuple in the domain.
+  Result<size_t> FindParam(const Tuple& params) const;
+
+  /// |W|: number of distinct active weighted elements.
+  size_t num_active() const { return active_.size(); }
+  const Tuple& active_element(size_t w) const { return active_[w]; }
+
+  /// Dense index of an s-tuple among the active elements.
+  Result<size_t> FindActive(const Tuple& t) const;
+
+  /// W_a as sorted active-element indices.
+  const std::vector<uint32_t>& ResultFor(size_t param_idx) const {
+    return results_[param_idx];
+  }
+
+  /// Parameters whose result set contains active element `w`.
+  const std::vector<uint32_t>& ParamsContaining(size_t w) const {
+    return containing_[w];
+  }
+
+  /// Membership test (binary search over the sorted result list).
+  bool Contains(size_t param_idx, size_t w) const;
+
+  /// f(a) = sum of weights over W_a under `weights`.
+  Weight SumWeights(size_t param_idx, const WeightMap& weights) const;
+
+  /// A_a under `weights`.
+  AnswerSet AnswersFor(size_t param_idx, const WeightMap& weights) const;
+
+ private:
+  const Structure* g_;
+  const ParametricQuery* query_;
+  std::vector<Tuple> domain_;
+  std::unordered_map<Tuple, uint32_t, TupleHash> param_index_;
+  std::vector<Tuple> active_;
+  std::unordered_map<Tuple, uint32_t, TupleHash> active_index_;
+  std::vector<std::vector<uint32_t>> results_;     // param -> active indices (sorted)
+  std::vector<std::vector<uint32_t>> containing_;  // active -> params (sorted)
+};
+
+/// A suspect data server: answers parametric queries, nothing else.
+class AnswerServer {
+ public:
+  virtual ~AnswerServer() = default;
+  /// Returns A_a for parameter tuple `params`.
+  virtual AnswerSet Answer(const Tuple& params) const = 0;
+};
+
+/// A server honestly serving a (possibly watermarked / attacked) weight map
+/// over the owner's structure.
+class HonestServer : public AnswerServer {
+ public:
+  HonestServer(const QueryIndex& index, WeightMap weights)
+      : index_(&index), weights_(std::move(weights)) {}
+
+  AnswerSet Answer(const Tuple& params) const override;
+
+  const WeightMap& weights() const { return weights_; }
+  WeightMap& mutable_weights() { return weights_; }
+
+ private:
+  const QueryIndex* index_;
+  WeightMap weights_;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_CORE_ANSWERS_H_

@@ -1,0 +1,62 @@
+#include "qpwm/core/attack.h"
+
+namespace qpwm {
+
+WeightMap UniformNoiseAttack(const WeightMap& marked, Weight c, Rng& rng) {
+  WeightMap out = marked;
+  marked.ForEach([&](const Tuple& t, Weight w) {
+    out.Set(t, w + rng.Uniform(-c, c));
+  });
+  return out;
+}
+
+WeightMap JitterAttack(const WeightMap& marked, double flip_prob, Rng& rng) {
+  WeightMap out = marked;
+  marked.ForEach([&](const Tuple& t, Weight w) {
+    if (rng.Bernoulli(flip_prob)) out.Set(t, w + (rng.Coin() ? 1 : -1));
+  });
+  return out;
+}
+
+WeightMap RoundingAttack(const WeightMap& marked, Weight granularity) {
+  QPWM_CHECK_GE(granularity, 1);
+  WeightMap out = marked;
+  marked.ForEach([&](const Tuple& t, Weight w) {
+    Weight down = (w >= 0 ? w : w - granularity + 1) / granularity * granularity;
+    Weight up = down + granularity;
+    out.Set(t, (w - down <= up - w) ? down : up);
+  });
+  return out;
+}
+
+WeightMap GuessingPairAttack(const WeightMap& marked, const QueryIndex& index,
+                             size_t guesses, Rng& rng) {
+  WeightMap out = marked;
+  const size_t n = index.num_active();
+  if (n < 2) return out;
+  for (size_t i = 0; i < guesses; ++i) {
+    size_t a = rng.Below(n);
+    size_t b = rng.Below(n);
+    if (a == b) continue;
+    // Attacker's guess at undoing a (+1, -1) pair.
+    out.Add(index.active_element(a), -1);
+    out.Add(index.active_element(b), +1);
+  }
+  return out;
+}
+
+WeightMap AveragingCollusionAttack(const std::vector<const WeightMap*>& copies) {
+  QPWM_CHECK(!copies.empty());
+  WeightMap out = *copies[0];
+  out.ForEach([&](const Tuple& t, Weight) {
+    Weight sum = 0;
+    for (const WeightMap* copy : copies) sum += copy->Get(t);
+    const auto n = static_cast<Weight>(copies.size());
+    // Round half toward the first copy's value.
+    Weight rounded = sum >= 0 ? (2 * sum + n) / (2 * n) : -((-2 * sum + n) / (2 * n));
+    out.Set(t, rounded);
+  });
+  return out;
+}
+
+}  // namespace qpwm

@@ -1,0 +1,42 @@
+// Attacker models for the adversarial setting (Fact 1's assumptions):
+// bounded-distortion weight tampering by a malicious server that does not
+// know the secret pair positions (limited knowledge). Attacks transform a
+// weight map; they never touch the structure (parameter values are keys and
+// cannot be modified without destroying the data's value).
+#ifndef QPWM_CORE_ATTACK_H_
+#define QPWM_CORE_ATTACK_H_
+
+#include "qpwm/core/answers.h"
+#include "qpwm/structure/weighted.h"
+#include "qpwm/util/random.h"
+
+namespace qpwm {
+
+/// Adds an independent uniform integer in [-c, c] to every weight.
+/// Realizes a c'-local distortion; the induced global distortion is measured
+/// by the caller.
+WeightMap UniformNoiseAttack(const WeightMap& marked, Weight c, Rng& rng);
+
+/// Flips each weight by +-1 with probability `flip_prob` (random bit-jitter,
+/// the closest analogue of LSB-resetting attacks on [1]).
+WeightMap JitterAttack(const WeightMap& marked, double flip_prob, Rng& rng);
+
+/// Rounds every weight to the nearest multiple of `granularity` (>= 1) —
+/// a deterministic "cleaning" attack.
+WeightMap RoundingAttack(const WeightMap& marked, Weight granularity);
+
+/// Guessing attack: the attacker picks `guesses` random element pairs and
+/// applies the inverse (+1, -1) trick hoping to hit the owner's pairs. With
+/// limited knowledge the hit probability per guess is ~ 1 / |W|^2.
+WeightMap GuessingPairAttack(const WeightMap& marked, const QueryIndex& index,
+                             size_t guesses, Rng& rng);
+
+/// Collusion: servers holding several differently-marked copies average them
+/// per weight (rounding toward the first copy on ties). With enough copies
+/// the pair deltas wash out — the auto-collusion risk Section 5 raises
+/// against naive re-marking after updates.
+WeightMap AveragingCollusionAttack(const std::vector<const WeightMap*>& copies);
+
+}  // namespace qpwm
+
+#endif  // QPWM_CORE_ATTACK_H_

@@ -1,0 +1,38 @@
+// Distortion assumptions (Section 1): the c-local assumption bounds each
+// individual weight change, the d-global assumption bounds the drift of the
+// per-parameter aggregate f(a). The paper uses f = sum and notes that mean,
+// min and max work identically; all four are provided.
+#ifndef QPWM_CORE_DISTORTION_H_
+#define QPWM_CORE_DISTORTION_H_
+
+#include <vector>
+
+#include "qpwm/core/answers.h"
+#include "qpwm/structure/weighted.h"
+
+namespace qpwm {
+
+/// Aggregate used for f(a) over a query result set.
+enum class Aggregate { kSum, kMean, kMin, kMax };
+
+/// f(a) for one parameter under the chosen aggregate (0 on empty results;
+/// mean rounds toward zero).
+Weight AggregateWeight(const QueryIndex& index, size_t param_idx,
+                       const WeightMap& weights, Aggregate agg = Aggregate::kSum);
+
+/// True iff |w1(t) - w0(t)| <= c for every weight tuple: the c-local
+/// distortion assumption.
+bool SatisfiesLocalDistortion(const WeightMap& w0, const WeightMap& w1, Weight c);
+
+/// max_a |f_w1(a) - f_w0(a)| over the index's parameter domain.
+Weight GlobalDistortion(const QueryIndex& index, const WeightMap& w0,
+                        const WeightMap& w1, Aggregate agg = Aggregate::kSum);
+
+/// |f_w1(a) - f_w0(a)| for every parameter, in domain order.
+std::vector<Weight> PerParamDistortion(const QueryIndex& index, const WeightMap& w0,
+                                       const WeightMap& w1,
+                                       Aggregate agg = Aggregate::kSum);
+
+}  // namespace qpwm
+
+#endif  // QPWM_CORE_DISTORTION_H_

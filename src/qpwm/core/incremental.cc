@@ -1,0 +1,70 @@
+#include "qpwm/core/incremental.h"
+
+#include <set>
+#include <string>
+
+#include "qpwm/core/pairs.h"
+#include "qpwm/structure/isomorphism.h"
+#include "qpwm/structure/neighborhood.h"
+#include "qpwm/util/check.h"
+
+namespace qpwm {
+namespace {
+
+std::set<std::string> TypeSet(const QueryIndex& index, uint32_t rho) {
+  const Structure& g = index.structure();
+  GaifmanGraph gaifman(g);
+  IncidenceIndex incidence(g);
+  std::set<std::string> types;
+  for (size_t i = 0; i < index.num_params(); ++i) {
+    Neighborhood nb = ExtractNeighborhood(g, gaifman, incidence, index.param(i), rho);
+    types.insert(CanonicalForm(nb.local, nb.distinguished));
+  }
+  return types;
+}
+
+}  // namespace
+
+WeightMap PropagateWeightsOnlyUpdate(const WeightMap& old_original,
+                                     const WeightMap& old_marked,
+                                     const WeightMap& new_original) {
+  WeightMap out = new_original;
+  // Carry over M = old_marked - old_original per tuple.
+  old_marked.ForEach([&](const Tuple& t, Weight marked) {
+    Weight delta = marked - old_original.Get(t);
+    if (delta != 0) out.Add(t, delta);
+  });
+  return out;
+}
+
+UpdateCheck CheckTypePreservingUpdate(const LocalScheme& scheme,
+                                      const QueryIndex& updated_index) {
+  UpdateCheck out;
+  const QueryIndex& old_index = scheme.index();
+  const uint32_t rho = scheme.rho();
+
+  std::set<std::string> old_types = TypeSet(old_index, rho);
+  std::set<std::string> new_types = TypeSet(updated_index, rho);
+  out.old_types = old_types.size();
+  out.new_types = new_types.size();
+  out.type_preserving = old_types == new_types;
+
+  // Which pairs survive: both elements must still be active (readable
+  // through some query answer) on the updated instance.
+  std::vector<WeightPair> surviving;
+  for (const WeightPair& p : scheme.marking().pairs()) {
+    auto plus = updated_index.FindActive(old_index.active_element(p.plus));
+    auto minus = updated_index.FindActive(old_index.active_element(p.minus));
+    if (plus.ok() && minus.ok()) {
+      surviving.push_back({static_cast<uint32_t>(plus.value()),
+                           static_cast<uint32_t>(minus.value())});
+    }
+  }
+  out.surviving_pairs = surviving.size();
+  if (!surviving.empty()) {
+    out.new_cost_bound = PairMarking(updated_index, std::move(surviving)).MaxCost();
+  }
+  return out;
+}
+
+}  // namespace qpwm

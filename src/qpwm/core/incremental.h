@@ -1,0 +1,51 @@
+// Incremental watermarking (Section 5).
+//
+// Theorem 7 (weights-only updates): when the owner updates weights but not
+// the structure, re-applying the recorded per-tuple mark deltas to the new
+// weights preserves both the global distortion and detectability — the
+// detector only ever looks at differences against the owner's originals.
+//
+// Theorem 8 (type-preserving structural updates): if an update to the
+// structure creates or removes no neighborhood isomorphism type, the
+// existing pair marking remains valid as a (|W|, eta, 0, 0) procedure; we
+// also re-verify the realized cost bound on the updated instance, which is
+// cheap and strictly stronger.
+#ifndef QPWM_CORE_INCREMENTAL_H_
+#define QPWM_CORE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qpwm/core/local_scheme.h"
+#include "qpwm/structure/weighted.h"
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+/// Theorem 7: propagates the mark from (old_original -> old_marked) onto
+/// new_original. Every tuple keeps its distortion M = old_marked - old_original.
+WeightMap PropagateWeightsOnlyUpdate(const WeightMap& old_original,
+                                     const WeightMap& old_marked,
+                                     const WeightMap& new_original);
+
+/// Outcome of a type-preservation check after a structural update.
+struct UpdateCheck {
+  bool type_preserving = false;  // same set of neighborhood types?
+  size_t old_types = 0;
+  size_t new_types = 0;
+  /// Pairs of the existing marking whose both elements are still active on
+  /// the updated instance (detectable bits kept).
+  size_t surviving_pairs = 0;
+  /// Realized max cost of the surviving pairs on the updated instance.
+  uint32_t new_cost_bound = 0;
+};
+
+/// Theorem 8: checks whether `updated_index` (same query, updated structure
+/// or domain) preserves all neighborhood types of the planning radius and
+/// whether the scheme's pairs survive. Does not modify the scheme.
+UpdateCheck CheckTypePreservingUpdate(const LocalScheme& scheme,
+                                      const QueryIndex& updated_index);
+
+}  // namespace qpwm
+
+#endif  // QPWM_CORE_INCREMENTAL_H_

@@ -1,0 +1,265 @@
+#include "qpwm/core/local_scheme.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "qpwm/logic/locality.h"
+#include "qpwm/structure/typemap.h"
+#include "qpwm/util/check.h"
+#include "qpwm/util/random.h"
+#include "qpwm/util/str.h"
+
+namespace qpwm {
+namespace {
+
+// Pairs consecutive members of each group; returns leftover singletons.
+void PairWithinGroups(const std::map<std::vector<uint32_t>, std::vector<uint32_t>>& groups,
+                      Rng& rng, std::vector<WeightPair>& pairs,
+                      std::vector<uint32_t>& leftovers) {
+  for (const auto& [cl, members_const] : groups) {
+    (void)cl;
+    std::vector<uint32_t> members = members_const;
+    rng.Shuffle(members);
+    size_t i = 0;
+    for (; i + 1 < members.size(); i += 2) {
+      pairs.push_back({members[i], members[i + 1]});
+    }
+    if (i < members.size()) leftovers.push_back(members[i]);
+  }
+}
+
+// Greedy ablation: repeatedly drop the pair that contributes to the most
+// overloaded parameter until every parameter is within budget.
+std::vector<uint32_t> GreedySelect(const PairMarking& all, uint32_t budget) {
+  const QueryIndex& index = all.index();
+  std::vector<uint32_t> cost = all.CostPerParam();
+  std::vector<bool> alive(all.size(), true);
+
+  // contributions[i] = list of params pair i contributes to (non-zero).
+  std::vector<std::vector<uint32_t>> contributions(all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    const WeightPair& p = all.pairs()[i];
+    const auto& in_plus = index.ParamsContaining(p.plus);
+    const auto& in_minus = index.ParamsContaining(p.minus);
+    size_t a = 0, b = 0;
+    while (a < in_plus.size() || b < in_minus.size()) {
+      if (b == in_minus.size() || (a < in_plus.size() && in_plus[a] < in_minus[b])) {
+        contributions[i].push_back(in_plus[a++]);
+      } else if (a == in_plus.size() || in_minus[b] < in_plus[a]) {
+        contributions[i].push_back(in_minus[b++]);
+      } else {
+        ++a;
+        ++b;
+      }
+    }
+  }
+
+  for (;;) {
+    // Worst parameter.
+    uint32_t worst_param = 0;
+    uint32_t worst_cost = 0;
+    for (size_t a = 0; a < cost.size(); ++a) {
+      if (cost[a] > worst_cost) {
+        worst_cost = cost[a];
+        worst_param = static_cast<uint32_t>(a);
+      }
+    }
+    if (worst_cost <= budget) break;
+
+    // Among live pairs hitting it, drop the one with the largest footprint.
+    size_t victim = all.size();
+    size_t victim_footprint = 0;
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (!alive[i]) continue;
+      if (!std::binary_search(contributions[i].begin(), contributions[i].end(),
+                              worst_param)) {
+        continue;
+      }
+      if (victim == all.size() || contributions[i].size() > victim_footprint) {
+        victim = i;
+        victim_footprint = contributions[i].size();
+      }
+    }
+    QPWM_CHECK_LT(victim, all.size());
+    alive[victim] = false;
+    for (uint32_t a : contributions[victim]) --cost[a];
+  }
+
+  std::vector<uint32_t> selection;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (alive[i]) selection.push_back(static_cast<uint32_t>(i));
+  }
+  return selection;
+}
+
+}  // namespace
+
+Result<LocalScheme> LocalScheme::Plan(const QueryIndex& index,
+                                      const LocalSchemeOptions& options) {
+  const Structure& g = index.structure();
+  const ParametricQuery& query = index.query();
+
+  uint32_t rho = options.rho.value_or(
+      std::min<uint32_t>(query.LocalityRank().value_or(1), 2));
+
+  if (options.epsilon <= 0.0 || options.epsilon > 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1]");
+  }
+  const auto budget = static_cast<uint32_t>(std::ceil(1.0 / options.epsilon));
+
+  // 1-2. Type parameters; canonical representatives come out of the typer.
+  NeighborhoodTyper typer(g, rho);
+  std::vector<uint32_t> param_type(index.num_params());
+  for (size_t i = 0; i < index.num_params(); ++i) {
+    param_type[i] = typer.TypeOf(index.param(i));
+  }
+  const size_t ntp = typer.NumTypes();
+
+  // Representative parameter index per type (first of each type).
+  std::vector<size_t> rep_param(ntp, index.num_params());
+  for (size_t i = 0; i < index.num_params(); ++i) {
+    if (rep_param[param_type[i]] == index.num_params()) rep_param[param_type[i]] = i;
+  }
+
+  // 3. Classes cl(w) and pairing.
+  Rng pairing_rng(options.key.Derive(0x70A1).k0);
+  std::vector<WeightPair> candidates;
+  std::vector<uint32_t> leftovers;
+  if (options.class_pairing) {
+    std::map<std::vector<uint32_t>, std::vector<uint32_t>> by_class;
+    for (uint32_t w = 0; w < index.num_active(); ++w) {
+      std::vector<uint32_t> cl;
+      for (uint32_t t = 0; t < ntp; ++t) {
+        if (index.Contains(rep_param[t], w)) cl.push_back(t);
+      }
+      by_class[std::move(cl)].push_back(w);
+    }
+    PairWithinGroups(by_class, pairing_rng, candidates, leftovers);
+  } else {
+    leftovers.resize(index.num_active());
+    std::iota(leftovers.begin(), leftovers.end(), 0u);
+  }
+  if (options.fallback_pairing) {
+    pairing_rng.Shuffle(leftovers);
+    for (size_t i = 0; i + 1 < leftovers.size(); i += 2) {
+      candidates.push_back({leftovers[i], leftovers[i + 1]});
+    }
+  }
+
+  PairMarking all(index, std::move(candidates));
+
+  // 4. Epsilon-good selection.
+  std::vector<uint32_t> selection;
+  int tries_used = 0;
+  if (all.MaxCost() <= budget) {
+    selection.resize(all.size());
+    std::iota(selection.begin(), selection.end(), 0u);
+    tries_used = 1;
+  } else if (options.selection == PairSelection::kGreedy) {
+    selection = GreedySelect(all, budget);
+    tries_used = 1;
+  } else if (all.size() > 0) {
+    // Proposition 2: p = 1 / (eta * (2N)^eps), retried. After a grace period
+    // the probability adapts: halved when the sampled subset blew the budget,
+    // doubled when it came out empty (tiny instances make the analytical p
+    // vanish). If the randomized search never lands, fall back to the greedy
+    // dropper, which always returns a within-budget (possibly smaller) set.
+    const GaifmanGraph gaifman(g);
+    const uint64_t eta = LocalityDivergenceBound(query.ParamArity(),
+                                                 gaifman.MaxDegree(), rho);
+    const double n_queries = 2.0 * static_cast<double>(index.num_params());
+    double p = 1.0 / (static_cast<double>(eta) * std::pow(n_queries, options.epsilon));
+    p = std::clamp(p, 2.0 / static_cast<double>(all.size()), 1.0);
+
+    Rng select_rng(options.key.Derive(0x5E1E).k0);
+    bool succeeded = false;
+    for (int attempt = 0; attempt < options.max_tries; ++attempt) {
+      if (!succeeded) ++tries_used;  // tries until the *first* success
+      std::vector<uint32_t> trial;
+      for (uint32_t i = 0; i < all.size(); ++i) {
+        if (select_rng.Bernoulli(p)) trial.push_back(i);
+      }
+      if (!trial.empty() && all.Subset(trial).MaxCost() <= budget) {
+        succeeded = true;
+        if (trial.size() > selection.size()) selection = std::move(trial);
+        p = std::min(1.0, p * 1.3);  // probe for a larger epsilon-good set
+      } else if (succeeded || attempt >= options.max_tries / 2) {
+        p = trial.empty() ? std::min(1.0, p * 2) : p * 0.7;
+      }
+    }
+    if (selection.empty()) selection = GreedySelect(all, budget);
+  }
+
+  auto marking = std::make_unique<PairMarking>(all.Subset(selection));
+  const uint32_t bound = marking->MaxCost();
+  QPWM_CHECK_LE(bound, budget);
+
+  LocalScheme scheme(std::move(marking), options);
+  scheme.distortion_bound_ = bound;
+  scheme.budget_ = budget;
+  scheme.rho_ = rho;
+  scheme.ntp_ = ntp;
+  scheme.candidate_pairs_ = all.size();
+  scheme.tries_used_ = tries_used;
+  scheme.canonical_params_ = rep_param;
+  return scheme;
+}
+
+WeightMap LocalScheme::Embed(const WeightMap& original, const BitVec& mark) const {
+  QPWM_CHECK_EQ(mark.size(), CapacityBits());
+  WeightMap out = original;
+  marking_->Apply(mark, out, options_.encoding);
+  return out;
+}
+
+Result<std::vector<Weight>> LocalScheme::PairDeltas(const WeightMap& original,
+                                                    const AnswerServer& suspect) const {
+  const QueryIndex& index = marking_->index();
+  std::vector<Weight> deltas;
+  deltas.reserve(marking_->size());
+
+  // Reads the suspect weight of active element `w` through a witness query.
+  auto read_weight = [&](uint32_t w) -> Result<Weight> {
+    const auto& witnesses = index.ParamsContaining(w);
+    if (witnesses.empty()) {
+      return Status::DetectionFailed(
+          "pair element is not in any query result (inactive)");
+    }
+    const Tuple& param = index.param(witnesses[0]);
+    const Tuple& elem = index.active_element(w);
+    for (const AnswerRow& row : suspect.Answer(param)) {
+      if (row.element == elem) return row.weight;
+    }
+    return Status::DetectionFailed(
+        "suspect answer is missing an expected element (structure tampered)");
+  };
+
+  for (size_t i = 0; i < marking_->size(); ++i) {
+    const WeightPair& p = marking_->pairs()[i];
+    auto plus = read_weight(p.plus);
+    if (!plus.ok()) return plus.status();
+    auto minus = read_weight(p.minus);
+    if (!minus.ok()) return minus.status();
+    const Weight d_plus = plus.value() - original.Get(index.active_element(p.plus));
+    const Weight d_minus = minus.value() - original.Get(index.active_element(p.minus));
+    deltas.push_back(d_plus - d_minus);
+  }
+  return deltas;
+}
+
+Result<BitVec> LocalScheme::Detect(const WeightMap& original,
+                                   const AnswerServer& suspect) const {
+  auto deltas = PairDeltas(original, suspect);
+  if (!deltas.ok()) return deltas.status();
+  BitVec mark(marking_->size());
+  for (size_t i = 0; i < deltas.value().size(); ++i) {
+    // Clean deltas: +2 for bit 1; 0 (kOnOff) or -2 (kAntipodal) for bit 0.
+    const Weight threshold = options_.encoding == PairEncoding::kOnOff ? 1 : 0;
+    mark.Set(i, deltas.value()[i] >= threshold);
+  }
+  return mark;
+}
+
+}  // namespace qpwm

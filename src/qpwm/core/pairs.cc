@@ -1,0 +1,80 @@
+#include "qpwm/core/pairs.h"
+
+#include <algorithm>
+
+#include "qpwm/util/check.h"
+
+namespace qpwm {
+
+PairMarking::PairMarking(const QueryIndex& index, std::vector<WeightPair> pairs)
+    : index_(&index), pairs_(std::move(pairs)) {
+  for (const WeightPair& p : pairs_) {
+    QPWM_CHECK_LT(p.plus, index.num_active());
+    QPWM_CHECK_LT(p.minus, index.num_active());
+    QPWM_CHECK_NE(p.plus, p.minus);
+  }
+}
+
+int PairMarking::Contribution(size_t pair_idx, size_t param_idx) const {
+  const WeightPair& p = pairs_[pair_idx];
+  int c = 0;
+  if (index_->Contains(param_idx, p.plus)) c += 1;
+  if (index_->Contains(param_idx, p.minus)) c -= 1;
+  return c;
+}
+
+std::vector<uint32_t> PairMarking::CostPerParam() const {
+  std::vector<uint32_t> cost(index_->num_params(), 0);
+  // Walk the inverse index instead of the (pair x param) product: each pair
+  // only touches the parameters containing one of its two elements.
+  for (const WeightPair& p : pairs_) {
+    const auto& in_plus = index_->ParamsContaining(p.plus);
+    const auto& in_minus = index_->ParamsContaining(p.minus);
+    // Symmetric difference of the two sorted parameter lists.
+    size_t i = 0, j = 0;
+    while (i < in_plus.size() || j < in_minus.size()) {
+      if (j == in_minus.size() || (i < in_plus.size() && in_plus[i] < in_minus[j])) {
+        ++cost[in_plus[i++]];
+      } else if (i == in_plus.size() || in_minus[j] < in_plus[i]) {
+        ++cost[in_minus[j++]];
+      } else {  // Both contain this parameter: contributions cancel.
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return cost;
+}
+
+uint32_t PairMarking::MaxCost() const {
+  uint32_t worst = 0;
+  for (uint32_t c : CostPerParam()) worst = std::max(worst, c);
+  return worst;
+}
+
+void PairMarking::Apply(const BitVec& mark, WeightMap& weights,
+                        PairEncoding encoding) const {
+  QPWM_CHECK_EQ(mark.size(), pairs_.size());
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    const WeightPair& p = pairs_[i];
+    if (mark.Get(i)) {
+      weights.Add(index_->active_element(p.plus), +1);
+      weights.Add(index_->active_element(p.minus), -1);
+    } else if (encoding == PairEncoding::kAntipodal) {
+      weights.Add(index_->active_element(p.plus), -1);
+      weights.Add(index_->active_element(p.minus), +1);
+    }
+  }
+}
+
+PairMarking PairMarking::Subset(const std::vector<uint32_t>& selection) const {
+  std::vector<WeightPair> subset;
+  subset.reserve(selection.size());
+  for (uint32_t i : selection) {
+    QPWM_CHECK_LT(i, pairs_.size());
+    subset.push_back(pairs_[i]);
+  }
+  return PairMarking(*index_, std::move(subset));
+}
+
+}  // namespace qpwm

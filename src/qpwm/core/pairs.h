@@ -1,0 +1,69 @@
+// Pair markings (Section 3): the (+1, -1) trick. A pair of active weighted
+// elements carries one mark bit; its contribution to a parameter a is
+// [b in W_a] - [b' in W_a], in {-1, 0, +1}, and is 0 exactly when the pair
+// cancels on that query. The per-parameter *cost* sums |contribution| over
+// pairs — an upper bound on the distortion of every possible mark, which is
+// what the epsilon-goodness check verifies (a deterministic strengthening of
+// Proposition 2, see DESIGN.md).
+#ifndef QPWM_CORE_PAIRS_H_
+#define QPWM_CORE_PAIRS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qpwm/core/answers.h"
+#include "qpwm/structure/weighted.h"
+#include "qpwm/util/bitvec.h"
+
+namespace qpwm {
+
+/// One mark-carrying pair: indices into the QueryIndex active-element table.
+struct WeightPair {
+  uint32_t plus;   // receives +1 when the bit is set
+  uint32_t minus;  // receives -1 when the bit is set
+};
+
+/// How a set bit is written into a pair's weights.
+enum class PairEncoding {
+  /// bit 1 -> (+1, -1); bit 0 -> no change (the paper's encoding).
+  kOnOff,
+  /// bit 1 -> (+1, -1); bit 0 -> (-1, +1). Antipodal; doubles the detection
+  /// margin, used under the Khanna-Zane adversarial transform.
+  kAntipodal,
+};
+
+/// A fixed sequence of pairs over one QueryIndex, with contribution and cost
+/// accounting.
+class PairMarking {
+ public:
+  PairMarking(const QueryIndex& index, std::vector<WeightPair> pairs);
+
+  const QueryIndex& index() const { return *index_; }
+  const std::vector<WeightPair>& pairs() const { return pairs_; }
+  size_t size() const { return pairs_.size(); }
+
+  /// Contribution of pair `i` to parameter `a`: [b in W_a] - [b' in W_a].
+  int Contribution(size_t pair_idx, size_t param_idx) const;
+
+  /// cost(a) = sum_i |contribution_i(a)| — the worst-case |f drift| of any
+  /// mark at parameter a (for either encoding).
+  std::vector<uint32_t> CostPerParam() const;
+
+  /// max_a cost(a). A pair set is epsilon-good iff MaxCost() <= ceil(1/eps).
+  uint32_t MaxCost() const;
+
+  /// Writes `mark` (one bit per pair) into `weights` in place.
+  void Apply(const BitVec& mark, WeightMap& weights,
+             PairEncoding encoding = PairEncoding::kOnOff) const;
+
+  /// Restriction to a subset of the pairs (selection indices, kept in order).
+  PairMarking Subset(const std::vector<uint32_t>& selection) const;
+
+ private:
+  const QueryIndex* index_;
+  std::vector<WeightPair> pairs_;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_CORE_PAIRS_H_

@@ -1,0 +1,184 @@
+#include "qpwm/core/tree_scheme.h"
+
+#include <algorithm>
+
+#include "qpwm/tree/query.h"
+#include "qpwm/util/check.h"
+#include "qpwm/util/random.h"
+
+namespace qpwm {
+
+AnswerSet HonestTreeServer::Answer(const Tuple& params) const {
+  QPWM_CHECK_EQ(params.size(), param_arity_);
+  NodeId a = param_arity_ == 1 ? params[0] : 0;
+  AnswerSet out;
+  for (NodeId b : EvaluateWa(*t_, *labels_, base_count_, *dta_, param_arity_, a)) {
+    out.push_back({Tuple{b}, weights_.GetElem(b)});
+  }
+  return out;
+}
+
+Result<TreeScheme> TreeScheme::Plan(const BinaryTree& t,
+                                    const std::vector<uint32_t>& labels,
+                                    uint32_t base_count, const Dta& dta,
+                                    uint32_t param_arity,
+                                    const TreeSchemeOptions& options) {
+  if (param_arity > 1) {
+    return Status::InvalidArgument("tree scheme supports parameter arity 0 or 1");
+  }
+  const uint32_t expected_tracks = param_arity + 1;
+  if (dta.alphabet_size() != base_count << expected_tracks) {
+    return Status::InvalidArgument(
+        "automaton alphabet does not match base alphabet x pebble tracks");
+  }
+
+  TreeScheme scheme;
+  scheme.t_ = &t;
+  scheme.labels_ = &labels;
+  scheme.base_count_ = base_count;
+  scheme.dta_ = &dta;
+  scheme.param_arity_ = param_arity;
+  scheme.options_ = options;
+
+  // Active weighted elements: W = union over a of W_a. Pair candidates are
+  // restricted to W so every hidden bit stays readable through answers.
+  std::vector<bool> active(t.size(), false);
+  {
+    Dta exists_a = param_arity == 1 ? ProjectParamTrack(dta, base_count) : dta;
+    for (NodeId b : EvaluateWa(t, labels, base_count, exists_a, 0, 0)) {
+      active[b] = true;
+    }
+  }
+
+  DecompositionOptions dopts;
+  dopts.shuffle_seed = options.key.Derive(0xDEC0).k0;
+  dopts.min_region_size = options.min_region_size;
+  dopts.max_region_size = options.max_region_size;
+  scheme.regions_ = FindMarkRegions(t, labels, base_count, dta, param_arity, dopts,
+                                    &scheme.stats_, &active);
+
+  // Witness discovery. Fast path: precompute the answer bitmaps of a small
+  // shared pool of candidate parameters (root + keyed-random picks); most
+  // pairs find a witness there in O(1). Stragglers fall back to the exact
+  // reverse run (track-swapped automaton: every parameter containing b_plus).
+  // By neutrality, a witness for b_plus outside the region covers b_minus.
+  std::vector<NodeId> region_of(t.size(), kNoNode);
+  for (size_t i = 0; i < scheme.regions_.size(); ++i) {
+    for (NodeId w : scheme.regions_[i].nodes) region_of[w] = static_cast<NodeId>(i);
+  }
+
+  std::vector<std::pair<NodeId, std::vector<bool>>> witness_pool;
+  if (param_arity == 1) {
+    Rng witness_rng(options.key.Derive(0x317).k0);
+    std::vector<NodeId> candidates{t.root()};
+    for (size_t i = 0; i + 1 < options.witness_attempts; ++i) {
+      candidates.push_back(static_cast<NodeId>(witness_rng.Below(t.size())));
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (NodeId a : candidates) {
+      std::vector<bool> member(t.size(), false);
+      for (NodeId b : EvaluateWa(t, labels, base_count, dta, 1, a)) member[b] = true;
+      witness_pool.emplace_back(a, std::move(member));
+    }
+  }
+
+  Dta swapped = param_arity == 1 ? SwapPebbleTracks(dta, base_count)
+                                 : Dta(0, base_count * 2);
+  for (size_t region_idx = 0; region_idx < scheme.regions_.size(); ++region_idx) {
+    const MarkRegion& region = scheme.regions_[region_idx];
+    if (!region.paired()) continue;
+
+    if (param_arity == 0) {
+      // Single (empty) parameter; the active filter already guarantees
+      // membership, but verify defensively.
+      if (MemberWa(t, labels, base_count, dta, 0, 0, region.b_plus)) {
+        scheme.pairs_.push_back({region.b_plus, region.b_minus, Tuple{}});
+      }
+      continue;
+    }
+
+    bool found = false;
+    for (const auto& [a, member] : witness_pool) {
+      if (region_of[a] == static_cast<NodeId>(region_idx)) continue;
+      if (member[region.b_plus]) {
+        scheme.pairs_.push_back({region.b_plus, region.b_minus, Tuple{a}});
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+
+    for (NodeId a : EvaluateWa(t, labels, base_count, swapped, 1, region.b_plus)) {
+      if (region_of[a] == static_cast<NodeId>(region_idx)) continue;
+      QPWM_CHECK(MemberWa(t, labels, base_count, dta, 1, a, region.b_minus));
+      scheme.pairs_.push_back({region.b_plus, region.b_minus, Tuple{a}});
+      break;
+    }
+  }
+  return scheme;
+}
+
+WeightMap TreeScheme::Embed(const WeightMap& original, const BitVec& mark) const {
+  WeightMap out = original;
+  ApplyMark(mark, out, options_.encoding);
+  return out;
+}
+
+void TreeScheme::ApplyMark(const BitVec& mark, WeightMap& weights,
+                           PairEncoding encoding) const {
+  QPWM_CHECK_EQ(mark.size(), pairs_.size());
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (mark.Get(i)) {
+      weights.AddElem(pairs_[i].b_plus, +1);
+      weights.AddElem(pairs_[i].b_minus, -1);
+    } else if (encoding == PairEncoding::kAntipodal) {
+      weights.AddElem(pairs_[i].b_plus, -1);
+      weights.AddElem(pairs_[i].b_minus, +1);
+    }
+  }
+}
+
+Result<std::vector<Weight>> TreeScheme::PairDeltas(const WeightMap& original,
+                                                   const AnswerServer& suspect) const {
+  std::vector<Weight> deltas;
+  deltas.reserve(pairs_.size());
+  for (const DetectablePair& pair : pairs_) {
+    AnswerSet answers = suspect.Answer(pair.witness);
+    Weight w_plus = 0, w_minus = 0;
+    bool saw_plus = false, saw_minus = false;
+    for (const AnswerRow& row : answers) {
+      if (row.element.size() == 1 && row.element[0] == pair.b_plus) {
+        w_plus = row.weight;
+        saw_plus = true;
+      }
+      if (row.element.size() == 1 && row.element[0] == pair.b_minus) {
+        w_minus = row.weight;
+        saw_minus = true;
+      }
+    }
+    if (!saw_plus || !saw_minus) {
+      return Status::DetectionFailed(
+          "witness answer is missing a pair node (structure tampered)");
+    }
+    Weight d_plus = w_plus - original.GetElem(pair.b_plus);
+    Weight d_minus = w_minus - original.GetElem(pair.b_minus);
+    deltas.push_back(d_plus - d_minus);
+  }
+  return deltas;
+}
+
+Result<BitVec> TreeScheme::Detect(const WeightMap& original,
+                                  const AnswerServer& suspect) const {
+  auto deltas = PairDeltas(original, suspect);
+  if (!deltas.ok()) return deltas.status();
+  BitVec mark(pairs_.size());
+  const Weight threshold = options_.encoding == PairEncoding::kOnOff ? 1 : 0;
+  for (size_t i = 0; i < deltas.value().size(); ++i) {
+    mark.Set(i, deltas.value()[i] >= threshold);
+  }
+  return mark;
+}
+
+}  // namespace qpwm

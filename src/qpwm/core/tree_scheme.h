@@ -1,0 +1,126 @@
+// The watermarking scheme of Theorems 4/5: automaton-definable (hence
+// MSO-definable, via CompileMso) queries on weighted trees.
+//
+// Planning finds Lemma 3 regions with neutral pairs (FindMarkRegions), then
+// locates, for every pair, a *witness parameter* outside the region whose
+// answer set contains the pair — the detector reads the pair's suspect
+// weights through that witness query. Pairs without a witness are dropped
+// (their bits would be invisible through answers). The realized global
+// distortion of every mark is at most 1: pairs cancel exactly for parameters
+// outside their region, and a parameter inside one region meets only that
+// region's pair.
+#ifndef QPWM_CORE_TREE_SCHEME_H_
+#define QPWM_CORE_TREE_SCHEME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qpwm/core/answers.h"
+#include "qpwm/core/pairs.h"
+#include "qpwm/structure/weighted.h"
+#include "qpwm/tree/automaton.h"
+#include "qpwm/tree/bintree.h"
+#include "qpwm/tree/decomposition.h"
+#include "qpwm/util/bitvec.h"
+#include "qpwm/util/hash.h"
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+struct TreeSchemeOptions {
+  /// Owner's secret key (candidate shuffles, witness probing order).
+  PrfKey key;
+  /// Forwarded to FindMarkRegions (0 = defaults).
+  size_t min_region_size = 0;
+  size_t max_region_size = 0;
+  /// Random parameters probed (beyond the root and region neighbors) when
+  /// searching a witness for a pair.
+  size_t witness_attempts = 16;
+  PairEncoding encoding = PairEncoding::kOnOff;
+};
+
+/// A server honestly answering the automaton query over a weighted tree.
+class HonestTreeServer : public AnswerServer {
+ public:
+  HonestTreeServer(const BinaryTree& t, const std::vector<uint32_t>& labels,
+                   uint32_t base_count, const Dta& dta, uint32_t param_arity,
+                   WeightMap weights)
+      : t_(&t),
+        labels_(&labels),
+        base_count_(base_count),
+        dta_(&dta),
+        param_arity_(param_arity),
+        weights_(std::move(weights)) {}
+
+  AnswerSet Answer(const Tuple& params) const override;
+
+  WeightMap& mutable_weights() { return weights_; }
+
+ private:
+  const BinaryTree* t_;
+  const std::vector<uint32_t>* labels_;
+  uint32_t base_count_;
+  const Dta* dta_;
+  uint32_t param_arity_;
+  WeightMap weights_;
+};
+
+/// Planned marker/detector for one (tree, automaton query) instance.
+class TreeScheme {
+ public:
+  /// `dta` track convention: track 0 = parameter (if param_arity == 1), next
+  /// track = result node. The tree, labels and automaton are captured by
+  /// reference and must outlive the scheme.
+  static Result<TreeScheme> Plan(const BinaryTree& t,
+                                 const std::vector<uint32_t>& labels,
+                                 uint32_t base_count, const Dta& dta,
+                                 uint32_t param_arity,
+                                 const TreeSchemeOptions& options);
+
+  /// Hidden bits: pairs with a detection witness.
+  size_t CapacityBits() const { return pairs_.size(); }
+  /// Structural bound on max_a |f(a) drift| for every mark.
+  Weight DistortionBound() const { return pairs_.empty() ? 0 : 1; }
+
+  size_t RegionsPaired() const { return stats_.paired; }
+  size_t RegionsUnpaired() const { return stats_.unpaired; }
+  const DecompositionStats& stats() const { return stats_; }
+  const std::vector<MarkRegion>& regions() const { return regions_; }
+
+  /// Marker: 1-local distortion embedding an l-bit mark.
+  WeightMap Embed(const WeightMap& original, const BitVec& mark) const;
+
+  /// Writes `mark` into `weights` in place with an explicit encoding — the
+  /// hook the adversarial wrapper drives (one bit per pair).
+  void ApplyMark(const BitVec& mark, WeightMap& weights, PairEncoding encoding) const;
+
+  /// Detector (non-adversarial): recovers the mark from suspect answers.
+  Result<BitVec> Detect(const WeightMap& original, const AnswerServer& suspect) const;
+
+  /// Per-pair deltas for majority decoding under attacks.
+  Result<std::vector<Weight>> PairDeltas(const WeightMap& original,
+                                         const AnswerServer& suspect) const;
+
+ private:
+  struct DetectablePair {
+    NodeId b_plus;
+    NodeId b_minus;
+    Tuple witness;  // parameter whose answers contain both pair nodes
+  };
+
+  TreeScheme() = default;
+
+  const BinaryTree* t_ = nullptr;
+  const std::vector<uint32_t>* labels_ = nullptr;
+  uint32_t base_count_ = 0;
+  const Dta* dta_ = nullptr;
+  uint32_t param_arity_ = 0;
+  TreeSchemeOptions options_;
+  std::vector<MarkRegion> regions_;
+  DecompositionStats stats_;
+  std::vector<DetectablePair> pairs_;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_CORE_TREE_SCHEME_H_

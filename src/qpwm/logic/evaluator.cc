@@ -1,0 +1,135 @@
+#include "qpwm/logic/evaluator.h"
+
+#include "qpwm/util/check.h"
+#include "qpwm/util/str.h"
+
+namespace qpwm {
+
+Result<bool> Evaluator::Eval(const Formula& f, Environment& env) const {
+  switch (f.kind) {
+    case FormulaKind::kAtom: {
+      auto rel = g_.signature().Find(f.relation);
+      if (!rel.ok()) return rel.status();
+      const Relation& r = g_.relation(rel.value());
+      if (f.vars.size() != r.arity()) {
+        return Status::InvalidArgument(
+            StrCat("atom ", f.relation, " arity mismatch: formula has ", f.vars.size(),
+                   ", relation has ", r.arity()));
+      }
+      Tuple t;
+      t.reserve(f.vars.size());
+      for (const auto& v : f.vars) {
+        auto it = env.elems.find(v);
+        if (it == env.elems.end()) {
+          return Status::InvalidArgument("unbound variable '" + v + "'");
+        }
+        t.push_back(it->second);
+      }
+      return r.Contains(t);
+    }
+    case FormulaKind::kEq: {
+      auto a = env.elems.find(f.vars[0]);
+      auto b = env.elems.find(f.vars[1]);
+      if (a == env.elems.end() || b == env.elems.end()) {
+        return Status::InvalidArgument("unbound variable in equality");
+      }
+      return a->second == b->second;
+    }
+    case FormulaKind::kSetMember: {
+      auto x = env.elems.find(f.vars[0]);
+      auto set = env.sets.find(f.set_var);
+      if (x == env.elems.end()) {
+        return Status::InvalidArgument("unbound variable '" + f.vars[0] + "'");
+      }
+      if (set == env.sets.end()) {
+        return Status::InvalidArgument("unbound set variable '" + f.set_var + "'");
+      }
+      return static_cast<bool>(set->second[x->second]);
+    }
+    case FormulaKind::kNot: {
+      auto inner = Eval(*f.left, env);
+      if (!inner.ok()) return inner;
+      return !inner.value();
+    }
+    case FormulaKind::kAnd: {
+      auto a = Eval(*f.left, env);
+      if (!a.ok()) return a;
+      if (!a.value()) return false;
+      return Eval(*f.right, env);
+    }
+    case FormulaKind::kOr: {
+      auto a = Eval(*f.left, env);
+      if (!a.ok()) return a;
+      if (a.value()) return true;
+      return Eval(*f.right, env);
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      const bool is_exists = f.kind == FormulaKind::kExists;
+      auto saved = env.elems.find(f.quantified_var);
+      bool had = saved != env.elems.end();
+      ElemId old = had ? saved->second : 0;
+      bool result = !is_exists;
+      for (ElemId e = 0; e < g_.universe_size(); ++e) {
+        env.elems[f.quantified_var] = e;
+        auto inner = Eval(*f.left, env);
+        if (!inner.ok()) return inner;
+        if (is_exists && inner.value()) {
+          result = true;
+          break;
+        }
+        if (!is_exists && !inner.value()) {
+          result = false;
+          break;
+        }
+      }
+      if (had) {
+        env.elems[f.quantified_var] = old;
+      } else {
+        env.elems.erase(f.quantified_var);
+      }
+      return result;
+    }
+    case FormulaKind::kExistsSet:
+    case FormulaKind::kForallSet: {
+      const bool is_exists = f.kind == FormulaKind::kExistsSet;
+      const size_t n = g_.universe_size();
+      QPWM_CHECK_LE(n, 24u);  // Naive subset enumeration guardrail.
+      auto saved = env.sets.find(f.set_var);
+      bool had = saved != env.sets.end();
+      std::vector<bool> old;
+      if (had) old = saved->second;
+      bool result = !is_exists;
+      for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+        std::vector<bool> subset(n);
+        for (size_t i = 0; i < n; ++i) subset[i] = (mask >> i) & 1;
+        env.sets[f.set_var] = std::move(subset);
+        auto inner = Eval(*f.left, env);
+        if (!inner.ok()) return inner;
+        if (is_exists && inner.value()) {
+          result = true;
+          break;
+        }
+        if (!is_exists && !inner.value()) {
+          result = false;
+          break;
+        }
+      }
+      if (had) {
+        env.sets[f.set_var] = std::move(old);
+      } else {
+        env.sets.erase(f.set_var);
+      }
+      return result;
+    }
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+bool Evaluator::MustEval(const Formula& f, Environment& env) const {
+  auto r = Eval(f, env);
+  QPWM_CHECK(r.ok());
+  return r.value();
+}
+
+}  // namespace qpwm

@@ -1,0 +1,47 @@
+// Model checking of FO/MSO formulas on finite structures.
+//
+// The evaluator is the semantic reference implementation: straightforward
+// recursion, with first-order quantifiers ranging over the universe and set
+// quantifiers over all subsets (exponential — cross-validation on small
+// structures only; the automaton pipeline in qpwm/tree is the scalable MSO
+// path on trees).
+#ifndef QPWM_LOGIC_EVALUATOR_H_
+#define QPWM_LOGIC_EVALUATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qpwm/logic/formula.h"
+#include "qpwm/structure/structure.h"
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+/// Variable assignment: first-order vars to elements, set vars to subsets
+/// (characteristic vectors over the universe).
+struct Environment {
+  std::unordered_map<std::string, ElemId> elems;
+  std::unordered_map<std::string, std::vector<bool>> sets;
+};
+
+/// Evaluates formulas against one structure. Relation names are resolved
+/// against the structure's signature at evaluation time.
+class Evaluator {
+ public:
+  explicit Evaluator(const Structure& g) : g_(g) {}
+
+  /// Truth of `f` under `env`; all free variables must be assigned.
+  /// Fails with InvalidArgument on unknown relations or unbound variables.
+  Result<bool> Eval(const Formula& f, Environment& env) const;
+
+  /// Aborting convenience wrapper.
+  bool MustEval(const Formula& f, Environment& env) const;
+
+ private:
+  const Structure& g_;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_LOGIC_EVALUATOR_H_

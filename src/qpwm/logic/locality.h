@@ -1,0 +1,36 @@
+// Locality of queries (Definition 5 and Gaifman's theorem).
+//
+// Gaifman's theorem: every FO query is local, with locality rank at most
+// (7^q - 1) / 2 for quantifier rank q. On bounded-degree structures the rank
+// combines with the degree bound k into the paper's Lemma 1 constant
+// eta = 2 r k^(2 rho + 1), the maximal divergence |W_a \ W_b| between
+// rho-equivalent parameters.
+#ifndef QPWM_LOGIC_LOCALITY_H_
+#define QPWM_LOGIC_LOCALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qpwm/logic/query.h"
+#include "qpwm/structure/structure.h"
+
+namespace qpwm {
+
+/// Gaifman bound on the locality rank from the quantifier rank, saturating
+/// at UINT32_MAX.
+uint32_t GaifmanLocalityBound(uint32_t quantifier_rank);
+
+/// Lemma 1 bound eta = 2 r k^(2 rho + 1) (saturating).
+uint64_t LocalityDivergenceBound(uint32_t r, uint64_t degree_k, uint32_t rho);
+
+/// Empirical check of Definition 5 restricted to one structure: partitions
+/// the parameter domain by rho-neighborhood type and returns the largest
+/// |W_a \ W_b| over same-type parameter pairs (0 for an "exactly rho-local"
+/// query family, <= eta when Lemma 1 applies). Quadratic per type class;
+/// meant for tests and small benches.
+uint64_t MaxSameTypeDivergence(const Structure& g, const ParametricQuery& query,
+                               uint32_t rho, const std::vector<Tuple>& domain);
+
+}  // namespace qpwm
+
+#endif  // QPWM_LOGIC_LOCALITY_H_

@@ -1,0 +1,25 @@
+// Recursive-descent parser for the FO/MSO surface syntax.
+//
+// Grammar (precedence low to high: <-> , -> , | , & , ~ / quantifiers):
+//   exists y (E(x, y) & ~(y = z))
+//   forallset X (x in X -> exists y (E(x, y) & y in X))
+// `->` and `<->` are desugared into the core connectives.
+#ifndef QPWM_LOGIC_PARSER_H_
+#define QPWM_LOGIC_PARSER_H_
+
+#include <string_view>
+
+#include "qpwm/logic/formula.h"
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+/// Parses a formula; returns ParseError with position context on failure.
+Result<FormulaPtr> ParseFormula(std::string_view text);
+
+/// Parses, aborting on error — for formulas embedded in code.
+FormulaPtr MustParseFormula(std::string_view text);
+
+}  // namespace qpwm
+
+#endif  // QPWM_LOGIC_PARSER_H_

@@ -1,0 +1,163 @@
+#include "qpwm/logic/query.h"
+
+#include <algorithm>
+
+#include "qpwm/logic/evaluator.h"
+#include "qpwm/logic/locality.h"
+#include "qpwm/util/check.h"
+#include "qpwm/util/str.h"
+
+namespace qpwm {
+
+std::vector<Tuple> AllParams(const Structure& g, uint32_t r) {
+  std::vector<Tuple> out;
+  const size_t n = g.universe_size();
+  if (r == 0) {
+    out.push_back(Tuple{});
+    return out;
+  }
+  size_t total = 1;
+  for (uint32_t i = 0; i < r; ++i) total *= n;
+  out.reserve(total);
+  Tuple t(r, 0);
+  for (;;) {
+    out.push_back(t);
+    uint32_t pos = r;
+    while (pos > 0) {
+      --pos;
+      if (++t[pos] < n) break;
+      t[pos] = 0;
+      if (pos == 0) return out;
+    }
+  }
+}
+
+FormulaQuery::FormulaQuery(FormulaPtr f, std::vector<std::string> param_vars,
+                           std::vector<std::string> result_vars)
+    : formula_(std::move(f)),
+      param_vars_(std::move(param_vars)),
+      result_vars_(std::move(result_vars)) {
+  auto free_vars = formula_->FreeVars();
+  for (const auto& v : free_vars) {
+    bool covered =
+        std::find(param_vars_.begin(), param_vars_.end(), v) != param_vars_.end() ||
+        std::find(result_vars_.begin(), result_vars_.end(), v) != result_vars_.end();
+    QPWM_CHECK(covered);
+  }
+  QPWM_CHECK(formula_->FreeSetVars().empty());
+}
+
+std::vector<Tuple> FormulaQuery::Evaluate(const Structure& g, const Tuple& params) const {
+  QPWM_CHECK_EQ(params.size(), param_vars_.size());
+  Evaluator ev(g);
+  Environment env;
+  for (size_t i = 0; i < param_vars_.size(); ++i) env.elems[param_vars_[i]] = params[i];
+
+  std::vector<Tuple> out;
+  const uint32_t s = ResultArity();
+  Tuple v(s, 0);
+  const size_t n = g.universe_size();
+  if (n == 0) return out;
+  for (;;) {
+    for (size_t i = 0; i < s; ++i) env.elems[result_vars_[i]] = v[i];
+    if (ev.MustEval(*formula_, env)) out.push_back(v);
+    uint32_t pos = s;
+    bool done = s == 0;
+    while (pos > 0) {
+      --pos;
+      if (static_cast<size_t>(++v[pos]) < n) break;
+      v[pos] = 0;
+      if (pos == 0) done = true;
+    }
+    if (done) break;
+  }
+  return out;
+}
+
+std::optional<uint32_t> FormulaQuery::LocalityRank() const {
+  return GaifmanLocalityBound(formula_->QuantifierRank());
+}
+
+AtomQuery::AtomQuery(std::string relation, std::vector<Arg> args, uint32_t r, uint32_t s)
+    : relation_(std::move(relation)), args_(std::move(args)), r_(r), s_(s) {
+  // Every parameter and result position must be mentioned exactly once.
+  std::vector<bool> param_seen(r_, false), result_seen(s_, false);
+  for (const Arg& a : args_) {
+    if (a.is_param) {
+      QPWM_CHECK_LT(a.index, r_);
+      QPWM_CHECK(!param_seen[a.index]);
+      param_seen[a.index] = true;
+    } else {
+      QPWM_CHECK_LT(a.index, s_);
+      QPWM_CHECK(!result_seen[a.index]);
+      result_seen[a.index] = true;
+    }
+  }
+  for (bool b : param_seen) QPWM_CHECK(b);
+  for (bool b : result_seen) QPWM_CHECK(b);
+}
+
+std::unique_ptr<AtomQuery> AtomQuery::Adjacency(std::string relation) {
+  return std::make_unique<AtomQuery>(std::move(relation),
+                                     std::vector<Arg>{{true, 0}, {false, 0}}, 1, 1);
+}
+
+const AtomQuery::Index& AtomQuery::GetIndex(const Structure& g) const {
+  auto it = cache_.find(&g);
+  if (it != cache_.end()) return it->second;
+
+  Index index;
+  auto rel_idx = g.signature().Find(relation_);
+  QPWM_CHECK(rel_idx.ok());
+  const Relation& rel = g.relation(rel_idx.value());
+  QPWM_CHECK_EQ(rel.arity(), args_.size());
+  for (const Tuple& t : rel.tuples()) {
+    Tuple param(r_), result(s_);
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i].is_param) {
+        param[args_[i].index] = t[i];
+      } else {
+        result[args_[i].index] = t[i];
+      }
+    }
+    auto& bucket = index.by_param[param];
+    if (std::find(bucket.begin(), bucket.end(), result) == bucket.end()) {
+      bucket.push_back(std::move(result));
+    }
+  }
+  return cache_.emplace(&g, std::move(index)).first->second;
+}
+
+std::vector<Tuple> AtomQuery::Evaluate(const Structure& g, const Tuple& params) const {
+  QPWM_CHECK_EQ(params.size(), r_);
+  const Index& index = GetIndex(g);
+  auto it = index.by_param.find(params);
+  if (it == index.by_param.end()) return {};
+  return it->second;
+}
+
+std::string AtomQuery::Name() const {
+  std::vector<std::string> rendered;
+  for (const Arg& a : args_) {
+    rendered.push_back(StrCat(a.is_param ? "u" : "v", a.index + 1));
+  }
+  return StrCat(relation_, "(", Join(rendered, ", "), ")");
+}
+
+const GaifmanGraph& DistanceQuery::GetGaifman(const Structure& g) const {
+  auto it = cache_.find(&g);
+  if (it != cache_.end()) return *it->second;
+  return *cache_.emplace(&g, std::make_unique<GaifmanGraph>(g)).first->second;
+}
+
+std::vector<Tuple> DistanceQuery::Evaluate(const Structure& g, const Tuple& params) const {
+  QPWM_CHECK_EQ(params.size(), 1u);
+  const GaifmanGraph& gg = GetGaifman(g);
+  std::vector<Tuple> out;
+  for (ElemId e : gg.Sphere(params[0], rho_)) out.push_back(Tuple{e});
+  return out;
+}
+
+std::string DistanceQuery::Name() const { return StrCat("dist<=", rho_, "(u, v)"); }
+
+}  // namespace qpwm

@@ -1,0 +1,159 @@
+// Parametric queries psi(u_bar, v_bar): the server-registered queries whose
+// answers the watermark must preserve. A query maps a parameter tuple a_bar
+// (chosen by a final user) to the set W_a = psi(a_bar, G) of s-tuples whose
+// weights the user receives.
+//
+// Implementations:
+//   * FormulaQuery    — an FO/MSO formula evaluated naively (reference).
+//   * AtomQuery       — R(u_bar, v_bar) pattern answered from an index
+//                       (scales to the benchmark sizes; locality rank 1).
+//   * DistanceQuery   — "v within Gaifman distance rho of u" (FO-definable
+//                       on bounded-degree classes; locality rank rho).
+//   * CallbackQuery   — arbitrary user logic with a declared locality rank.
+#ifndef QPWM_LOGIC_QUERY_H_
+#define QPWM_LOGIC_QUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qpwm/logic/formula.h"
+#include "qpwm/structure/gaifman.h"
+#include "qpwm/structure/structure.h"
+
+namespace qpwm {
+
+/// Abstract parametric query.
+class ParametricQuery {
+ public:
+  virtual ~ParametricQuery() = default;
+
+  /// Parameter arity r (size of u_bar).
+  virtual uint32_t ParamArity() const = 0;
+  /// Result arity s (size of v_bar) — must equal the weight arity.
+  virtual uint32_t ResultArity() const = 0;
+
+  /// W_a = psi(a_bar, G): the result s-tuples for this parameter. Order is
+  /// unspecified; tuples are distinct.
+  virtual std::vector<Tuple> Evaluate(const Structure& g, const Tuple& params) const = 0;
+
+  /// A locality rank rho if one is known (Definition 5). Gaifman's theorem
+  /// guarantees one for every FO query.
+  virtual std::optional<uint32_t> LocalityRank() const { return std::nullopt; }
+
+  virtual std::string Name() const { return "query"; }
+};
+
+/// All parameter tuples U^r of a structure, in lexicographic order.
+std::vector<Tuple> AllParams(const Structure& g, uint32_t r);
+
+/// Reference implementation: enumerate candidate result tuples, test with the
+/// naive evaluator. Exponential-ish; small structures only.
+class FormulaQuery : public ParametricQuery {
+ public:
+  /// `param_vars` then `result_vars` must cover the free variables of `f`.
+  FormulaQuery(FormulaPtr f, std::vector<std::string> param_vars,
+               std::vector<std::string> result_vars);
+
+  uint32_t ParamArity() const override { return static_cast<uint32_t>(param_vars_.size()); }
+  uint32_t ResultArity() const override {
+    return static_cast<uint32_t>(result_vars_.size());
+  }
+  std::vector<Tuple> Evaluate(const Structure& g, const Tuple& params) const override;
+  std::optional<uint32_t> LocalityRank() const override;
+  std::string Name() const override { return formula_->ToString(); }
+
+  const Formula& formula() const { return *formula_; }
+
+ private:
+  FormulaPtr formula_;
+  std::vector<std::string> param_vars_;
+  std::vector<std::string> result_vars_;
+};
+
+/// psi(u_bar, v_bar) = R(w_1, ..., w_k) where each w_i is either the j-th
+/// parameter or the j-th result position. Indexed per structure.
+class AtomQuery : public ParametricQuery {
+ public:
+  /// Position spec: for each argument of R, (is_param, index).
+  struct Arg {
+    bool is_param;
+    uint32_t index;
+  };
+
+  AtomQuery(std::string relation, std::vector<Arg> args, uint32_t r, uint32_t s);
+
+  /// Convenience: psi(u, v) = R(u, v).
+  static std::unique_ptr<AtomQuery> Adjacency(std::string relation);
+
+  uint32_t ParamArity() const override { return r_; }
+  uint32_t ResultArity() const override { return s_; }
+  std::vector<Tuple> Evaluate(const Structure& g, const Tuple& params) const override;
+  std::optional<uint32_t> LocalityRank() const override { return 1; }
+  std::string Name() const override;
+
+ private:
+  struct Index {
+    std::unordered_map<Tuple, std::vector<Tuple>, TupleHash> by_param;
+  };
+  const Index& GetIndex(const Structure& g) const;
+
+  std::string relation_;
+  std::vector<Arg> args_;
+  uint32_t r_;
+  uint32_t s_;
+  mutable std::unordered_map<const Structure*, Index> cache_;
+};
+
+/// psi(u, v) = "d(u, v) <= rho" in the Gaifman graph. FO-definable whenever
+/// the signature is fixed; locality rank rho.
+class DistanceQuery : public ParametricQuery {
+ public:
+  explicit DistanceQuery(uint32_t rho) : rho_(rho) {}
+
+  uint32_t ParamArity() const override { return 1; }
+  uint32_t ResultArity() const override { return 1; }
+  std::vector<Tuple> Evaluate(const Structure& g, const Tuple& params) const override;
+  std::optional<uint32_t> LocalityRank() const override { return rho_; }
+  std::string Name() const override;
+
+ private:
+  const GaifmanGraph& GetGaifman(const Structure& g) const;
+
+  uint32_t rho_;
+  mutable std::unordered_map<const Structure*, std::unique_ptr<GaifmanGraph>> cache_;
+};
+
+/// Wraps a callback; the caller declares arities and (optionally) a locality
+/// rank it promises the callback respects.
+class CallbackQuery : public ParametricQuery {
+ public:
+  using Fn = std::function<std::vector<Tuple>(const Structure&, const Tuple&)>;
+
+  CallbackQuery(std::string name, uint32_t r, uint32_t s, Fn fn,
+                std::optional<uint32_t> locality_rank = std::nullopt)
+      : name_(std::move(name)), r_(r), s_(s), fn_(std::move(fn)), rho_(locality_rank) {}
+
+  uint32_t ParamArity() const override { return r_; }
+  uint32_t ResultArity() const override { return s_; }
+  std::vector<Tuple> Evaluate(const Structure& g, const Tuple& params) const override {
+    return fn_(g, params);
+  }
+  std::optional<uint32_t> LocalityRank() const override { return rho_; }
+  std::string Name() const override { return name_; }
+
+ private:
+  std::string name_;
+  uint32_t r_;
+  uint32_t s_;
+  Fn fn_;
+  std::optional<uint32_t> rho_;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_LOGIC_QUERY_H_

@@ -1,0 +1,26 @@
+// CSV import/export for tables: a practical ingestion path for the
+// relational engine. Dialect: comma separator, double-quote quoting with
+// doubled-quote escapes, first line = header. Column roles come from the
+// caller (CSV has no types); weight columns must parse as integers.
+#ifndef QPWM_RELATIONAL_CSV_H_
+#define QPWM_RELATIONAL_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "qpwm/relational/table.h"
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+/// Parses CSV text into a table named `name`. `columns` must match the
+/// header names in order (roles attached by the caller).
+Result<Table> TableFromCsv(std::string name, std::vector<ColumnSpec> columns,
+                           std::string_view csv);
+
+/// Renders a table as CSV (header + rows).
+std::string TableToCsv(const Table& table);
+
+}  // namespace qpwm
+
+#endif  // QPWM_RELATIONAL_CSV_H_

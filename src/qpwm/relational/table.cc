@@ -1,0 +1,242 @@
+#include "qpwm/relational/table.h"
+
+#include <unordered_map>
+
+#include "qpwm/util/check.h"
+#include "qpwm/util/random.h"
+#include "qpwm/util/str.h"
+
+namespace qpwm {
+
+Table::Table(std::string name, std::vector<ColumnSpec> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  for (const ColumnSpec& c : columns_) {
+    if (c.role == ColumnRole::kWeight) {
+      QPWM_CHECK(!c.weight_of.empty());
+      QPWM_CHECK(ColumnIndex(c.weight_of).ok());
+    }
+  }
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("table " + name_ + " has no column '" + name + "'");
+}
+
+Status Table::AddRow(std::vector<Cell> row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(StrCat("row width ", row.size(), " != schema width ",
+                                          columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const bool is_weight = columns_[i].role == ColumnRole::kWeight;
+    if (is_weight != std::holds_alternative<Weight>(row[i])) {
+      return Status::InvalidArgument("cell kind does not match column role in column '" +
+                                     columns_[i].name + "'");
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const std::string& Table::KeyAt(size_t row, size_t col) const {
+  QPWM_CHECK(columns_[col].role == ColumnRole::kKey);
+  return std::get<std::string>(rows_[row][col]);
+}
+
+Weight Table::WeightAt(size_t row, size_t col) const {
+  QPWM_CHECK(columns_[col].role == ColumnRole::kWeight);
+  return std::get<Weight>(rows_[row][col]);
+}
+
+void Table::SetWeightAt(size_t row, size_t col, Weight w) {
+  QPWM_CHECK(columns_[col].role == ColumnRole::kWeight);
+  rows_[row][col] = w;
+}
+
+std::vector<size_t> Table::WeightColumns() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].role == ColumnRole::kWeight) out.push_back(i);
+  }
+  return out;
+}
+
+Table& Database::AddTable(Table t) {
+  tables_.push_back(std::move(t));
+  return tables_.back();
+}
+
+Result<const Table*> Database::Find(const std::string& name) const {
+  for (const Table& t : tables_) {
+    if (t.name() == name) return &t;
+  }
+  return Status::NotFound("no table named '" + name + "'");
+}
+
+Result<Table*> Database::FindMutable(const std::string& name) {
+  for (Table& t : tables_) {
+    if (t.name() == name) return &t;
+  }
+  return Status::NotFound("no table named '" + name + "'");
+}
+
+Result<RelationalInstance> ToWeightedStructure(const Database& db) {
+  // Pass 1: intern every distinct key value.
+  std::unordered_map<std::string, ElemId> intern;
+  std::vector<std::string> names;
+  auto intern_value = [&](const std::string& v) {
+    auto [it, inserted] = intern.emplace(v, static_cast<ElemId>(names.size()));
+    if (inserted) names.push_back(v);
+    return it->second;
+  };
+  for (const Table& t : db.tables()) {
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      for (size_t c = 0; c < t.columns().size(); ++c) {
+        if (t.columns()[c].role == ColumnRole::kKey) intern_value(t.KeyAt(r, c));
+      }
+    }
+  }
+
+  // Pass 2: build signature / relations over key columns.
+  Signature sig;
+  for (const Table& t : db.tables()) {
+    uint32_t key_arity = 0;
+    for (const ColumnSpec& c : t.columns()) {
+      if (c.role == ColumnRole::kKey) ++key_arity;
+    }
+    sig.AddRelation(t.name(), key_arity);
+  }
+
+  RelationalInstance out;
+  out.structure = Structure(std::move(sig), names.size());
+  for (ElemId e = 0; e < names.size(); ++e) {
+    out.structure.SetElementName(e, names[e]);
+  }
+  out.weights = WeightMap(1, names.size());
+
+  std::vector<bool> has_weight(names.size(), false);
+  for (size_t ti = 0; ti < db.tables().size(); ++ti) {
+    const Table& t = db.tables()[ti];
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      Tuple tuple;
+      for (size_t c = 0; c < t.columns().size(); ++c) {
+        if (t.columns()[c].role == ColumnRole::kKey) {
+          tuple.push_back(intern.at(t.KeyAt(r, c)));
+        }
+      }
+      out.structure.AddTuple(ti, std::move(tuple));
+
+      for (size_t c : t.WeightColumns()) {
+        size_t key_col = t.ColumnIndex(t.columns()[c].weight_of).ValueOrDie();
+        ElemId e = intern.at(t.KeyAt(r, key_col));
+        Weight w = t.WeightAt(r, c);
+        if (has_weight[e] && out.weights.GetElem(e) != w) {
+          return Status::InvalidArgument("element '" + names[e] +
+                                         "' receives two different weights");
+        }
+        has_weight[e] = true;
+        out.weights.SetElem(e, w);
+      }
+    }
+  }
+  out.structure.Finalize();
+  return out;
+}
+
+Result<Database> ApplyWeightsToDatabase(const Database& db,
+                                        const RelationalInstance& instance,
+                                        const WeightMap& weights) {
+  Database out = db;
+  for (Table& t : const_cast<std::vector<Table>&>(out.tables())) {
+    for (size_t c : t.WeightColumns()) {
+      size_t key_col = t.ColumnIndex(t.columns()[c].weight_of).ValueOrDie();
+      for (size_t r = 0; r < t.num_rows(); ++r) {
+        auto elem = instance.structure.FindElement(t.KeyAt(r, key_col));
+        if (!elem.ok()) return elem.status();
+        t.SetWeightAt(r, c, weights.GetElem(elem.value()));
+      }
+    }
+  }
+  return out;
+}
+
+Database TravelAgencyDatabase() {
+  Database db;
+  Table route("Route", {{"travel", ColumnRole::kKey, ""},
+                        {"transport", ColumnRole::kKey, ""}});
+  QPWM_CHECK(route.AddRow({std::string("India discovery"), std::string("F21")}).ok());
+  QPWM_CHECK(route.AddRow({std::string("India discovery"), std::string("G12")}).ok());
+  QPWM_CHECK(route.AddRow({std::string("Nepal Trek"), std::string("F21")}).ok());
+  QPWM_CHECK(route.AddRow({std::string("Nepal Trek"), std::string("R5")}).ok());
+  QPWM_CHECK(route.AddRow({std::string("Nepal Trek"), std::string("F2")}).ok());
+  QPWM_CHECK(route.AddRow({std::string("TourNepal"), std::string("F2")}).ok());
+  QPWM_CHECK(route.AddRow({std::string("TourNepal"), std::string("T33")}).ok());
+  db.AddTable(std::move(route));
+
+  Table timetable("Timetable", {{"transport", ColumnRole::kKey, ""},
+                                {"departure", ColumnRole::kKey, ""},
+                                {"arrival", ColumnRole::kKey, ""},
+                                {"type", ColumnRole::kKey, ""},
+                                {"duration", ColumnRole::kWeight, "transport"}});
+  auto minutes = [](Weight h, Weight m) { return h * 60 + m; };
+  QPWM_CHECK(timetable.AddRow({std::string("F21"), std::string("Paris"),
+                               std::string("Delhi"), std::string("plane"),
+                               minutes(10, 35)}).ok());
+  QPWM_CHECK(timetable.AddRow({std::string("G12"), std::string("Delhi"),
+                               std::string("Nawalgarh"), std::string("bus"),
+                               minutes(6, 20)}).ok());
+  QPWM_CHECK(timetable.AddRow({std::string("R5"), std::string("Delhi"),
+                               std::string("Kathmandu"), std::string("plane"),
+                               minutes(6, 15)}).ok());
+  QPWM_CHECK(timetable.AddRow({std::string("F2"), std::string("Kathmandu"),
+                               std::string("Simikot"), std::string("plane"),
+                               minutes(3, 30)}).ok());
+  QPWM_CHECK(timetable.AddRow({std::string("T33"), std::string("Kathmandu"),
+                               std::string("Daman"), std::string("jeep"),
+                               minutes(2, 50)}).ok());
+  QPWM_CHECK(timetable.AddRow({std::string("G13"), std::string("Kathmandu"),
+                               std::string("Paris"), std::string("plane"),
+                               minutes(10, 0)}).ok());
+  db.AddTable(std::move(timetable));
+  return db;
+}
+
+Database RandomTravelDatabase(size_t travels, size_t transports, size_t max_legs,
+                              Rng& rng) {
+  static const char* kCities[] = {"Paris",   "Delhi",  "Kathmandu", "Daman",
+                                  "Simikot", "Lhasa",  "Pokhara",   "Agra"};
+  static const char* kTypes[] = {"plane", "bus", "jeep", "train"};
+  Database db;
+
+  Table route("Route", {{"travel", ColumnRole::kKey, ""},
+                        {"transport", ColumnRole::kKey, ""}});
+  for (size_t i = 0; i < travels; ++i) {
+    size_t legs = 1 + rng.Below(max_legs);
+    for (size_t leg = 0; leg < legs; ++leg) {
+      QPWM_CHECK(route.AddRow({StrCat("travel", i),
+                               StrCat("t", rng.Below(transports))}).ok());
+    }
+  }
+  db.AddTable(std::move(route));
+
+  Table timetable("Timetable", {{"transport", ColumnRole::kKey, ""},
+                                {"departure", ColumnRole::kKey, ""},
+                                {"arrival", ColumnRole::kKey, ""},
+                                {"type", ColumnRole::kKey, ""},
+                                {"duration", ColumnRole::kWeight, "transport"}});
+  for (size_t j = 0; j < transports; ++j) {
+    size_t from = rng.Below(8);
+    size_t to = (from + 1 + rng.Below(7)) % 8;
+    QPWM_CHECK(timetable.AddRow({StrCat("t", j), std::string(kCities[from]),
+                                 std::string(kCities[to]),
+                                 std::string(kTypes[rng.Below(4)]),
+                                 rng.Uniform(30, 900)}).ok());
+  }
+  db.AddTable(std::move(timetable));
+  return db;
+}
+
+}  // namespace qpwm

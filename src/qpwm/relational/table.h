@@ -1,0 +1,107 @@
+// A small typed relational engine: enough to host the paper's travel-agency
+// database (Example 1) and the baseline comparison workloads. Columns are
+// either *key* columns (parameter values — immutable, they identify data and
+// may appear in queries) or *weight* columns (numeric, distortable). Each
+// weight column declares which key column its values attach to, mirroring
+// the paper's "elements map to numerical values" convention.
+#ifndef QPWM_RELATIONAL_TABLE_H_
+#define QPWM_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "qpwm/structure/weighted.h"
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+enum class ColumnRole { kKey, kWeight };
+
+struct ColumnSpec {
+  std::string name;
+  ColumnRole role = ColumnRole::kKey;
+  /// For weight columns: the key column (same table) whose value carries the
+  /// weight.
+  std::string weight_of;
+};
+
+/// A cell: strings for key columns, integers for weight columns.
+using Cell = std::variant<std::string, Weight>;
+
+class Table {
+ public:
+  Table(std::string name, std::vector<ColumnSpec> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Cell>& row(size_t i) const { return rows_[i]; }
+  std::vector<Cell>& mutable_row(size_t i) { return rows_[i]; }
+
+  /// Index of the column named `name`.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Appends a row; cell kinds must match column roles.
+  Status AddRow(std::vector<Cell> row);
+
+  /// Key cell as string / weight cell as integer (role-checked).
+  const std::string& KeyAt(size_t row, size_t col) const;
+  Weight WeightAt(size_t row, size_t col) const;
+  void SetWeightAt(size_t row, size_t col, Weight w);
+
+  /// Indices of weight columns.
+  std::vector<size_t> WeightColumns() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnSpec> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// A named collection of tables.
+class Database {
+ public:
+  Table& AddTable(Table t);
+  const std::vector<Table>& tables() const { return tables_; }
+  Result<const Table*> Find(const std::string& name) const;
+  Result<Table*> FindMutable(const std::string& name);
+
+ private:
+  std::vector<Table> tables_;
+};
+
+/// The translation of Section 1: one relation per table over its key
+/// columns; universe = all distinct key values; weights attach to the
+/// declared key elements (s = 1).
+struct RelationalInstance {
+  Structure structure;
+  WeightMap weights;
+
+  RelationalInstance() : weights(1, 0) {}
+};
+
+/// Converts; fails if one element receives two different weights.
+Result<RelationalInstance> ToWeightedStructure(const Database& db);
+
+/// Writes (watermarked) element weights back into the weight cells of a copy
+/// of `db` (inverse of ToWeightedStructure on the weight part).
+Result<Database> ApplyWeightsToDatabase(const Database& db,
+                                        const RelationalInstance& instance,
+                                        const WeightMap& weights);
+
+/// The paper's Example 1 travel database: Route(travel, transport) and
+/// Timetable(transport, departure, arrival, type, duration), durations in
+/// minutes (10:35 -> 635).
+Database TravelAgencyDatabase();
+
+/// A scaled synthetic travel database: `travels` packages over `transports`
+/// legs (bounded fan-out keeps the Gaifman degree small).
+class Rng;
+Database RandomTravelDatabase(size_t travels, size_t transports, size_t max_legs,
+                              Rng& rng);
+
+}  // namespace qpwm
+
+#endif  // QPWM_RELATIONAL_TABLE_H_

@@ -1,0 +1,84 @@
+#include "qpwm/structure/gaifman.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+namespace qpwm {
+
+GaifmanGraph::GaifmanGraph(const Structure& s) : adj_(s.universe_size()) {
+  for (size_t r = 0; r < s.num_relations(); ++r) {
+    for (const Tuple& t : s.relation(r).tuples()) {
+      for (size_t i = 0; i < t.size(); ++i) {
+        for (size_t j = i + 1; j < t.size(); ++j) {
+          if (t[i] == t[j]) continue;
+          adj_[t[i]].push_back(t[j]);
+          adj_[t[j]].push_back(t[i]);
+        }
+      }
+    }
+  }
+  for (auto& nbrs : adj_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+}
+
+size_t GaifmanGraph::MaxDegree() const {
+  size_t k = 0;
+  for (const auto& nbrs : adj_) k = std::max(k, nbrs.size());
+  return k;
+}
+
+std::vector<ElemId> GaifmanGraph::Sphere(ElemId a, uint32_t rho) const {
+  return Sphere(Tuple{a}, rho);
+}
+
+std::vector<ElemId> GaifmanGraph::Sphere(const Tuple& c, uint32_t rho) const {
+  // Multi-source BFS with depth cutoff.
+  std::vector<ElemId> out;
+  std::vector<uint8_t> seen(adj_.size(), 0);
+  std::deque<std::pair<ElemId, uint32_t>> queue;
+  for (ElemId a : c) {
+    if (!seen[a]) {
+      seen[a] = 1;
+      out.push_back(a);
+      queue.emplace_back(a, 0);
+    }
+  }
+  while (!queue.empty()) {
+    auto [e, d] = queue.front();
+    queue.pop_front();
+    if (d == rho) continue;
+    for (ElemId nb : adj_[e]) {
+      if (!seen[nb]) {
+        seen[nb] = 1;
+        out.push_back(nb);
+        queue.emplace_back(nb, d + 1);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint32_t GaifmanGraph::Distance(ElemId a, ElemId b) const {
+  if (a == b) return 0;
+  std::vector<uint32_t> dist(adj_.size(), UINT32_MAX);
+  std::deque<ElemId> queue{a};
+  dist[a] = 0;
+  while (!queue.empty()) {
+    ElemId e = queue.front();
+    queue.pop_front();
+    for (ElemId nb : adj_[e]) {
+      if (dist[nb] == UINT32_MAX) {
+        dist[nb] = dist[e] + 1;
+        if (nb == b) return dist[nb];
+        queue.push_back(nb);
+      }
+    }
+  }
+  return UINT32_MAX;
+}
+
+}  // namespace qpwm

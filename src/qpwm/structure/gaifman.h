@@ -1,0 +1,42 @@
+// Gaifman graph of a structure: elements are adjacent iff they co-occur in
+// some relation tuple. Degree bounds, distances and rho-spheres — the
+// combinatorics behind locality (Section 3 of the paper).
+#ifndef QPWM_STRUCTURE_GAIFMAN_H_
+#define QPWM_STRUCTURE_GAIFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qpwm/structure/structure.h"
+
+namespace qpwm {
+
+/// Undirected adjacency view of a structure's Gaifman graph.
+class GaifmanGraph {
+ public:
+  explicit GaifmanGraph(const Structure& s);
+
+  size_t size() const { return adj_.size(); }
+  const std::vector<ElemId>& Neighbors(ElemId e) const { return adj_[e]; }
+  size_t Degree(ElemId e) const { return adj_[e].size(); }
+
+  /// Maximum degree over all elements — the k of STRUCT_k[tau].
+  size_t MaxDegree() const;
+
+  /// Elements at distance <= rho from `a` (the rho-sphere S_rho(a)),
+  /// sorted ascending.
+  std::vector<ElemId> Sphere(ElemId a, uint32_t rho) const;
+
+  /// S_rho(c) for a tuple: union of the element spheres, sorted ascending.
+  std::vector<ElemId> Sphere(const Tuple& c, uint32_t rho) const;
+
+  /// BFS distance between two elements, or UINT32_MAX if disconnected.
+  uint32_t Distance(ElemId a, ElemId b) const;
+
+ private:
+  std::vector<std::vector<ElemId>> adj_;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_STRUCTURE_GAIFMAN_H_

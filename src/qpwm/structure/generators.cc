@@ -1,0 +1,141 @@
+#include "qpwm/structure/generators.h"
+
+#include <string>
+#include <vector>
+
+namespace qpwm {
+
+Signature GraphSignature() {
+  Signature sig;
+  sig.AddRelation("E", 2);
+  return sig;
+}
+
+Structure RandomBoundedDegreeGraph(size_t n, size_t k, size_t edge_attempts,
+                                   bool symmetric, Rng& rng) {
+  QPWM_CHECK_GE(n, 2u);
+  Structure s(GraphSignature(), n);
+  std::vector<size_t> degree(n, 0);
+  for (size_t attempt = 0; attempt < edge_attempts; ++attempt) {
+    ElemId u = static_cast<ElemId>(rng.Below(n));
+    ElemId v = static_cast<ElemId>(rng.Below(n));
+    if (u == v) continue;
+    if (degree[u] >= k || degree[v] >= k) continue;
+    Tuple t{u, v};
+    if (s.relation(size_t{0}).Contains(t)) continue;
+    if (s.relation(size_t{0}).Contains(Tuple{v, u})) continue;
+    s.AddTuple(size_t{0}, t);
+    if (symmetric) s.AddTuple(size_t{0}, Tuple{v, u});
+    ++degree[u];
+    ++degree[v];
+  }
+  s.Finalize();
+  return s;
+}
+
+Structure CycleGraph(size_t n, bool symmetric) {
+  Structure s(GraphSignature(), n);
+  for (ElemId i = 0; i < n; ++i) {
+    ElemId j = static_cast<ElemId>((i + 1) % n);
+    s.AddTuple(size_t{0}, Tuple{i, j});
+    if (symmetric) s.AddTuple(size_t{0}, Tuple{j, i});
+  }
+  s.Finalize();
+  return s;
+}
+
+Structure PathGraph(size_t n, bool symmetric) {
+  Structure s(GraphSignature(), n);
+  for (ElemId i = 0; i + 1 < n; ++i) {
+    s.AddTuple(size_t{0}, Tuple{i, static_cast<ElemId>(i + 1)});
+    if (symmetric) s.AddTuple(size_t{0}, Tuple{static_cast<ElemId>(i + 1), i});
+  }
+  s.Finalize();
+  return s;
+}
+
+Structure GridGraph(size_t w, size_t h) {
+  Signature sig;
+  sig.AddRelation("H", 2);
+  sig.AddRelation("V", 2);
+  Structure s(sig, w * h);
+  auto id = [&](size_t x, size_t y) { return static_cast<ElemId>(y * w + x); };
+  for (size_t y = 0; y < h; ++y) {
+    for (size_t x = 0; x < w; ++x) {
+      if (x + 1 < w) s.AddTuple(size_t{0}, Tuple{id(x, y), id(x + 1, y)});
+      if (y + 1 < h) s.AddTuple(size_t{1}, Tuple{id(x, y), id(x, y + 1)});
+    }
+  }
+  s.Finalize();
+  return s;
+}
+
+Structure Figure1Instance() {
+  Signature sig;
+  sig.AddRelation("R", 2);
+  Structure s(sig, 6);
+  const char* names[] = {"a", "b", "c", "d", "e", "f"};
+  for (ElemId i = 0; i < 6; ++i) s.SetElementName(i, names[i]);
+  const ElemId a = 0, b = 1, c = 2, d = 3, e = 4, f = 5;
+  s.AddTuple(size_t{0}, Tuple{a, d});
+  s.AddTuple(size_t{0}, Tuple{a, e});
+  s.AddTuple(size_t{0}, Tuple{b, d});
+  s.AddTuple(size_t{0}, Tuple{b, e});
+  s.AddTuple(size_t{0}, Tuple{c, d});
+  s.AddTuple(size_t{0}, Tuple{f, e});
+  s.AddTuple(size_t{0}, Tuple{d, a});
+  s.AddTuple(size_t{0}, Tuple{e, b});
+  s.Finalize();
+  return s;
+}
+
+Structure ShatterInstance(uint32_t n) {
+  QPWM_CHECK_LE(n, 20u);
+  const size_t num_params = size_t{1} << n;
+  Structure s(GraphSignature(), num_params + n);
+  for (size_t i = 0; i < num_params; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if ((i >> j) & 1) {
+        s.AddTuple(size_t{0},
+                   Tuple{static_cast<ElemId>(i), static_cast<ElemId>(num_params + j)});
+      }
+    }
+  }
+  s.Finalize();
+  return s;
+}
+
+Structure HalfShatterInstance(uint32_t n) {
+  QPWM_CHECK_EQ(n % 2, 0u);
+  QPWM_CHECK_LE(n, 40u);
+  const uint32_t half = n / 2;
+  const size_t num_params = size_t{1} << half;
+  // Layout: [0, 2^half) parameter vertices, then vertex `a`, then n weight
+  // vertices (first `half` of them shattered, last `half` only touched by a).
+  Structure s(GraphSignature(), num_params + 1 + n);
+  const ElemId a = static_cast<ElemId>(num_params);
+  const ElemId weights_base = static_cast<ElemId>(num_params + 1);
+  for (size_t i = 0; i < num_params; ++i) {
+    for (uint32_t j = 0; j < half; ++j) {
+      if ((i >> j) & 1) {
+        s.AddTuple(size_t{0}, Tuple{static_cast<ElemId>(i),
+                                    static_cast<ElemId>(weights_base + j)});
+      }
+    }
+  }
+  for (uint32_t j = 0; j < n; ++j) {
+    s.AddTuple(size_t{0}, Tuple{a, static_cast<ElemId>(weights_base + j)});
+  }
+  s.Finalize();
+  return s;
+}
+
+WeightMap RandomWeights(const Structure& s, Weight lo, Weight hi, Rng& rng) {
+  WeightMap w(1, s.universe_size());
+  for (ElemId e = 0; e < s.universe_size(); ++e) {
+    w.SetElem(e, rng.Uniform(lo, hi));
+  }
+  return w;
+}
+
+}  // namespace qpwm

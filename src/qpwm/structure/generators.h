@@ -1,0 +1,60 @@
+// Structure generators for tests, examples and the benchmark workloads:
+// bounded-degree random graphs (the STRUCT_k[tau] classes of Theorem 3),
+// paths/cycles/grids, the paper's Figure 1 instance, and the shattering
+// families used by the impossibility results (Theorem 2, Remark 1).
+#ifndef QPWM_STRUCTURE_GENERATORS_H_
+#define QPWM_STRUCTURE_GENERATORS_H_
+
+#include <cstdint>
+
+#include "qpwm/structure/structure.h"
+#include "qpwm/structure/weighted.h"
+#include "qpwm/util/random.h"
+
+namespace qpwm {
+
+/// Signature with a single binary relation "E".
+Signature GraphSignature();
+
+/// Random graph on n vertices whose Gaifman graph has max degree <= k.
+/// Attempts `edge_attempts` uniformly random edges, rejecting those that
+/// would exceed the degree bound. If `symmetric`, both orientations are
+/// inserted (each undirected edge costs 1 degree at both ends either way).
+Structure RandomBoundedDegreeGraph(size_t n, size_t k, size_t edge_attempts,
+                                   bool symmetric, Rng& rng);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0 (plus reversals if symmetric).
+Structure CycleGraph(size_t n, bool symmetric);
+
+/// Directed path 0 -> 1 -> ... -> n-1 (plus reversals if symmetric).
+Structure PathGraph(size_t n, bool symmetric);
+
+/// w x h grid with horizontal relation "H" and vertical relation "V";
+/// element (x, y) has id y * w + x. Unbounded tree-width as w, h grow.
+Structure GridGraph(size_t w, size_t h);
+
+/// The 6-element instance of the paper's Figure 1 discussion (elements named
+/// a..f, one binary relation "R"): N1(a) ~ N1(b), N1(d) ~ N1(e),
+/// N1(c) ~ N1(f); for psi(u,v) = R(u,v), W_a = W_b = {d, e}, W_c = {d},
+/// W_f = {e}, W_d = {a}, W_e = {b}; the (d: +1, e: -1) marking has zero
+/// distortion on a and b but leaks +1 / -1 on c / f, exactly as Figure 3.
+Structure Figure1Instance();
+
+/// Theorem 2's shattering family: universe of 2^n "parameter" vertices plus
+/// n "weight" vertices; E(i, w_j) iff bit j of i is set. For
+/// psi(u,v) = E(u,v) the n active weights are fully shattered:
+/// VC(psi, G_n) = |W| = n.
+Structure ShatterInstance(uint32_t n);
+
+/// Remark 1's family: 2^(n/2) parameter vertices shatter the first n/2
+/// weight vertices; one extra vertex `a` is linked to all n weight vertices.
+/// VC = |W|/2 yet balanced (+1,-1) pairs on the last n/2 weights hide n/4
+/// bits with zero distortion. `n` must be even.
+Structure HalfShatterInstance(uint32_t n);
+
+/// Uniform random weights in [lo, hi] on every element (weight arity 1).
+WeightMap RandomWeights(const Structure& s, Weight lo, Weight hi, Rng& rng);
+
+}  // namespace qpwm
+
+#endif  // QPWM_STRUCTURE_GENERATORS_H_

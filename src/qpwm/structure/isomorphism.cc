@@ -1,0 +1,209 @@
+#include "qpwm/structure/isomorphism.h"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "qpwm/util/check.h"
+#include "qpwm/util/hash.h"
+
+namespace qpwm {
+namespace {
+
+constexpr uint64_t kIndividualizeSalt = 0x517CC1B727220A95ULL;
+constexpr size_t kSearchBudget = 1u << 20;
+
+void Push32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+class Canonicalizer {
+ public:
+  Canonicalizer(const Structure& s, const Tuple& dist)
+      : s_(s), dist_(dist), n_(s.universe_size()), incidence_(s) {}
+
+  std::string Run() {
+    std::vector<uint64_t> colors = InitialColors();
+    Refine(colors);
+    Search(colors);
+    QPWM_CHECK(best_.has_value());
+    return std::move(*best_);
+  }
+
+ private:
+  std::vector<uint64_t> InitialColors() const {
+    std::vector<uint64_t> colors(n_, 0xC0FFEE1234ULL);
+    // Distinguished positions are part of the type: a ~rho b requires the
+    // isomorphism to map the i-th constant to the i-th constant.
+    for (size_t i = 0; i < dist_.size(); ++i) {
+      colors[dist_[i]] = HashCombine(colors[dist_[i]], 0xD15717 + i);
+    }
+    return colors;
+  }
+
+  // One-step color refinement signature of element e.
+  uint64_t Signature(ElemId e, const std::vector<uint64_t>& colors) const {
+    std::vector<uint64_t> contrib;
+    for (const auto& entry : incidence_.Incident(e)) {
+      const Tuple& t = s_.relation(entry.relation).tuples()[entry.tuple_index];
+      for (size_t pos = 0; pos < t.size(); ++pos) {
+        if (t[pos] != e) continue;
+        uint64_t h = HashCombine(0xABCD, entry.relation);
+        h = HashCombine(h, pos);
+        for (ElemId x : t) h = HashCombine(h, colors[x]);
+        contrib.push_back(h);
+      }
+    }
+    std::sort(contrib.begin(), contrib.end());
+    uint64_t out = colors[e];
+    for (uint64_t c : contrib) out = HashCombine(out, c);
+    return out;
+  }
+
+  // Iterates color refinement until the induced partition is stable.
+  void Refine(std::vector<uint64_t>& colors) const {
+    std::vector<uint32_t> prev_partition = PartitionRanks(colors);
+    for (size_t round = 0; round < n_ + 1; ++round) {
+      std::vector<uint64_t> next(n_);
+      for (ElemId e = 0; e < n_; ++e) next[e] = Signature(e, colors);
+      colors = std::move(next);
+      std::vector<uint32_t> partition = PartitionRanks(colors);
+      if (partition == prev_partition) break;
+      prev_partition = std::move(partition);
+    }
+  }
+
+  // Dense ranks of colors: partition[e] = index of colors[e] among sorted
+  // distinct color values. Isomorphism-invariant.
+  std::vector<uint32_t> PartitionRanks(const std::vector<uint64_t>& colors) const {
+    std::vector<uint64_t> sorted = colors;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    std::vector<uint32_t> out(n_);
+    for (ElemId e = 0; e < n_; ++e) {
+      out[e] = static_cast<uint32_t>(
+          std::lower_bound(sorted.begin(), sorted.end(), colors[e]) - sorted.begin());
+    }
+    return out;
+  }
+
+  // True if swapping a and b is an automorphism fixing everything else.
+  bool AreTwins(ElemId a, ElemId b) const {
+    auto swapped_ok = [&](ElemId source) {
+      for (const auto& entry : incidence_.Incident(source)) {
+        const Tuple& t = s_.relation(entry.relation).tuples()[entry.tuple_index];
+        Tuple swapped = t;
+        for (ElemId& x : swapped) {
+          if (x == a) {
+            x = b;
+          } else if (x == b) {
+            x = a;
+          }
+        }
+        if (!s_.relation(entry.relation).Contains(swapped)) return false;
+      }
+      return true;
+    };
+    return swapped_ok(a) && swapped_ok(b);
+  }
+
+  void Search(const std::vector<uint64_t>& colors) {
+    if (++nodes_ > kSearchBudget) return;  // Keep best-so-far.
+
+    std::vector<uint32_t> partition = PartitionRanks(colors);
+    uint32_t num_cells = 0;
+    for (uint32_t p : partition) num_cells = std::max(num_cells, p + 1);
+
+    if (num_cells == n_) {  // Discrete: partition ranks give the ordering.
+      std::string enc = Encode(partition);
+      if (!best_ || enc < *best_) best_ = std::move(enc);
+      return;
+    }
+
+    // Pick the first (lowest-rank) non-singleton cell.
+    std::vector<uint32_t> cell_size(num_cells, 0);
+    for (uint32_t p : partition) ++cell_size[p];
+    uint32_t target = 0;
+    while (cell_size[target] <= 1) ++target;
+
+    std::vector<ElemId> members;
+    for (ElemId e = 0; e < n_; ++e) {
+      if (partition[e] == target) members.push_back(e);
+    }
+
+    std::vector<ElemId> tried;
+    for (ElemId e : members) {
+      bool twin_of_tried = false;
+      for (ElemId prev : tried) {
+        if (AreTwins(prev, e)) {
+          twin_of_tried = true;
+          break;
+        }
+      }
+      if (twin_of_tried) continue;
+      tried.push_back(e);
+
+      std::vector<uint64_t> next = colors;
+      next[e] = HashCombine(next[e], kIndividualizeSalt);
+      Refine(next);
+      Search(next);
+    }
+  }
+
+  // Encoding of the structure under the ordering rank[e] = position of e.
+  std::string Encode(const std::vector<uint32_t>& rank) const {
+    std::string out;
+    Push32(out, static_cast<uint32_t>(n_));
+    Push32(out, static_cast<uint32_t>(dist_.size()));
+    for (ElemId e : dist_) Push32(out, rank[e]);
+    for (size_t r = 0; r < s_.num_relations(); ++r) {
+      const auto& tuples = s_.relation(r).tuples();
+      std::vector<Tuple> remapped;
+      remapped.reserve(tuples.size());
+      for (const Tuple& t : tuples) {
+        Tuple m;
+        m.reserve(t.size());
+        for (ElemId e : t) m.push_back(rank[e]);
+        remapped.push_back(std::move(m));
+      }
+      std::sort(remapped.begin(), remapped.end());
+      Push32(out, static_cast<uint32_t>(r));
+      Push32(out, static_cast<uint32_t>(remapped.size()));
+      for (const Tuple& t : remapped) {
+        for (ElemId e : t) Push32(out, e);
+      }
+    }
+    return out;
+  }
+
+  const Structure& s_;
+  const Tuple& dist_;
+  const size_t n_;
+  IncidenceIndex incidence_;
+  std::optional<std::string> best_;
+  size_t nodes_ = 0;
+};
+
+}  // namespace
+
+std::string CanonicalForm(const Structure& s, const Tuple& distinguished) {
+  for (ElemId e : distinguished) QPWM_CHECK_LT(e, s.universe_size());
+  if (s.universe_size() == 0) return std::string("empty");
+  return Canonicalizer(s, distinguished).Run();
+}
+
+bool AreIsomorphic(const Structure& s1, const Tuple& d1, const Structure& s2,
+                   const Tuple& d2) {
+  if (s1.universe_size() != s2.universe_size()) return false;
+  if (d1.size() != d2.size()) return false;
+  if (!(s1.signature() == s2.signature())) return false;
+  for (size_t r = 0; r < s1.num_relations(); ++r) {
+    if (s1.relation(r).size() != s2.relation(r).size()) return false;
+  }
+  return CanonicalForm(s1, d1) == CanonicalForm(s2, d2);
+}
+
+}  // namespace qpwm

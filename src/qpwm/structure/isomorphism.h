@@ -1,0 +1,30 @@
+// Canonical forms and isomorphism of small distinguished structures.
+//
+// Used to classify rho-neighborhoods into isomorphism types (the ~rho
+// classes of Section 3). The canonicalizer is an individualization-
+// refinement search (color refinement on the relational hypergraph, then
+// backtracking over cell choices, keeping the lexicographically least
+// encoding) with twin pruning for interchangeable elements. It is exact; a
+// node budget guards against pathological inputs — neighborhoods of
+// bounded-degree structures refine almost immediately.
+#ifndef QPWM_STRUCTURE_ISOMORPHISM_H_
+#define QPWM_STRUCTURE_ISOMORPHISM_H_
+
+#include <string>
+
+#include "qpwm/structure/structure.h"
+
+namespace qpwm {
+
+/// Canonical encoding of `s` with the ordered tuple `distinguished` marked:
+/// two (structure, tuple) pairs get equal encodings iff there is an
+/// isomorphism between them mapping distinguished tuples pointwise in order.
+std::string CanonicalForm(const Structure& s, const Tuple& distinguished);
+
+/// Isomorphism test via canonical forms.
+bool AreIsomorphic(const Structure& s1, const Tuple& d1, const Structure& s2,
+                   const Tuple& d2);
+
+}  // namespace qpwm
+
+#endif  // QPWM_STRUCTURE_ISOMORPHISM_H_

@@ -1,0 +1,51 @@
+#include "qpwm/structure/neighborhood.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace qpwm {
+
+Neighborhood ExtractNeighborhood(const Structure& g, const GaifmanGraph& gg,
+                                 const IncidenceIndex& idx, const Tuple& c,
+                                 uint32_t rho) {
+  std::vector<ElemId> sphere = gg.Sphere(c, rho);
+
+  std::unordered_map<ElemId, ElemId> to_local;
+  to_local.reserve(sphere.size());
+  for (size_t i = 0; i < sphere.size(); ++i) {
+    to_local[sphere[i]] = static_cast<ElemId>(i);
+  }
+
+  Neighborhood out{Structure(g.signature(), sphere.size()), {}, sphere};
+
+  // Collect tuples fully inside the sphere via the incidence lists of sphere
+  // members; dedupe by (relation, tuple index).
+  std::unordered_set<uint64_t> seen;
+  for (ElemId e : sphere) {
+    for (const auto& entry : idx.Incident(e)) {
+      uint64_t key = (static_cast<uint64_t>(entry.relation) << 32) | entry.tuple_index;
+      if (!seen.insert(key).second) continue;
+      const Tuple& t = g.relation(entry.relation).tuples()[entry.tuple_index];
+      Tuple local_t;
+      local_t.reserve(t.size());
+      bool inside = true;
+      for (ElemId x : t) {
+        auto it = to_local.find(x);
+        if (it == to_local.end()) {
+          inside = false;
+          break;
+        }
+        local_t.push_back(it->second);
+      }
+      if (inside) out.local.AddTuple(entry.relation, std::move(local_t));
+    }
+  }
+  out.local.Finalize();
+
+  out.distinguished.reserve(c.size());
+  for (ElemId x : c) out.distinguished.push_back(to_local.at(x));
+  return out;
+}
+
+}  // namespace qpwm

@@ -1,0 +1,31 @@
+// rho-neighborhoods N_rho(c): the substructure induced by the rho-sphere
+// around a tuple, with the tuple's elements distinguished (as constants).
+// Two tuples are rho-equivalent (a ~rho b) iff their neighborhoods are
+// isomorphic as distinguished structures.
+#ifndef QPWM_STRUCTURE_NEIGHBORHOOD_H_
+#define QPWM_STRUCTURE_NEIGHBORHOOD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qpwm/structure/gaifman.h"
+#include "qpwm/structure/structure.h"
+
+namespace qpwm {
+
+/// An extracted neighborhood: a small local structure plus the positions of
+/// the distinguished tuple and the local->global element mapping.
+struct Neighborhood {
+  Structure local;
+  Tuple distinguished;              // local ids of c, in order
+  std::vector<ElemId> global_ids;   // local id -> global id (ascending)
+};
+
+/// Extracts N_rho(c) from `g`. `gg` and `idx` must be built over `g`.
+Neighborhood ExtractNeighborhood(const Structure& g, const GaifmanGraph& gg,
+                                 const IncidenceIndex& idx, const Tuple& c,
+                                 uint32_t rho);
+
+}  // namespace qpwm
+
+#endif  // QPWM_STRUCTURE_NEIGHBORHOOD_H_

@@ -1,0 +1,50 @@
+#include "qpwm/structure/paths.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "qpwm/util/check.h"
+
+namespace qpwm {
+
+std::vector<Weight> ShortestPathLengths(const GaifmanGraph& g,
+                                        const WeightMap& weights, ElemId source) {
+  QPWM_CHECK_EQ(weights.s(), 1u);
+  const size_t n = g.size();
+  std::vector<Weight> dist(n, kUnreachable);
+  using Entry = std::pair<Weight, ElemId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.emplace(0, source);
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d != dist[v]) continue;
+    for (ElemId nb : g.Neighbors(v)) {
+      Weight step = weights.GetElem(nb);
+      QPWM_CHECK_GE(step, 0);
+      Weight nd = d + step;
+      if (nd < dist[nb]) {
+        dist[nb] = nd;
+        heap.emplace(nd, nb);
+      }
+    }
+  }
+  return dist;
+}
+
+Weight MaxShortestPathDrift(const GaifmanGraph& g, const WeightMap& w0,
+                            const WeightMap& w1) {
+  Weight worst = 0;
+  for (ElemId s = 0; s < g.size(); ++s) {
+    std::vector<Weight> d0 = ShortestPathLengths(g, w0, s);
+    std::vector<Weight> d1 = ShortestPathLengths(g, w1, s);
+    for (ElemId t = 0; t < g.size(); ++t) {
+      if (d0[t] == kUnreachable || d1[t] == kUnreachable) continue;
+      worst = std::max(worst, std::abs(d1[t] - d0[t]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace qpwm

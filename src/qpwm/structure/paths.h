@@ -1,0 +1,37 @@
+// Weighted shortest paths on the Gaifman graph — the Khanna-Zane setting
+// ([10]) the paper's conclusion relates to. The watermarking schemes here
+// preserve *query answer sums*; shortest-path lengths are an optimization
+// objective outside that model (as the paper notes), so the library offers
+// measurement, not a guarantee: embed with a query-preserving scheme, then
+// quantify the realized drift of every shortest-path length.
+#ifndef QPWM_STRUCTURE_PATHS_H_
+#define QPWM_STRUCTURE_PATHS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qpwm/structure/gaifman.h"
+#include "qpwm/structure/weighted.h"
+
+namespace qpwm {
+
+/// Edge weights for path computations: weight of traversing u -> v is the
+/// element weight of v (weights-on-elements, the paper's s = 1 convention:
+/// visiting an element costs its weight).
+constexpr Weight kUnreachable = INT64_MAX;
+
+/// Single-source shortest path lengths from `source` over the Gaifman graph,
+/// with nonnegative element weights (Dijkstra). dist[v] = weight sum of the
+/// elements on the cheapest path *excluding* the source, kUnreachable if
+/// disconnected.
+std::vector<Weight> ShortestPathLengths(const GaifmanGraph& g,
+                                        const WeightMap& weights, ElemId source);
+
+/// max over all (s, t) pairs of | d_w1(s, t) - d_w0(s, t) |, ignoring
+/// unreachable pairs. O(n * Dijkstra); for bench-scale instances.
+Weight MaxShortestPathDrift(const GaifmanGraph& g, const WeightMap& w0,
+                            const WeightMap& w1);
+
+}  // namespace qpwm
+
+#endif  // QPWM_STRUCTURE_PATHS_H_

@@ -1,0 +1,63 @@
+// Relational signatures (database schemas): named relation symbols with
+// fixed arities, plus the weight arity `s` (weights attach to s-tuples of the
+// universe; s = 1 — weights on elements — is the common case in the paper).
+#ifndef QPWM_STRUCTURE_SIGNATURE_H_
+#define QPWM_STRUCTURE_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+/// One relation symbol.
+struct RelationSymbol {
+  std::string name;
+  uint32_t arity = 0;
+};
+
+/// A finite set of relation symbols; the tau of STRUCT[tau].
+class Signature {
+ public:
+  Signature() = default;
+  explicit Signature(std::vector<RelationSymbol> symbols)
+      : symbols_(std::move(symbols)) {}
+
+  /// Appends a relation symbol; returns its index.
+  size_t AddRelation(std::string name, uint32_t arity) {
+    symbols_.push_back({std::move(name), arity});
+    return symbols_.size() - 1;
+  }
+
+  size_t size() const { return symbols_.size(); }
+  const RelationSymbol& symbol(size_t i) const { return symbols_[i]; }
+  const std::vector<RelationSymbol>& symbols() const { return symbols_; }
+
+  /// Index of the relation named `name`, or an error.
+  Result<size_t> Find(const std::string& name) const {
+    for (size_t i = 0; i < symbols_.size(); ++i) {
+      if (symbols_[i].name == name) return i;
+    }
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+
+  bool operator==(const Signature& other) const {
+    if (symbols_.size() != other.symbols_.size()) return false;
+    for (size_t i = 0; i < symbols_.size(); ++i) {
+      if (symbols_[i].name != other.symbols_[i].name ||
+          symbols_[i].arity != other.symbols_[i].arity) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<RelationSymbol> symbols_;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_STRUCTURE_SIGNATURE_H_

@@ -1,0 +1,81 @@
+#include "qpwm/structure/structure.h"
+
+#include <algorithm>
+
+namespace qpwm {
+
+void Relation::Finalize() { std::sort(tuples_.begin(), tuples_.end()); }
+
+Structure::Structure(Signature sig, size_t universe_size)
+    : sig_(std::move(sig)), n_(universe_size) {
+  relations_.reserve(sig_.size());
+  for (const auto& sym : sig_.symbols()) {
+    relations_.emplace_back(sym.name, sym.arity);
+  }
+}
+
+const Relation& Structure::relation(const std::string& name) const {
+  auto idx = sig_.Find(name);
+  QPWM_CHECK(idx.ok());
+  return relations_[idx.value()];
+}
+
+void Structure::AddTuple(size_t rel, Tuple t) {
+  QPWM_CHECK_LT(rel, relations_.size());
+  for (ElemId e : t) QPWM_CHECK_LT(e, n_);
+  relations_[rel].Add(std::move(t));
+}
+
+void Structure::AddTuple(const std::string& rel, Tuple t) {
+  auto idx = sig_.Find(rel);
+  QPWM_CHECK(idx.ok());
+  AddTuple(idx.value(), std::move(t));
+}
+
+void Structure::Finalize() {
+  for (auto& r : relations_) r.Finalize();
+}
+
+void Structure::SetElementName(ElemId e, std::string name) {
+  QPWM_CHECK_LT(e, n_);
+  if (element_names_.empty()) element_names_.resize(n_);
+  name_index_[name] = e;
+  element_names_[e] = std::move(name);
+}
+
+const std::string& Structure::ElementName(ElemId e) const {
+  static const std::string kEmpty;
+  if (element_names_.empty() || e >= element_names_.size()) return kEmpty;
+  return element_names_[e];
+}
+
+Result<ElemId> Structure::FindElement(const std::string& name) const {
+  auto it = name_index_.find(name);
+  if (it == name_index_.end()) return Status::NotFound("no element named '" + name + "'");
+  return it->second;
+}
+
+size_t Structure::TotalTuples() const {
+  size_t total = 0;
+  for (const auto& r : relations_) total += r.size();
+  return total;
+}
+
+IncidenceIndex::IncidenceIndex(const Structure& s) : incident_(s.universe_size()) {
+  for (size_t r = 0; r < s.num_relations(); ++r) {
+    const auto& tuples = s.relation(r).tuples();
+    for (size_t t = 0; t < tuples.size(); ++t) {
+      // Register each element once per tuple even if it repeats in the tuple.
+      ElemId last_seen = static_cast<ElemId>(-1);
+      Tuple sorted = tuples[t];
+      std::sort(sorted.begin(), sorted.end());
+      for (ElemId e : sorted) {
+        if (e == last_seen) continue;
+        last_seen = e;
+        incident_[e].push_back({static_cast<uint32_t>(r), static_cast<uint32_t>(t)});
+      }
+    }
+  }
+}
+
+}  // namespace qpwm

@@ -1,0 +1,128 @@
+// Finite relational structures (database instances): a universe {0..n-1} and
+// one finite relation per signature symbol. Immutable after Build(); all the
+// watermarking machinery treats the structure part as read-only (only weights
+// are ever distorted — see weighted.h).
+#ifndef QPWM_STRUCTURE_STRUCTURE_H_
+#define QPWM_STRUCTURE_STRUCTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "qpwm/structure/signature.h"
+#include "qpwm/util/check.h"
+#include "qpwm/util/hash.h"
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+/// Universe element id.
+using ElemId = uint32_t;
+
+/// An r-tuple of universe elements.
+using Tuple = std::vector<ElemId>;
+
+/// Hash / equality functors so Tuple can key unordered containers.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    uint64_t h = 0x12345;
+    for (ElemId e : t) h = HashCombine(h, e);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// One interpreted relation: a deduplicated, sorted set of tuples with O(1)
+/// membership tests.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, uint32_t arity) : name_(std::move(name)), arity_(arity) {}
+
+  const std::string& name() const { return name_; }
+  uint32_t arity() const { return arity_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+
+  /// Inserts a tuple (deduplicated). Arity-checked.
+  void Add(Tuple t) {
+    QPWM_CHECK_EQ(t.size(), arity_);
+    if (set_.insert(t).second) tuples_.push_back(std::move(t));
+  }
+
+  bool Contains(const Tuple& t) const { return set_.count(t) > 0; }
+
+  /// Sorts the tuple list for deterministic iteration order.
+  void Finalize();
+
+ private:
+  std::string name_;
+  uint32_t arity_ = 0;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> set_;
+};
+
+/// A finite tau-structure. Element names are optional and only used for
+/// human-readable output (examples, figures).
+class Structure {
+ public:
+  Structure() = default;
+  Structure(Signature sig, size_t universe_size);
+
+  const Signature& signature() const { return sig_; }
+  size_t universe_size() const { return n_; }
+
+  const Relation& relation(size_t i) const { return relations_[i]; }
+  Relation& mutable_relation(size_t i) { return relations_[i]; }
+  size_t num_relations() const { return relations_.size(); }
+
+  /// Relation lookup by name (aborts if missing; use signature().Find for the
+  /// fallible variant).
+  const Relation& relation(const std::string& name) const;
+
+  /// Adds a tuple to relation `rel`; all elements must be < universe_size().
+  void AddTuple(size_t rel, Tuple t);
+  void AddTuple(const std::string& rel, Tuple t);
+
+  /// Sorts every relation; call once after loading.
+  void Finalize();
+
+  /// Optional display names.
+  void SetElementName(ElemId e, std::string name);
+  const std::string& ElementName(ElemId e) const;
+  /// Id of the element named `name`, if any.
+  Result<ElemId> FindElement(const std::string& name) const;
+
+  /// Total number of tuples across relations.
+  size_t TotalTuples() const;
+
+ private:
+  Signature sig_;
+  size_t n_ = 0;
+  std::vector<Relation> relations_;
+  std::vector<std::string> element_names_;
+  std::unordered_map<std::string, ElemId> name_index_;
+};
+
+/// Per-element incidence index: for each element, the (relation, tuple index)
+/// pairs whose tuple contains it. Built once; makes neighborhood extraction
+/// O(local size) instead of O(structure size).
+class IncidenceIndex {
+ public:
+  struct Entry {
+    uint32_t relation;
+    uint32_t tuple_index;
+  };
+
+  explicit IncidenceIndex(const Structure& s);
+
+  const std::vector<Entry>& Incident(ElemId e) const { return incident_[e]; }
+
+ private:
+  std::vector<std::vector<Entry>> incident_;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_STRUCTURE_STRUCTURE_H_

@@ -1,0 +1,20 @@
+#include "qpwm/structure/typemap.h"
+
+#include "qpwm/structure/isomorphism.h"
+#include "qpwm/structure/neighborhood.h"
+
+namespace qpwm {
+
+NeighborhoodTyper::NeighborhoodTyper(const Structure& g, uint32_t rho)
+    : g_(g), rho_(rho), gaifman_(g), incidence_(g) {}
+
+uint32_t NeighborhoodTyper::TypeOf(const Tuple& c) {
+  Neighborhood nb = ExtractNeighborhood(g_, gaifman_, incidence_, c, rho_);
+  std::string canon = CanonicalForm(nb.local, nb.distinguished);
+  auto [it, inserted] =
+      canon_to_type_.emplace(std::move(canon), static_cast<uint32_t>(representatives_.size()));
+  if (inserted) representatives_.push_back(c);
+  return it->second;
+}
+
+}  // namespace qpwm

@@ -1,0 +1,48 @@
+// Neighborhood isomorphism types of parameter tuples: the ~rho equivalence
+// classes, their count ntp(rho, G), and one canonical representative per type
+// (the paper's "canonical parameters" S).
+#ifndef QPWM_STRUCTURE_TYPEMAP_H_
+#define QPWM_STRUCTURE_TYPEMAP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qpwm/structure/gaifman.h"
+#include "qpwm/structure/structure.h"
+
+namespace qpwm {
+
+/// Assigns isomorphism-type ids to tuples by the canonical form of their
+/// rho-neighborhood. Type ids are dense, in first-seen order; the first tuple
+/// seen of each type is kept as its canonical representative.
+class NeighborhoodTyper {
+ public:
+  NeighborhoodTyper(const Structure& g, uint32_t rho);
+
+  /// Type id of tuple `c` (computes and memoizes the canonical form).
+  uint32_t TypeOf(const Tuple& c);
+
+  /// Number of distinct types seen so far — ntp(rho, G) once every tuple of
+  /// the parameter domain has been typed.
+  size_t NumTypes() const { return representatives_.size(); }
+
+  /// Canonical representative tuple of a type.
+  const Tuple& Representative(uint32_t type) const { return representatives_[type]; }
+
+  uint32_t rho() const { return rho_; }
+  const GaifmanGraph& gaifman() const { return gaifman_; }
+
+ private:
+  const Structure& g_;
+  uint32_t rho_;
+  GaifmanGraph gaifman_;
+  IncidenceIndex incidence_;
+  std::unordered_map<std::string, uint32_t> canon_to_type_;
+  std::vector<Tuple> representatives_;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_STRUCTURE_TYPEMAP_H_

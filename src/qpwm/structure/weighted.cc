@@ -1,0 +1,58 @@
+#include "qpwm/structure/weighted.h"
+
+#include <cstdlib>
+
+namespace qpwm {
+
+WeightMap::WeightMap(uint32_t s, size_t universe_size) : s_(s) {
+  QPWM_CHECK_GE(s, 1u);
+  if (s_ == 1) dense_.assign(universe_size, 0);
+}
+
+Weight WeightMap::Get(const Tuple& t) const {
+  QPWM_CHECK_EQ(t.size(), s_);
+  if (s_ == 1) return dense_[t[0]];
+  auto it = sparse_.find(t);
+  return it == sparse_.end() ? 0 : it->second;
+}
+
+void WeightMap::Set(const Tuple& t, Weight w) {
+  QPWM_CHECK_EQ(t.size(), s_);
+  if (s_ == 1) {
+    dense_[t[0]] = w;
+  } else {
+    sparse_[t] = w;
+  }
+}
+
+void WeightMap::Add(const Tuple& t, Weight delta) {
+  QPWM_CHECK_EQ(t.size(), s_);
+  if (s_ == 1) {
+    dense_[t[0]] += delta;
+  } else {
+    sparse_[t] += delta;
+  }
+}
+
+Weight WeightMap::LocalDistortion(const WeightMap& other) const {
+  QPWM_CHECK_EQ(s_, other.s_);
+  Weight worst = 0;
+  auto update = [&](Weight a, Weight b) {
+    Weight d = a > b ? a - b : b - a;
+    if (d > worst) worst = d;
+  };
+  if (s_ == 1) {
+    QPWM_CHECK_EQ(dense_.size(), other.dense_.size());
+    for (size_t i = 0; i < dense_.size(); ++i) update(dense_[i], other.dense_[i]);
+    return worst;
+  }
+  for (const auto& [t, w] : sparse_) update(w, other.Get(t));
+  for (const auto& [t, w] : other.sparse_) update(w, Get(t));
+  return worst;
+}
+
+bool WeightMap::operator==(const WeightMap& other) const {
+  return LocalDistortion(other) == 0;
+}
+
+}  // namespace qpwm

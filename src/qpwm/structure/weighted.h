@@ -1,0 +1,89 @@
+// Weight assignments W : U^s -> Z and weighted structures (G, W).
+//
+// Weights are the only part of an instance a watermark may touch: the paper's
+// 1-local distortion assumption means every individual weight moves by at
+// most +-1, and the d-global assumption bounds the induced drift of the
+// aggregate f(a) = sum of weights over a query answer.
+#ifndef QPWM_STRUCTURE_WEIGHTED_H_
+#define QPWM_STRUCTURE_WEIGHTED_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "qpwm/structure/structure.h"
+#include "qpwm/util/check.h"
+
+namespace qpwm {
+
+/// Numerical weight. The paper uses naturals; we use int64 so that -1
+/// distortions never underflow.
+using Weight = int64_t;
+
+/// W : U^s -> Weight. Dense storage for the common s = 1 case, hashed storage
+/// for general s. Unassigned tuples weigh 0.
+class WeightMap {
+ public:
+  /// `s` is the weight arity; `universe_size` enables dense s=1 storage.
+  WeightMap(uint32_t s, size_t universe_size);
+
+  uint32_t s() const { return s_; }
+
+  Weight Get(const Tuple& t) const;
+  void Set(const Tuple& t, Weight w);
+  /// Adds `delta` to the weight of `t`.
+  void Add(const Tuple& t, Weight delta);
+
+  /// s = 1 fast paths.
+  Weight GetElem(ElemId e) const {
+    QPWM_CHECK_EQ(s_, 1u);
+    return dense_[e];
+  }
+  void SetElem(ElemId e, Weight w) {
+    QPWM_CHECK_EQ(s_, 1u);
+    dense_[e] = w;
+  }
+  void AddElem(ElemId e, Weight delta) {
+    QPWM_CHECK_EQ(s_, 1u);
+    dense_[e] += delta;
+  }
+
+  /// Maximum |W(t) - other(t)| over all assigned tuples of either map: the
+  /// paper's c in the c-local distortion assumption.
+  Weight LocalDistortion(const WeightMap& other) const;
+
+  /// Visits every tuple with a (possibly zero) explicitly assigned weight.
+  template <typename Fn>  // Fn(const Tuple&, Weight)
+  void ForEach(Fn&& fn) const {
+    if (s_ == 1) {
+      Tuple t(1);
+      for (ElemId e = 0; e < dense_.size(); ++e) {
+        t[0] = e;
+        fn(static_cast<const Tuple&>(t), dense_[e]);
+      }
+    } else {
+      for (const auto& [t, w] : sparse_) fn(t, w);
+    }
+  }
+
+  bool operator==(const WeightMap& other) const;
+
+ private:
+  uint32_t s_;
+  std::vector<Weight> dense_;                          // s == 1
+  std::unordered_map<Tuple, Weight, TupleHash> sparse_;  // s > 1
+};
+
+/// A weighted structure (G, W). The structure is shared by reference: markers
+/// produce siblings that differ only in the weight map.
+struct WeightedStructure {
+  const Structure* structure = nullptr;
+  WeightMap weights;
+
+  WeightedStructure(const Structure& s, WeightMap w)
+      : structure(&s), weights(std::move(w)) {}
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_STRUCTURE_WEIGHTED_H_

@@ -1,0 +1,170 @@
+// Bottom-up tree automata over binary Sigma-trees, with the closure algebra
+// needed to compile MSO (Lemma 2 infrastructure): product, complement,
+// symbol remapping (cylindrification / projection / permutation of pebble
+// tracks), determinization and minimization.
+//
+// Representation notes:
+//  * A Dta has `num_states()` real states plus an implicit *sink* with id
+//    `sink()` == num_states(): every missing transition goes to the sink and
+//    the sink absorbs. The sink has its own accepting flag so complementation
+//    is a pure flag flip — no transition enumeration ever happens.
+//  * Absent children (unary / leaf positions) are the distinguished value
+//    kAbsentChild, matching the paper's '*' in delta.
+#ifndef QPWM_TREE_AUTOMATON_H_
+#define QPWM_TREE_AUTOMATON_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "qpwm/tree/bintree.h"
+#include "qpwm/util/check.h"
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+/// Automaton state id.
+using State = uint32_t;
+/// The '*' pseudo-state for a missing child.
+constexpr State kAbsentChild = UINT32_MAX;
+
+class Nta;
+
+/// Deterministic bottom-up tree automaton (complete via the implicit sink).
+class Dta {
+ public:
+  Dta(uint32_t num_states, uint32_t alphabet_size);
+
+  uint32_t num_states() const { return num_states_; }
+  uint32_t alphabet_size() const { return alphabet_size_; }
+  /// Id of the implicit absorbing sink.
+  State sink() const { return num_states_; }
+  size_t num_transitions() const { return delta_.size(); }
+
+  /// Adds delta(left, right, sym) = to. left/right: real state or
+  /// kAbsentChild. Duplicate keys must agree.
+  void AddTransition(State left, State right, uint32_t sym, State to);
+
+  void SetAccepting(State q, bool accepting) {
+    QPWM_CHECK_LE(q, num_states_);
+    accepting_[q] = accepting;
+  }
+  bool IsAccepting(State q) const { return accepting_[q]; }
+
+  /// delta with sink absorption and missing-key -> sink.
+  State Step(State left, State right, uint32_t sym) const;
+
+  /// Bottom-up run; `symbols[v]` is the (pebbled) label of node v. Returns
+  /// the per-node states.
+  std::vector<State> Run(const BinaryTree& t, const std::vector<uint32_t>& symbols) const;
+
+  /// Root state only.
+  State RunRoot(const BinaryTree& t, const std::vector<uint32_t>& symbols) const;
+
+  bool Accepts(const BinaryTree& t, const std::vector<uint32_t>& symbols) const {
+    return IsAccepting(RunRoot(t, symbols));
+  }
+
+  /// Language complement: flips every accepting flag (sink included).
+  Dta Complement() const;
+
+  /// Product automaton accepting the conjunction (or disjunction) of the two
+  /// languages. Alphabets must match.
+  static Dta Product(const Dta& a, const Dta& b, bool conjunction);
+
+  /// View as a nondeterministic automaton (shares semantics exactly,
+  /// including an accepting sink if this one has it).
+  Nta ToNta() const;
+
+  /// Language-preserving state minimization (partition refinement);
+  /// also drops unreachable states.
+  Dta Minimize() const;
+
+  /// Re-keys the alphabet: old symbol s becomes every symbol in
+  /// new_syms[s] (used for cylindrification / track permutation — the
+  /// mapping must keep the automaton deterministic, which those do).
+  Dta RemapSymbols(uint32_t new_alphabet_size,
+                   const std::vector<std::vector<uint32_t>>& new_syms) const;
+
+  /// True iff the automaton accepts no tree at all.
+  bool IsEmpty() const;
+
+  /// True iff it accepts every tree over its alphabet.
+  bool IsUniversal() const { return Complement().IsEmpty(); }
+
+  /// Language equivalence: L(a) == L(b) (alphabets must match).
+  static bool Equivalent(const Dta& a, const Dta& b);
+
+  /// Iterates stored transitions: fn(left, right, sym, to).
+  template <typename Fn>
+  void ForEachTransition(Fn&& fn) const {
+    for (const auto& [key, to] : delta_) {
+      auto [l, r, sym] = UnpackKey(key);
+      fn(l, r, sym, to);
+    }
+  }
+
+ private:
+  friend class Nta;
+
+  static uint64_t PackKey(State l, State r, uint32_t sym);
+  static std::tuple<State, State, uint32_t> UnpackKey(uint64_t key);
+
+  uint32_t num_states_;
+  uint32_t alphabet_size_;
+  std::unordered_map<uint64_t, State> delta_;
+  std::vector<bool> accepting_;  // size num_states_ + 1 (sink last)
+};
+
+/// Nondeterministic bottom-up tree automaton. Produced by projection; the
+/// sink (id num_states()) behaves as in Dta: it is always a member of the
+/// target set when a child is the sink or a key is missing, and may be
+/// accepting.
+class Nta {
+ public:
+  Nta(uint32_t num_states, uint32_t alphabet_size);
+
+  uint32_t num_states() const { return num_states_; }
+  uint32_t alphabet_size() const { return alphabet_size_; }
+  State sink() const { return num_states_; }
+
+  void AddTransition(State left, State right, uint32_t sym, State to);
+  void SetAccepting(State q, bool accepting) {
+    QPWM_CHECK_LE(q, num_states_);
+    accepting_[q] = accepting;
+  }
+  bool IsAccepting(State q) const { return accepting_[q]; }
+
+  /// Number of deterministic branches folded into each symbol (1 for a plain
+  /// automaton; 2^k after projecting k tracks). When a key stores fewer
+  /// targets than this, the missing branches died in the sink, so the sink
+  /// joins the target set — this keeps projection exact even when the sink
+  /// is accepting (complemented inputs).
+  void SetVariants(uint32_t sym, uint32_t count) { variants_[sym] = count; }
+  uint32_t Variants(uint32_t sym) const { return variants_[sym]; }
+
+  /// Target states of delta(left, right, sym) for *real* child states or
+  /// kAbsentChild, including the sink-absorption rule.
+  std::vector<State> Targets(State left, State right, uint32_t sym) const;
+
+  /// Re-keys the alphabet: old symbol s becomes every new symbol in
+  /// new_syms[s]; merging (projection) is allowed.
+  Nta RemapSymbols(uint32_t new_alphabet_size,
+                   const std::vector<std::vector<uint32_t>>& new_syms) const;
+
+  /// Subset construction. The result is complete over reachable subset
+  /// combinations; its sink is unreachable (and non-accepting).
+  Dta Determinize() const;
+
+ private:
+  uint32_t num_states_;
+  uint32_t alphabet_size_;
+  // Targets are stored with branch multiplicity (duplicates preserved).
+  std::unordered_map<uint64_t, std::vector<State>> delta_;
+  std::vector<bool> accepting_;
+  std::vector<uint32_t> variants_;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_TREE_AUTOMATON_H_

@@ -1,0 +1,144 @@
+#include "qpwm/tree/bintree.h"
+
+#include <vector>
+
+#include "qpwm/util/random.h"
+#include "qpwm/util/str.h"
+
+namespace qpwm {
+
+uint32_t Alphabet::Intern(const std::string& symbol) {
+  auto it = index_.find(symbol);
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.push_back(symbol);
+  index_.emplace(symbol, id);
+  return id;
+}
+
+Result<uint32_t> Alphabet::Find(const std::string& symbol) const {
+  auto it = index_.find(symbol);
+  if (it == index_.end()) return Status::NotFound("unknown symbol '" + symbol + "'");
+  return it->second;
+}
+
+NodeId BinaryTree::AddNode(uint32_t label) {
+  NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(label);
+  left_.push_back(kNoNode);
+  right_.push_back(kNoNode);
+  parent_.push_back(kNoNode);
+  return id;
+}
+
+void BinaryTree::SetLeft(NodeId parent, NodeId child) {
+  QPWM_CHECK_EQ(left_[parent], kNoNode);
+  QPWM_CHECK_EQ(parent_[child], kNoNode);
+  left_[parent] = child;
+  parent_[child] = parent;
+}
+
+void BinaryTree::SetRight(NodeId parent, NodeId child) {
+  QPWM_CHECK_EQ(right_[parent], kNoNode);
+  QPWM_CHECK_EQ(parent_[child], kNoNode);
+  right_[parent] = child;
+  parent_[child] = parent;
+}
+
+Status BinaryTree::Finalize() {
+  const size_t n = labels_.size();
+  if (n == 0) return Status::InvalidArgument("empty tree");
+
+  root_ = kNoNode;
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent_[v] == kNoNode) {
+      if (root_ != kNoNode) return Status::InvalidArgument("multiple roots");
+      root_ = v;
+    }
+  }
+  if (root_ == kNoNode) return Status::InvalidArgument("no root (cycle)");
+
+  postorder_.clear();
+  postorder_.reserve(n);
+  tin_.assign(n, 0);
+  tout_.assign(n, 0);
+  subtree_size_.assign(n, 1);
+
+  // Iterative DFS: (node, phase) with phase 0 = enter, 1 = exit.
+  uint32_t clock = 0;
+  std::vector<std::pair<NodeId, int>> stack{{root_, 0}};
+  size_t visited = 0;
+  while (!stack.empty()) {
+    auto [v, phase] = stack.back();
+    stack.pop_back();
+    if (phase == 0) {
+      ++visited;
+      tin_[v] = clock++;
+      stack.emplace_back(v, 1);
+      if (right_[v] != kNoNode) stack.emplace_back(right_[v], 0);
+      if (left_[v] != kNoNode) stack.emplace_back(left_[v], 0);
+    } else {
+      tout_[v] = clock++;
+      postorder_.push_back(v);
+      if (left_[v] != kNoNode) subtree_size_[v] += subtree_size_[left_[v]];
+      if (right_[v] != kNoNode) subtree_size_[v] += subtree_size_[right_[v]];
+    }
+  }
+  if (visited != n) {
+    return Status::InvalidArgument(
+        StrCat("tree has ", n - visited, " node(s) unreachable from the root"));
+  }
+  return Status::OK();
+}
+
+BinaryTree RandomBinaryTree(size_t n, uint32_t num_labels, Rng& rng) {
+  QPWM_CHECK_GE(n, 1u);
+  BinaryTree t;
+  t.AddNode(static_cast<uint32_t>(rng.Below(num_labels)));
+  // Free (parent, side) slots; side 0 = left, 1 = right.
+  std::vector<std::pair<NodeId, int>> slots{{0, 0}, {0, 1}};
+  for (size_t i = 1; i < n; ++i) {
+    size_t pick = static_cast<size_t>(rng.Below(slots.size()));
+    auto [parent, side] = slots[pick];
+    slots[pick] = slots.back();
+    slots.pop_back();
+    NodeId v = t.AddNode(static_cast<uint32_t>(rng.Below(num_labels)));
+    if (side == 0) {
+      t.SetLeft(parent, v);
+    } else {
+      t.SetRight(parent, v);
+    }
+    slots.emplace_back(v, 0);
+    slots.emplace_back(v, 1);
+  }
+  QPWM_CHECK(t.Finalize().ok());
+  return t;
+}
+
+BinaryTree ChainTree(size_t n, uint32_t num_labels) {
+  QPWM_CHECK_GE(n, 1u);
+  BinaryTree t;
+  NodeId prev = t.AddNode(0);
+  for (size_t i = 1; i < n; ++i) {
+    NodeId v = t.AddNode(static_cast<uint32_t>(i % num_labels));
+    t.SetLeft(prev, v);
+    prev = v;
+  }
+  QPWM_CHECK(t.Finalize().ok());
+  return t;
+}
+
+BinaryTree CompleteTree(size_t n, uint32_t num_labels) {
+  QPWM_CHECK_GE(n, 1u);
+  BinaryTree t;
+  for (size_t i = 0; i < n; ++i) t.AddNode(static_cast<uint32_t>(i % num_labels));
+  for (size_t i = 0; i < n; ++i) {
+    size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < n) t.SetLeft(static_cast<NodeId>(i), static_cast<NodeId>(l));
+    if (r < n) t.SetRight(static_cast<NodeId>(i), static_cast<NodeId>(r));
+  }
+  QPWM_CHECK(t.Finalize().ok());
+  return t;
+}
+
+}  // namespace qpwm

@@ -1,0 +1,96 @@
+// Binary Sigma-trees (Section 4): ordered binary trees with one alphabet
+// symbol per node. XML documents reach this form through the first-child /
+// next-sibling encoding in qpwm/xml. The tree-order relation <= (ancestor)
+// is answered from Euler-tour intervals.
+#ifndef QPWM_TREE_BINTREE_H_
+#define QPWM_TREE_BINTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qpwm/util/check.h"
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+/// Node id within a tree.
+using NodeId = uint32_t;
+constexpr NodeId kNoNode = UINT32_MAX;
+
+/// Interned label alphabet Sigma.
+class Alphabet {
+ public:
+  /// Returns the id of `symbol`, interning it if new.
+  uint32_t Intern(const std::string& symbol);
+  /// Id of an existing symbol.
+  Result<uint32_t> Find(const std::string& symbol) const;
+  const std::string& Name(uint32_t id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+/// An ordered binary tree with uint32 labels. Build with AddNode / SetLeft /
+/// SetRight, then Finalize() (which validates single-rootedness and
+/// computes traversal orders).
+class BinaryTree {
+ public:
+  /// Adds a detached node; returns its id.
+  NodeId AddNode(uint32_t label);
+
+  void SetLeft(NodeId parent, NodeId child);
+  void SetRight(NodeId parent, NodeId child);
+  void SetLabel(NodeId v, uint32_t label) { labels_[v] = label; }
+
+  /// Validates the shape and computes root, postorder, Euler intervals.
+  Status Finalize();
+
+  size_t size() const { return labels_.size(); }
+  NodeId root() const { return root_; }
+  uint32_t label(NodeId v) const { return labels_[v]; }
+  NodeId left(NodeId v) const { return left_[v]; }
+  NodeId right(NodeId v) const { return right_[v]; }
+  NodeId parent(NodeId v) const { return parent_[v]; }
+  bool IsLeaf(NodeId v) const { return left_[v] == kNoNode && right_[v] == kNoNode; }
+
+  /// Nodes in bottom-up (children before parents) order.
+  const std::vector<NodeId>& Postorder() const { return postorder_; }
+
+  /// The tree-order relation a <= b: a is an ancestor of b or a == b.
+  bool IsAncestorOrSelf(NodeId a, NodeId b) const {
+    return tin_[a] <= tin_[b] && tout_[b] <= tout_[a];
+  }
+
+  /// Number of nodes in the subtree rooted at v.
+  size_t SubtreeSize(NodeId v) const { return subtree_size_[v]; }
+
+  /// All labels, indexable by node id.
+  const std::vector<uint32_t>& labels() const { return labels_; }
+
+ private:
+  std::vector<uint32_t> labels_;
+  std::vector<NodeId> left_, right_, parent_;
+  NodeId root_ = kNoNode;
+  std::vector<NodeId> postorder_;
+  std::vector<uint32_t> tin_, tout_;
+  std::vector<uint32_t> subtree_size_;
+};
+
+/// Random binary tree: nodes attached one by one to a uniformly random free
+/// child slot; labels uniform over [0, num_labels).
+class Rng;
+BinaryTree RandomBinaryTree(size_t n, uint32_t num_labels, Rng& rng);
+
+/// Left-leaning chain of n nodes (worst-case depth), labels cycling.
+BinaryTree ChainTree(size_t n, uint32_t num_labels);
+
+/// Complete binary tree with n nodes (heap shape), labels cycling.
+BinaryTree CompleteTree(size_t n, uint32_t num_labels);
+
+}  // namespace qpwm
+
+#endif  // QPWM_TREE_BINTREE_H_

@@ -1,0 +1,62 @@
+// MSO on binary Sigma-trees, compiled to tree automata (Lemma 2, after
+// Grohe-Turán / the classical Thatcher-Wright construction).
+//
+// Vocabulary tau(Sigma): S1 (left child), S2 (right child), LEQ (tree order,
+// ancestor-or-self), P_<symbol> (label tests), plus the derived unary ROOT
+// and LEAF. Each variable — first- or second-order — occupies one pebble
+// track; a formula with track set T compiles to a Dta over the alphabet
+// Sigma x {0,1}^|T|, symbol encoding sym = base + |Sigma| * bits (track i =
+// bit i). Boolean connectives are automaton products, negation is
+// complementation (automata are kept deterministic and sink-complete),
+// quantifiers are track projections followed by subset construction;
+// first-order quantifiers conjoin a singleton-track automaton first.
+// Minimization runs after every step to keep the state count flat.
+//
+// Compiled automata are exact on well-sorted inputs (first-order tracks carry
+// exactly one pebble) — the only inputs the query machinery produces.
+#ifndef QPWM_TREE_MSO_H_
+#define QPWM_TREE_MSO_H_
+
+#include <string>
+#include <vector>
+
+#include "qpwm/logic/formula.h"
+#include "qpwm/structure/structure.h"
+#include "qpwm/tree/automaton.h"
+#include "qpwm/tree/bintree.h"
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+/// A Dta plus the variable names of its pebble tracks (track i = bit i).
+struct TrackedDta {
+  Dta dta;
+  std::vector<std::string> tracks;
+};
+
+/// Compiles `f` into an automaton whose tracks are exactly `var_order`
+/// (which must cover the free variables of `f`, first- and second-order).
+/// The base alphabet provides the P_<symbol> label predicates.
+Result<TrackedDta> CompileMso(const Formula& f, const Alphabet& sigma,
+                              const std::vector<std::string>& var_order);
+
+/// Per-node symbols of T_{a_bar}: base labels with pebble bits, one
+/// first-order pebble per track (pebbles[i] = node carrying track i).
+std::vector<uint32_t> PebbledSymbols(const std::vector<uint32_t>& base_labels,
+                                     uint32_t base_count,
+                                     const std::vector<NodeId>& pebbles);
+
+/// Per-node symbols with arbitrary (set-valued) track assignments — for
+/// cross-validating second-order semantics.
+std::vector<uint32_t> SetSymbols(const std::vector<uint32_t>& base_labels,
+                                 uint32_t base_count,
+                                 const std::vector<std::vector<bool>>& track_sets);
+
+/// Encodes a tree as a relational structure over
+/// {S1, S2, LEQ, ROOT, LEAF, P_<symbol>} so the naive logic::Evaluator can
+/// serve as the semantic reference (quadratic LEQ — small trees only).
+Structure TreeToStructure(const BinaryTree& t, const Alphabet& sigma);
+
+}  // namespace qpwm
+
+#endif  // QPWM_TREE_MSO_H_

@@ -1,0 +1,53 @@
+#include "qpwm/util/bitvec.h"
+
+#include <bit>
+
+namespace qpwm {
+
+BitVec BitVec::FromUint64(uint64_t value, size_t n_bits) {
+  QPWM_CHECK(n_bits <= 64);
+  BitVec v(n_bits);
+  for (size_t i = 0; i < n_bits; ++i) {
+    if ((value >> i) & 1) v.Set(i, true);
+  }
+  return v;
+}
+
+BitVec BitVec::FromString(const std::string& bits) {
+  BitVec v(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    QPWM_CHECK(bits[i] == '0' || bits[i] == '1');
+    if (bits[i] == '1') v.Set(i, true);
+  }
+  return v;
+}
+
+size_t BitVec::Count() const {
+  size_t c = 0;
+  for (uint64_t w : words_) c += static_cast<size_t>(std::popcount(w));
+  return c;
+}
+
+std::string BitVec::ToString() const {
+  std::string s(n_bits_, '0');
+  for (size_t i = 0; i < n_bits_; ++i) {
+    if (Get(i)) s[i] = '1';
+  }
+  return s;
+}
+
+uint64_t BitVec::ToUint64() const {
+  QPWM_CHECK(n_bits_ <= 64);
+  return words_.empty() ? 0 : words_[0];
+}
+
+size_t BitVec::HammingDistance(const BitVec& other) const {
+  QPWM_CHECK_EQ(n_bits_, other.n_bits_);
+  size_t d = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    d += static_cast<size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return d;
+}
+
+}  // namespace qpwm

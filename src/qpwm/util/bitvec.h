@@ -1,0 +1,79 @@
+// Dynamic bit vector used for marks (the l-bit messages hidden in a
+// structure) and for set-system rows in the VC-dimension machinery.
+#ifndef QPWM_UTIL_BITVEC_H_
+#define QPWM_UTIL_BITVEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qpwm/util/check.h"
+
+namespace qpwm {
+
+/// Fixed-length sequence of bits with value semantics.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(size_t n_bits, bool value = false)
+      : n_bits_(n_bits), words_((n_bits + 63) / 64, value ? ~uint64_t{0} : 0) {
+    TrimLastWord();
+  }
+
+  /// Builds an n-bit vector from the low bits of `value` (bit 0 first).
+  static BitVec FromUint64(uint64_t value, size_t n_bits);
+
+  /// Parses a string of '0'/'1' characters (index 0 = first character).
+  static BitVec FromString(const std::string& bits);
+
+  size_t size() const { return n_bits_; }
+  bool empty() const { return n_bits_ == 0; }
+
+  bool Get(size_t i) const {
+    QPWM_CHECK(i < n_bits_);
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+
+  void Set(size_t i, bool v) {
+    QPWM_CHECK(i < n_bits_);
+    uint64_t mask = uint64_t{1} << (i % 64);
+    if (v) {
+      words_[i / 64] |= mask;
+    } else {
+      words_[i / 64] &= ~mask;
+    }
+  }
+
+  void Flip(size_t i) { Set(i, !Get(i)); }
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// Bits as a '0'/'1' string.
+  std::string ToString() const;
+
+  /// Low-order reconstruction of FromUint64; requires size() <= 64.
+  uint64_t ToUint64() const;
+
+  /// Hamming distance to another vector of equal length.
+  size_t HammingDistance(const BitVec& other) const;
+
+  bool operator==(const BitVec& other) const {
+    return n_bits_ == other.n_bits_ && words_ == other.words_;
+  }
+  bool operator!=(const BitVec& other) const { return !(*this == other); }
+
+ private:
+  void TrimLastWord() {
+    if (n_bits_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (n_bits_ % 64)) - 1;
+    }
+  }
+
+  size_t n_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_UTIL_BITVEC_H_

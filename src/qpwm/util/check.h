@@ -1,0 +1,33 @@
+// Invariant-checking macros for programmer errors (not recoverable errors —
+// those use Status/Result). Enabled in all build types: the algorithms here
+// back correctness proofs, so silent invariant drift is worse than an abort.
+#ifndef QPWM_UTIL_CHECK_H_
+#define QPWM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qpwm::internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "QPWM_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace qpwm::internal
+
+/// Aborts with file/line context if `cond` is false.
+#define QPWM_CHECK(cond)                                          \
+  do {                                                            \
+    if (!(cond)) ::qpwm::internal::CheckFail(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+/// Convenience comparison checks.
+#define QPWM_CHECK_EQ(a, b) QPWM_CHECK((a) == (b))
+#define QPWM_CHECK_NE(a, b) QPWM_CHECK((a) != (b))
+#define QPWM_CHECK_LT(a, b) QPWM_CHECK((a) < (b))
+#define QPWM_CHECK_LE(a, b) QPWM_CHECK((a) <= (b))
+#define QPWM_CHECK_GT(a, b) QPWM_CHECK((a) > (b))
+#define QPWM_CHECK_GE(a, b) QPWM_CHECK((a) >= (b))
+
+#endif  // QPWM_UTIL_CHECK_H_

@@ -1,0 +1,22 @@
+#include "qpwm/util/random.h"
+
+#include <numeric>
+
+namespace qpwm {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  QPWM_CHECK(k <= n);
+  // Partial Fisher-Yates over an index vector: O(n) setup, O(k) draws.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(Below(n - i));
+    std::swap(idx[i], idx[j]);
+    out.push_back(idx[i]);
+  }
+  return out;
+}
+
+}  // namespace qpwm

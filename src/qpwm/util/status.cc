@@ -1,0 +1,36 @@
+#include "qpwm/util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qpwm {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kCapacityExhausted: return "CapacityExhausted";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kDetectionFailed: return "DetectionFailed";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+void DieOnBadResult(const Status& status) {
+  std::fprintf(stderr, "Result::ValueOrDie on error: %s\n", status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace qpwm

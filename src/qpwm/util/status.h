@@ -1,0 +1,130 @@
+// Status / Result error model (Arrow / RocksDB idiom): recoverable errors are
+// returned as values, never thrown. Programmer errors abort via QPWM_CHECK.
+#ifndef QPWM_UTIL_STATUS_H_
+#define QPWM_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace qpwm {
+
+/// Machine-readable error category.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kCapacityExhausted,
+  kParseError,
+  kDetectionFailed,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a context message.
+///
+/// Cheap to copy in the OK case (empty message). Use the factory functions
+/// (`Status::OK()`, `Status::InvalidArgument(...)`) rather than the raw
+/// constructor.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status CapacityExhausted(std::string msg) {
+    return Status(StatusCode::kCapacityExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DetectionFailed(std::string msg) {
+    return Status(StatusCode::kDetectionFailed, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status.
+///
+/// `ValueOrDie()` aborts on error with the status message; prefer checking
+/// `ok()` first on paths where the error is expected.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}                // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}        // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the value, aborting the process if this holds an error.
+  T ValueOrDie() &&;
+  const T& ValueOrDie() const&;
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+[[noreturn]] void DieOnBadResult(const Status& status);
+
+template <typename T>
+T Result<T>::ValueOrDie() && {
+  if (!ok()) DieOnBadResult(status_);
+  return std::move(*value_);
+}
+
+template <typename T>
+const T& Result<T>::ValueOrDie() const& {
+  if (!ok()) DieOnBadResult(status_);
+  return *value_;
+}
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define QPWM_RETURN_NOT_OK(expr)                   \
+  do {                                             \
+    ::qpwm::Status _qpwm_status = (expr);          \
+    if (!_qpwm_status.ok()) return _qpwm_status;   \
+  } while (false)
+
+}  // namespace qpwm
+
+#endif  // QPWM_UTIL_STATUS_H_

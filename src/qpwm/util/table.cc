@@ -1,0 +1,55 @@
+#include "qpwm/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "qpwm/util/check.h"
+
+namespace qpwm {
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  QPWM_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  auto print_rule = [&] {
+    os << "+";
+    for (size_t c = 0; c < width.size(); ++c) {
+      for (size_t i = 0; i < width[c] + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+
+  os << "\n== " << title_ << " ==\n";
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string FmtDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace qpwm

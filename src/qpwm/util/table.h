@@ -1,0 +1,37 @@
+// Plain-text table rendering for the benchmark harness: every experiment
+// prints paper-shaped rows through this one formatter so outputs are uniform.
+#ifndef QPWM_UTIL_TABLE_H_
+#define QPWM_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qpwm {
+
+/// Column-aligned text table with a title and a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row (also fixes the column count).
+  void SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Appends a data row; must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with box-drawing-free ASCII (stable under redirection).
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (bench output helper).
+std::string FmtDouble(double v, int precision = 3);
+
+}  // namespace qpwm
+
+#endif  // QPWM_UTIL_TABLE_H_

@@ -1,0 +1,40 @@
+// Vapnik-Chervonenkis dimension of query-defined set systems (Section 1 and
+// Theorem 2). C(psi, G) = { W_a : a in U^r } is a family of subsets of the
+// active elements W; VC(psi, G) is the size of the largest subset of W
+// shattered by the family. Exact computation is exponential in the answer —
+// fine at the scales where the impossibility experiments live.
+#ifndef QPWM_VC_VCDIM_H_
+#define QPWM_VC_VCDIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qpwm/core/answers.h"
+
+namespace qpwm {
+
+/// A set system over a ground set {0..n-1}: each set is a sorted vector.
+struct SetSystem {
+  size_t ground_size = 0;
+  std::vector<std::vector<uint32_t>> sets;
+};
+
+/// The set system C(psi, G) over the active elements of a query index.
+SetSystem SetSystemFromQuery(const QueryIndex& index);
+
+/// True iff `candidate` (sorted subset of the ground set) is shattered.
+bool IsShattered(const SetSystem& system, const std::vector<uint32_t>& candidate);
+
+/// Exact VC dimension by layered search: tries subsets of size k+1 extending
+/// shattered subsets of size k (every subset of a shattered set is
+/// shattered, so the search is monotone). `max_dim` caps the work; returns
+/// min(VC, max_dim).
+uint32_t VcDimension(const SetSystem& system, uint32_t max_dim = 24);
+
+/// Greedy lower bound: grows one shattered set element by element. Fast on
+/// large systems; at most the true VC.
+uint32_t VcLowerBound(const SetSystem& system);
+
+}  // namespace qpwm
+
+#endif  // QPWM_VC_VCDIM_H_

@@ -1,0 +1,102 @@
+#include "qpwm/xml/dom.h"
+
+#include <sstream>
+
+namespace qpwm {
+namespace {
+
+void EscapeInto(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '<': os << "&lt;"; break;
+      case '>': os << "&gt;"; break;
+      case '&': os << "&amp;"; break;
+      case '"': os << "&quot;"; break;
+      default: os << c;
+    }
+  }
+}
+
+void SerializeNode(const XmlDocument& doc, XmlNodeId id, int depth,
+                   std::ostringstream& os) {
+  const XmlNode& n = doc.node(id);
+  std::string indent(2 * static_cast<size_t>(depth), ' ');
+  if (n.kind == XmlNode::Kind::kText) {
+    os << indent;
+    EscapeInto(os, n.text);
+    os << '\n';
+    return;
+  }
+  os << indent << '<' << n.tag;
+  for (const XmlAttr& a : n.attrs) {
+    os << ' ' << a.name << "=\"";
+    EscapeInto(os, a.value);
+    os << '"';
+  }
+  if (n.children.empty()) {
+    os << "/>\n";
+    return;
+  }
+  os << ">\n";
+  for (XmlNodeId c : n.children) SerializeNode(doc, c, depth + 1, os);
+  os << indent << "</" << n.tag << ">\n";
+}
+
+}  // namespace
+
+XmlNodeId XmlDocument::AddElement(std::string tag) {
+  XmlNode n;
+  n.kind = XmlNode::Kind::kElement;
+  n.tag = std::move(tag);
+  nodes_.push_back(std::move(n));
+  return static_cast<XmlNodeId>(nodes_.size() - 1);
+}
+
+XmlNodeId XmlDocument::AddText(std::string text) {
+  XmlNode n;
+  n.kind = XmlNode::Kind::kText;
+  n.text = std::move(text);
+  nodes_.push_back(std::move(n));
+  return static_cast<XmlNodeId>(nodes_.size() - 1);
+}
+
+void XmlDocument::AppendChild(XmlNodeId parent, XmlNodeId child) {
+  QPWM_CHECK_LT(parent, nodes_.size());
+  QPWM_CHECK_LT(child, nodes_.size());
+  QPWM_CHECK_EQ(nodes_[child].parent, kNoXmlNode);
+  nodes_[parent].children.push_back(child);
+  nodes_[child].parent = parent;
+}
+
+void XmlDocument::AddAttribute(XmlNodeId element, std::string name, std::string value) {
+  nodes_[element].attrs.push_back({std::move(name), std::move(value)});
+}
+
+void XmlDocument::SetRoot(XmlNodeId root) {
+  QPWM_CHECK_LT(root, nodes_.size());
+  root_ = root;
+}
+
+std::string XmlDocument::TextContent(XmlNodeId id) const {
+  std::string out;
+  for (XmlNodeId c : nodes_[id].children) {
+    if (nodes_[c].kind == XmlNode::Kind::kText) out += nodes_[c].text;
+  }
+  return out;
+}
+
+Result<XmlNodeId> XmlDocument::ChildByTag(XmlNodeId id, const std::string& tag) const {
+  for (XmlNodeId c : nodes_[id].children) {
+    if (nodes_[c].kind == XmlNode::Kind::kElement && nodes_[c].tag == tag) return c;
+  }
+  return Status::NotFound("no child <" + tag + ">");
+}
+
+std::string SerializeXml(const XmlDocument& doc) {
+  std::ostringstream os;
+  QPWM_CHECK(doc.root() != kNoXmlNode);
+  SerializeNode(doc, doc.root(), 0, os);
+  return os.str();
+}
+
+}  // namespace qpwm

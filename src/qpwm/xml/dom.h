@@ -1,0 +1,65 @@
+// Minimal XML document object model: elements with attributes, text nodes.
+// Built from scratch (no external XML library): enough for the paper's
+// Example 4 documents and their scaled-up benchmark variants.
+#ifndef QPWM_XML_DOM_H_
+#define QPWM_XML_DOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qpwm/util/check.h"
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+/// Index of a node within its document.
+using XmlNodeId = uint32_t;
+constexpr XmlNodeId kNoXmlNode = UINT32_MAX;
+
+struct XmlAttr {
+  std::string name;
+  std::string value;
+};
+
+struct XmlNode {
+  enum class Kind { kElement, kText };
+  Kind kind = Kind::kElement;
+  std::string tag;    // element tag name
+  std::string text;   // text content (kText)
+  std::vector<XmlAttr> attrs;
+  std::vector<XmlNodeId> children;  // element children, in document order
+  XmlNodeId parent = kNoXmlNode;
+};
+
+/// An XML document: a node arena plus the root element.
+class XmlDocument {
+ public:
+  XmlNodeId AddElement(std::string tag);
+  XmlNodeId AddText(std::string text);
+  void AppendChild(XmlNodeId parent, XmlNodeId child);
+  void AddAttribute(XmlNodeId element, std::string name, std::string value);
+  void SetRoot(XmlNodeId root);
+
+  XmlNodeId root() const { return root_; }
+  size_t size() const { return nodes_.size(); }
+  const XmlNode& node(XmlNodeId id) const { return nodes_[id]; }
+  XmlNode& mutable_node(XmlNodeId id) { return nodes_[id]; }
+
+  /// Concatenated text of the node's direct text children.
+  std::string TextContent(XmlNodeId id) const;
+
+  /// First child element with the given tag, if any.
+  Result<XmlNodeId> ChildByTag(XmlNodeId id, const std::string& tag) const;
+
+ private:
+  std::vector<XmlNode> nodes_;
+  XmlNodeId root_ = kNoXmlNode;
+};
+
+/// Serializes with 2-space indentation; text is entity-escaped.
+std::string SerializeXml(const XmlDocument& doc);
+
+}  // namespace qpwm
+
+#endif  // QPWM_XML_DOM_H_

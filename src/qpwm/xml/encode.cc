@@ -1,0 +1,201 @@
+#include "qpwm/xml/encode.h"
+
+#include <charconv>
+
+#include "qpwm/util/check.h"
+#include "qpwm/util/random.h"
+#include "qpwm/util/str.h"
+#include "qpwm/xml/parser.h"
+
+namespace qpwm {
+namespace {
+
+Result<Weight> ParseWeight(const std::string& text) {
+  Weight value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::ParseError("weight element text '" + text + "' is not an integer");
+  }
+  return value;
+}
+
+// One entry of the effective child list of an XML element.
+struct EffectiveChild {
+  enum class Kind { kXml, kAttr } kind;
+  XmlNodeId xml = kNoXmlNode;   // kXml
+  std::string attr_label;       // kAttr: "@name"
+  std::string attr_value;       // kAttr
+};
+
+class Encoder {
+ public:
+  Encoder(const XmlDocument& doc, const std::set<std::string>& weight_tags)
+      : doc_(doc), weight_tags_(weight_tags) {}
+
+  Result<EncodedXml> Run() {
+    out_.xml_to_tree.assign(doc_.size(), kNoNode);
+    auto root = EncodeNode(doc_.root());
+    if (!root.ok()) return root.status();
+    QPWM_RETURN_NOT_OK(out_.tree.Finalize());
+    out_.weights = WeightMap(1, out_.tree.size());
+    out_.is_weight_node.assign(out_.tree.size(), false);
+    for (const auto& [node, w] : pending_weights_) {
+      out_.weights.SetElem(node, w);
+      out_.is_weight_node[node] = true;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  // Creates the tree node for one XML node and (recursively) its subtree in
+  // first-child / next-sibling form. Returns the tree node id.
+  Result<NodeId> EncodeNode(XmlNodeId xml_id) {
+    const XmlNode& n = doc_.node(xml_id);
+
+    if (n.kind == XmlNode::Kind::kText) {
+      NodeId v = out_.tree.AddNode(out_.sigma.Intern(n.text));
+      RecordMapping(v, xml_id);
+      return v;
+    }
+
+    NodeId v = out_.tree.AddNode(out_.sigma.Intern(n.tag));
+    RecordMapping(v, xml_id);
+
+    const bool is_weight = weight_tags_.count(n.tag) > 0;
+    if (is_weight) {
+      std::string text = doc_.TextContent(xml_id);
+      auto w = ParseWeight(text);
+      if (!w.ok()) return w.status();
+      pending_weights_.emplace_back(v, w.value());
+      bool has_element_child = false;
+      for (XmlNodeId c : n.children) {
+        if (doc_.node(c).kind == XmlNode::Kind::kElement) has_element_child = true;
+      }
+      if (has_element_child) {
+        return Status::InvalidArgument("weight element <" + n.tag +
+                                       "> must contain only its numeric value");
+      }
+      return v;  // numeric text absorbed into the weight map
+    }
+
+    // Effective children: attributes first, then document children.
+    std::vector<EffectiveChild> children;
+    for (const XmlAttr& a : n.attrs) {
+      children.push_back({EffectiveChild::Kind::kAttr, kNoXmlNode, "@" + a.name, a.value});
+    }
+    for (XmlNodeId c : n.children) {
+      children.push_back({EffectiveChild::Kind::kXml, c, "", ""});
+    }
+
+    NodeId prev = kNoNode;
+    for (size_t i = 0; i < children.size(); ++i) {
+      NodeId child_node;
+      if (children[i].kind == EffectiveChild::Kind::kAttr) {
+        child_node = out_.tree.AddNode(out_.sigma.Intern(children[i].attr_label));
+        RecordMapping(child_node, kNoXmlNode);
+        NodeId value_node = out_.tree.AddNode(out_.sigma.Intern(children[i].attr_value));
+        RecordMapping(value_node, kNoXmlNode);
+        out_.tree.SetLeft(child_node, value_node);
+      } else {
+        auto encoded = EncodeNode(children[i].xml);
+        if (!encoded.ok()) return encoded;
+        child_node = encoded.value();
+      }
+      if (i == 0) {
+        out_.tree.SetLeft(v, child_node);
+      } else {
+        out_.tree.SetRight(prev, child_node);
+      }
+      prev = child_node;
+    }
+    return v;
+  }
+
+  void RecordMapping(NodeId tree_node, XmlNodeId xml_id) {
+    if (out_.tree_to_xml.size() <= tree_node) out_.tree_to_xml.resize(tree_node + 1);
+    out_.tree_to_xml[tree_node] = xml_id;
+    if (xml_id != kNoXmlNode) out_.xml_to_tree[xml_id] = tree_node;
+  }
+
+  const XmlDocument& doc_;
+  const std::set<std::string>& weight_tags_;
+  EncodedXml out_;
+  std::vector<std::pair<NodeId, Weight>> pending_weights_;
+};
+
+}  // namespace
+
+Result<EncodedXml> EncodeXml(const XmlDocument& doc,
+                             const std::set<std::string>& weight_tags) {
+  return Encoder(doc, weight_tags).Run();
+}
+
+XmlDocument ApplyWeights(const XmlDocument& doc, const EncodedXml& encoded,
+                         const WeightMap& weights) {
+  XmlDocument out = doc;
+  for (NodeId v = 0; v < encoded.tree.size(); ++v) {
+    if (!encoded.is_weight_node[v]) continue;
+    XmlNodeId xml_id = encoded.tree_to_xml[v];
+    QPWM_CHECK(xml_id != kNoXmlNode);
+    const XmlNode& elem = out.node(xml_id);
+    QPWM_CHECK(!elem.children.empty());
+    for (XmlNodeId c : elem.children) {
+      if (out.node(c).kind == XmlNode::Kind::kText) {
+        out.mutable_node(c).text = StrCat(weights.GetElem(v));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+XmlDocument SchoolExampleDocument() {
+  static const char* kXml = R"(
+<school>
+  <student>
+    <firstname>John</firstname>
+    <lastname>Doe</lastname>
+    <exam>11</exam>
+  </student>
+  <student>
+    <firstname>Robert</firstname>
+    <lastname>Durant</lastname>
+    <exam>16</exam>
+  </student>
+  <student>
+    <firstname>Robert</firstname>
+    <lastname>Smith</lastname>
+    <exam>12</exam>
+  </student>
+</school>
+)";
+  return MustParseXml(kXml);
+}
+
+XmlDocument RandomSchoolDocument(size_t students, Rng& rng, Weight grade_lo,
+                                 Weight grade_hi, size_t name_pool) {
+  static const char* kFirst[] = {"John", "Robert", "Alice",  "Maria",
+                                 "Wei",  "Ahmed",  "Sofia",  "Ivan"};
+  static const char* kLast[] = {"Doe", "Durant", "Smith", "Khan", "Garcia", "Li"};
+  QPWM_CHECK_GE(name_pool, 1u);
+  QPWM_CHECK_LE(name_pool, 8u);
+  XmlDocument doc;
+  XmlNodeId school = doc.AddElement("school");
+  doc.SetRoot(school);
+  for (size_t i = 0; i < students; ++i) {
+    XmlNodeId student = doc.AddElement("student");
+    doc.AppendChild(school, student);
+    XmlNodeId firstname = doc.AddElement("firstname");
+    doc.AppendChild(student, firstname);
+    doc.AppendChild(firstname, doc.AddText(kFirst[rng.Below(name_pool)]));
+    XmlNodeId lastname = doc.AddElement("lastname");
+    doc.AppendChild(student, lastname);
+    doc.AppendChild(lastname, doc.AddText(kLast[rng.Below(6)]));
+    XmlNodeId exam = doc.AddElement("exam");
+    doc.AppendChild(student, exam);
+    doc.AppendChild(exam, doc.AddText(StrCat(rng.Uniform(grade_lo, grade_hi))));
+  }
+  return doc;
+}
+
+}  // namespace qpwm

@@ -1,0 +1,58 @@
+// Unranked-to-binary encoding of XML (the paper's reference [15]):
+// left child = first XML child, right child = next XML sibling. Elements are
+// labeled by tag, text nodes by their content. Elements whose tag is
+// registered as a *weight tag* must contain exactly one integer text child;
+// that value moves into the weight map (weights are data, not structure —
+// the watermark may distort them) and the text child disappears from the
+// tree. Attributes become '@name' child elements with a text child.
+#ifndef QPWM_XML_ENCODE_H_
+#define QPWM_XML_ENCODE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "qpwm/structure/weighted.h"
+#include "qpwm/tree/bintree.h"
+#include "qpwm/util/status.h"
+#include "qpwm/xml/dom.h"
+
+namespace qpwm {
+
+/// The binary-encoded form of an XML document.
+struct EncodedXml {
+  BinaryTree tree;
+  Alphabet sigma;
+  WeightMap weights;                    // over tree nodes (weight tags only)
+  std::vector<bool> is_weight_node;     // tree node carries a weight
+  std::vector<XmlNodeId> tree_to_xml;   // tree node -> originating XML node
+  std::vector<NodeId> xml_to_tree;      // XML node -> tree node (or kNoNode)
+
+  EncodedXml() : weights(1, 0) {}
+};
+
+/// Encodes `doc`. Fails if a weight-tagged element has no integer content.
+Result<EncodedXml> EncodeXml(const XmlDocument& doc,
+                             const std::set<std::string>& weight_tags);
+
+/// Writes (possibly watermarked) weights back into a copy of the document:
+/// each weight element's text becomes the weight value.
+XmlDocument ApplyWeights(const XmlDocument& doc, const EncodedXml& encoded,
+                         const WeightMap& weights);
+
+/// The paper's Example 4 school document.
+XmlDocument SchoolExampleDocument();
+
+/// A scaled school document: `students` students with first names drawn
+/// from a pool of `name_pool` (<= 8) names and random exam grades in
+/// [grade_lo, grade_hi]. The MSO-compiled query automaton grows
+/// exponentially with the distinct-name count (the compiled automaton must
+/// distinguish the parameter's value), so benches sweep `name_pool`
+/// deliberately.
+class Rng;
+XmlDocument RandomSchoolDocument(size_t students, Rng& rng, Weight grade_lo = 0,
+                                 Weight grade_hi = 20, size_t name_pool = 3);
+
+}  // namespace qpwm
+
+#endif  // QPWM_XML_ENCODE_H_

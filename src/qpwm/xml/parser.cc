@@ -1,0 +1,207 @@
+#include "qpwm/xml/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "qpwm/util/check.h"
+#include "qpwm/util/str.h"
+
+namespace qpwm {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view in) : in_(in) {}
+
+  Result<XmlDocument> Parse() {
+    SkipProlog();
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    SkipWhitespaceAndComments();
+    if (pos_ != in_.size()) {
+      return Status::ParseError(StrCat("trailing content at offset ", pos_));
+    }
+    doc_.SetRoot(root.value());
+    return std::move(doc_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  bool Starts(std::string_view prefix) const {
+    return in_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      SkipWhitespace();
+      if (Starts("<!--")) {
+        size_t end = in_.find("-->", pos_ + 4);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 3;
+        continue;
+      }
+      break;
+    }
+  }
+
+  void SkipProlog() {
+    SkipWhitespace();
+    if (Starts("<?xml")) {
+      size_t end = in_.find("?>", pos_);
+      pos_ = end == std::string_view::npos ? in_.size() : end + 2;
+    }
+    SkipWhitespaceAndComments();
+    if (Starts("<!DOCTYPE")) {
+      size_t end = in_.find('>', pos_);
+      pos_ = end == std::string_view::npos ? in_.size() : end + 1;
+    }
+    SkipWhitespaceAndComments();
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_' || Peek() == '-' || Peek() == ':' ||
+                        Peek() == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError(StrCat("expected name at offset ", pos_));
+    }
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Status::ParseError("unterminated entity");
+      }
+      std::string_view name = raw.substr(i + 1, semi - i - 1);
+      if (name == "lt") {
+        out += '<';
+      } else if (name == "gt") {
+        out += '>';
+      } else if (name == "amp") {
+        out += '&';
+      } else if (name == "quot") {
+        out += '"';
+      } else if (name == "apos") {
+        out += '\'';
+      } else {
+        return Status::ParseError(StrCat("unknown entity &", std::string(name), ";"));
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Result<XmlNodeId> ParseElement() {
+    if (AtEnd() || Peek() != '<') {
+      return Status::ParseError(StrCat("expected '<' at offset ", pos_));
+    }
+    ++pos_;
+    auto tag = ParseName();
+    if (!tag.ok()) return tag.status();
+    XmlNodeId elem = doc_.AddElement(tag.value());
+
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Status::ParseError("unterminated start tag");
+      if (Peek() == '>' || Starts("/>")) break;
+      auto attr_name = ParseName();
+      if (!attr_name.ok()) return attr_name.status();
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') {
+        return Status::ParseError(StrCat("expected '=' at offset ", pos_));
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Status::ParseError(StrCat("expected quoted value at offset ", pos_));
+      }
+      char quote = Peek();
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) ++pos_;
+      if (AtEnd()) return Status::ParseError("unterminated attribute value");
+      auto value = DecodeEntities(in_.substr(start, pos_ - start));
+      if (!value.ok()) return value.status();
+      ++pos_;
+      doc_.AddAttribute(elem, std::move(attr_name).value(), std::move(value).value());
+    }
+
+    if (Starts("/>")) {
+      pos_ += 2;
+      return elem;
+    }
+    ++pos_;  // '>'
+
+    // Content.
+    for (;;) {
+      size_t text_start = pos_;
+      while (!AtEnd() && Peek() != '<') ++pos_;
+      if (pos_ > text_start) {
+        auto text = DecodeEntities(in_.substr(text_start, pos_ - text_start));
+        if (!text.ok()) return text.status();
+        std::string_view stripped = StripWhitespace(text.value());
+        if (!stripped.empty()) {
+          doc_.AppendChild(elem, doc_.AddText(std::string(stripped)));
+        }
+      }
+      if (AtEnd()) return Status::ParseError("unterminated element <" + tag.value() + ">");
+      if (Starts("<!--")) {
+        size_t end = in_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) return Status::ParseError("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (Starts("</")) {
+        pos_ += 2;
+        auto close = ParseName();
+        if (!close.ok()) return close.status();
+        if (close.value() != tag.value()) {
+          return Status::ParseError("mismatched close tag </" + close.value() +
+                                    "> for <" + tag.value() + ">");
+        }
+        SkipWhitespace();
+        if (AtEnd() || Peek() != '>') {
+          return Status::ParseError(StrCat("expected '>' at offset ", pos_));
+        }
+        ++pos_;
+        return elem;
+      }
+      auto child = ParseElement();
+      if (!child.ok()) return child.status();
+      doc_.AppendChild(elem, child.value());
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  XmlDocument doc_;
+};
+
+}  // namespace
+
+Result<XmlDocument> ParseXml(std::string_view input) { return Parser(input).Parse(); }
+
+XmlDocument MustParseXml(std::string_view input) {
+  auto doc = ParseXml(input);
+  QPWM_CHECK(doc.ok());
+  return std::move(doc).value();
+}
+
+}  // namespace qpwm

@@ -1,0 +1,23 @@
+// Hand-rolled XML parser: elements, attributes, text, comments, the XML
+// declaration, and the five predefined entities. Whitespace-only text
+// between elements is dropped (document-centric XML, as in the paper's
+// Example 4). Errors carry byte offsets.
+#ifndef QPWM_XML_PARSER_H_
+#define QPWM_XML_PARSER_H_
+
+#include <string_view>
+
+#include "qpwm/util/status.h"
+#include "qpwm/xml/dom.h"
+
+namespace qpwm {
+
+/// Parses an XML document.
+Result<XmlDocument> ParseXml(std::string_view input);
+
+/// Parses, aborting on error — for documents embedded in code.
+XmlDocument MustParseXml(std::string_view input);
+
+}  // namespace qpwm
+
+#endif  // QPWM_XML_PARSER_H_

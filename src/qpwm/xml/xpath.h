@@ -1,0 +1,70 @@
+// XPath subset for the paper's Example 4 queries:
+//
+//   school/student[firstname=$1]/exam
+//   school//exam                          (descendant axis)
+//
+// Steps are child (`/`) or descendant (`//`) steps with an optional equality
+// predicate on a child element's text, whose right-hand side is either a
+// literal or the user parameter ($1). The query compiles into MSO over the
+// binary encoding (child = S1 then an S2-chain; descendant = LEQ below the
+// first child, both first-order on the encoding) and from there into a tree
+// automaton via CompileMso — the paper's Theorem 4 pipeline for XML, end to
+// end.
+#ifndef QPWM_XML_XPATH_H_
+#define QPWM_XML_XPATH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qpwm/logic/formula.h"
+#include "qpwm/tree/mso.h"
+#include "qpwm/util/status.h"
+#include "qpwm/xml/encode.h"
+
+namespace qpwm {
+
+struct XPathStep {
+  std::string tag;
+  std::optional<std::string> pred_tag;      // [pred_tag = ...]
+  std::optional<std::string> pred_literal;  // literal RHS
+  bool pred_is_param = false;               // $1 RHS
+  /// True when this step is reached via `//` (descendant-or-below) instead
+  /// of `/` (child). A leading `//` matches the tag anywhere in the document.
+  bool descendant_axis = false;
+};
+
+/// A parsed XPath-subset query.
+class XPathQuery {
+ public:
+  static Result<XPathQuery> Parse(std::string_view text);
+
+  const std::vector<XPathStep>& steps() const { return steps_; }
+  /// True if some predicate references the user parameter $1.
+  bool has_param() const;
+
+  /// The equivalent MSO formula over the binary encoding. Free variables:
+  /// "u" (the parameter's text node, when has_param()) and "v" (the result
+  /// element node). Label disjunctions are expanded against the document's
+  /// alphabet.
+  Result<FormulaPtr> ToMso(const EncodedXml& encoded) const;
+
+  /// Full pipeline: MSO, then automaton with tracks [u, v] (or [v]).
+  Result<TrackedDta> Compile(const EncodedXml& encoded) const;
+
+  /// Reference semantics, straight on the DOM: the XML ids selected when the
+  /// parameter equals `param_value` (ignored for parameter-free queries).
+  std::vector<XmlNodeId> EvaluateOnDom(const XmlDocument& doc,
+                                       const std::string& param_value) const;
+
+  /// Tree nodes that are valid parameter bindings: text nodes under a
+  /// pred-tag element anywhere the parameterized predicate applies.
+  std::vector<NodeId> ParamTreeNodes(const EncodedXml& encoded) const;
+
+ private:
+  std::vector<XPathStep> steps_;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_XML_XPATH_H_

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qpwm/baseline/agrawal_kiernan.h"
+#include "qpwm/util/random.h"
+#include "qpwm/util/str.h"
+
+namespace qpwm {
+namespace {
+
+Table SalesTable(size_t rows, Rng& rng) {
+  Table t("Sales", {{"id", ColumnRole::kKey, ""},
+                    {"amount", ColumnRole::kWeight, "id"},
+                    {"units", ColumnRole::kWeight, "id"}});
+  for (size_t i = 0; i < rows; ++i) {
+    QPWM_CHECK(t.AddRow({StrCat("row", i), rng.Uniform(1000, 9999),
+                         rng.Uniform(1, 500)}).ok());
+  }
+  return t;
+}
+
+AkOptions Options(uint64_t seed = 11) {
+  AkOptions o;
+  o.key = {seed, seed * 31};
+  o.gamma = 4;
+  o.num_lsb = 2;
+  return o;
+}
+
+TEST(BinomialTest, TailValues) {
+  EXPECT_DOUBLE_EQ(BinomialTailAtLeast(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailAtLeast(10, 11), 0.0);
+  EXPECT_NEAR(BinomialTailAtLeast(10, 5), 0.623046875, 1e-9);
+  EXPECT_NEAR(BinomialTailAtLeast(10, 10), 1.0 / 1024, 1e-12);
+  EXPECT_NEAR(BinomialTailAtLeast(1, 1), 0.5, 1e-12);
+}
+
+TEST(AkTest, EmbedMarksExpectedFraction) {
+  Rng rng(1);
+  Table t = SalesTable(2000, rng);
+  AkEmbedStats stats;
+  Table marked = AkEmbed(t, Options(), &stats).ValueOrDie();
+  EXPECT_EQ(stats.rows, 2000u);
+  // gamma = 4: about a quarter of the rows selected.
+  EXPECT_NEAR(static_cast<double>(stats.marked_cells), 500.0, 80.0);
+}
+
+TEST(AkTest, EmbedIsSmallDistortion) {
+  Rng rng(2);
+  Table t = SalesTable(500, rng);
+  Table marked = AkEmbed(t, Options(), nullptr).ValueOrDie();
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c : t.WeightColumns()) {
+      // num_lsb = 2: at most the two low bits change.
+      EXPECT_LE(std::llabs(marked.WeightAt(r, c) - t.WeightAt(r, c)), 3);
+    }
+  }
+}
+
+TEST(AkTest, DetectsOwnMark) {
+  Rng rng(3);
+  Table t = SalesTable(1000, rng);
+  Table marked = AkEmbed(t, Options(), nullptr).ValueOrDie();
+  AkDetection d = AkDetect(marked, Options()).ValueOrDie();
+  EXPECT_TRUE(d.detected);
+  EXPECT_EQ(d.matches, d.total);
+}
+
+TEST(AkTest, WrongKeyDoesNotDetect) {
+  Rng rng(4);
+  Table t = SalesTable(1000, rng);
+  Table marked = AkEmbed(t, Options(5), nullptr).ValueOrDie();
+  AkDetection d = AkDetect(marked, Options(99)).ValueOrDie();
+  EXPECT_FALSE(d.detected);
+}
+
+TEST(AkTest, UnmarkedTableNotDetected) {
+  Rng rng(5);
+  Table t = SalesTable(1000, rng);
+  AkDetection d = AkDetect(t, Options()).ValueOrDie();
+  EXPECT_FALSE(d.detected);
+  // Matches should hover around half.
+  EXPECT_NEAR(static_cast<double>(d.matches), d.total / 2.0,
+              3 * std::sqrt(d.total / 4.0) + 1);
+}
+
+TEST(AkTest, MeanDriftIsTiny) {
+  Rng rng(6);
+  Table t = SalesTable(3000, rng);
+  Table marked = AkEmbed(t, Options(), nullptr).ValueOrDie();
+  size_t amount = t.ColumnIndex("amount").ValueOrDie();
+  double mean0 = 0, mean1 = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    mean0 += static_cast<double>(t.WeightAt(r, amount));
+    mean1 += static_cast<double>(marked.WeightAt(r, amount));
+  }
+  mean0 /= static_cast<double>(t.num_rows());
+  mean1 /= static_cast<double>(t.num_rows());
+  // The observation of [1]: aggregate statistics barely move.
+  EXPECT_NEAR(mean0, mean1, 0.5);
+}
+
+TEST(AkTest, SurvivesPartialBitResetAttack) {
+  Rng rng(7);
+  Table t = SalesTable(4000, rng);
+  Table marked = AkEmbed(t, Options(), nullptr).ValueOrDie();
+  // Attacker randomizes the lowest bit of 30% of all weights.
+  for (size_t r = 0; r < marked.num_rows(); ++r) {
+    for (size_t c : marked.WeightColumns()) {
+      if (rng.Bernoulli(0.3)) {
+        Weight w = marked.WeightAt(r, c);
+        marked.SetWeightAt(r, c, (w & ~Weight{1}) | (rng.Coin() ? 1 : 0));
+      }
+    }
+  }
+  AkDetection d = AkDetect(marked, Options()).ValueOrDie();
+  EXPECT_TRUE(d.detected);
+  EXPECT_LT(d.matches, d.total);  // but not unscathed
+}
+
+TEST(AkTest, RequiresKeyColumnPk) {
+  Rng rng(8);
+  Table t = SalesTable(10, rng);
+  AkOptions bad = Options();
+  bad.pk_column = 1;  // weight column
+  EXPECT_FALSE(AkEmbed(t, bad, nullptr).ok());
+  EXPECT_FALSE(AkDetect(t, bad).ok());
+}
+
+}  // namespace
+}  // namespace qpwm

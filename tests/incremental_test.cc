@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "qpwm/core/distortion.h"
+#include "qpwm/core/incremental.h"
+#include "qpwm/core/tree_scheme.h"
+#include "qpwm/logic/parser.h"
+#include "qpwm/tree/mso.h"
+#include "qpwm/logic/query.h"
+#include "qpwm/structure/generators.h"
+#include "qpwm/util/random.h"
+
+namespace qpwm {
+namespace {
+
+TEST(WeightsOnlyUpdateTest, MarkDeltasCarryOver) {
+  WeightMap old_original(1, 4), old_marked(1, 4), new_original(1, 4);
+  for (ElemId e = 0; e < 4; ++e) {
+    old_original.SetElem(e, 100 + e);
+    old_marked.SetElem(e, 100 + e);
+    new_original.SetElem(e, 200 + 2 * e);
+  }
+  old_marked.AddElem(1, +1);
+  old_marked.AddElem(2, -1);
+
+  WeightMap new_marked =
+      PropagateWeightsOnlyUpdate(old_original, old_marked, new_original);
+  EXPECT_EQ(new_marked.GetElem(0), 200);
+  EXPECT_EQ(new_marked.GetElem(1), 203);  // 202 + 1
+  EXPECT_EQ(new_marked.GetElem(2), 203);  // 204 - 1
+  EXPECT_EQ(new_marked.GetElem(3), 206);
+}
+
+TEST(WeightsOnlyUpdateTest, DetectorSurvivesUpdateStorm) {
+  // Theorem 7 end to end: update weights repeatedly; propagate; detect.
+  Rng rng(61);
+  Structure g = RandomBoundedDegreeGraph(150, 3, 400, false, rng);
+  auto query = AtomQuery::Adjacency("E");
+  QueryIndex index(g, *query, AllParams(g, 1));
+  WeightMap original = RandomWeights(g, 100, 999, rng);
+
+  LocalSchemeOptions opts;
+  opts.epsilon = 0.5;
+  opts.key = {61, 62};
+  auto scheme = LocalScheme::Plan(index, opts).ValueOrDie();
+  ASSERT_GT(scheme.CapacityBits(), 0u);
+  BitVec mark(scheme.CapacityBits());
+  for (size_t i = 0; i < mark.size(); ++i) mark.Set(i, rng.Coin());
+  WeightMap marked = scheme.Embed(original, mark);
+
+  for (int round = 0; round < 5; ++round) {
+    WeightMap new_original = RandomWeights(g, 100, 999, rng);
+    marked = PropagateWeightsOnlyUpdate(original, marked, new_original);
+    original = new_original;
+    // Same global distortion bound as at embed time (Theorem 7).
+    EXPECT_LE(GlobalDistortion(index, original, marked),
+              static_cast<Weight>(scheme.Budget()));
+    HonestServer server(index, marked);
+    EXPECT_EQ(scheme.Detect(original, server).ValueOrDie(), mark) << round;
+  }
+}
+
+TEST(WeightsOnlyUpdateTest, TreeSchemeSurvivesGradeRefresh) {
+  // Theorem 7 applies verbatim to the tree scheme: the school re-grades
+  // every student, the owner propagates the mark deltas, detection holds.
+  Alphabet sigma;
+  sigma.Intern("a");
+  sigma.Intern("b");
+  sigma.Intern("c");
+  Dta query = CompileMso(*MustParseFormula("LEQ(u, v) & P_b(v)"), sigma, {"u", "v"})
+                  .ValueOrDie()
+                  .dta;
+  Rng rng(63);
+  BinaryTree t = RandomBinaryTree(400, 3, rng);
+  WeightMap original(1, t.size());
+  for (NodeId v = 0; v < t.size(); ++v) original.SetElem(v, rng.Uniform(0, 20));
+
+  TreeSchemeOptions opts;
+  opts.key = {63, 64};
+  auto scheme = TreeScheme::Plan(t, t.labels(), 3, query, 1, opts).ValueOrDie();
+  ASSERT_GT(scheme.CapacityBits(), 0u);
+  BitVec mark(scheme.CapacityBits());
+  for (size_t i = 0; i < mark.size(); ++i) mark.Set(i, rng.Coin());
+  WeightMap marked = scheme.Embed(original, mark);
+
+  for (int round = 0; round < 3; ++round) {
+    WeightMap refreshed(1, t.size());
+    for (NodeId v = 0; v < t.size(); ++v) refreshed.SetElem(v, rng.Uniform(0, 20));
+    marked = PropagateWeightsOnlyUpdate(original, marked, refreshed);
+    original = refreshed;
+    HonestTreeServer server(t, t.labels(), 3, query, 1, marked);
+    EXPECT_EQ(scheme.Detect(original, server).ValueOrDie(), mark) << round;
+  }
+}
+
+TEST(TypePreservingTest, IdenticalStructurePreservesEverything) {
+  Rng rng(62);
+  Structure g = RandomBoundedDegreeGraph(100, 3, 250, false, rng);
+  auto query = AtomQuery::Adjacency("E");
+  QueryIndex index(g, *query, AllParams(g, 1));
+  LocalSchemeOptions opts;
+  opts.key = {1, 2};
+  auto scheme = LocalScheme::Plan(index, opts).ValueOrDie();
+
+  UpdateCheck check = CheckTypePreservingUpdate(scheme, index);
+  EXPECT_TRUE(check.type_preserving);
+  EXPECT_EQ(check.old_types, check.new_types);
+  EXPECT_EQ(check.surviving_pairs, scheme.CapacityBits());
+  EXPECT_LE(check.new_cost_bound, scheme.Budget());
+}
+
+TEST(TypePreservingTest, TypePreservingEdit) {
+  // A long symmetric cycle: rebuilding it rotated keeps the single
+  // radius-1 type; pairs survive as active elements.
+  Structure g = CycleGraph(40, true);
+  auto query = AtomQuery::Adjacency("E");
+  QueryIndex index(g, *query, AllParams(g, 1));
+  LocalSchemeOptions opts;
+  opts.key = {3, 4};
+  auto scheme = LocalScheme::Plan(index, opts).ValueOrDie();
+
+  Structure rotated(GraphSignature(), 40);
+  for (ElemId i = 0; i < 40; ++i) {
+    ElemId j = (i + 1) % 40;
+    rotated.AddTuple(size_t{0}, Tuple{j, static_cast<ElemId>((j + 1) % 40)});
+    rotated.AddTuple(size_t{0}, Tuple{static_cast<ElemId>((j + 1) % 40), j});
+  }
+  rotated.Finalize();
+  QueryIndex updated(rotated, *query, AllParams(rotated, 1));
+  UpdateCheck check = CheckTypePreservingUpdate(scheme, updated);
+  EXPECT_TRUE(check.type_preserving);
+  EXPECT_EQ(check.surviving_pairs, scheme.CapacityBits());
+}
+
+TEST(TypePreservingTest, TypeCreatingEditDetected) {
+  // Removing one edge from a cycle creates endpoint types.
+  Structure g = CycleGraph(30, true);
+  auto query = AtomQuery::Adjacency("E");
+  QueryIndex index(g, *query, AllParams(g, 1));
+  LocalSchemeOptions opts;
+  opts.key = {5, 6};
+  auto scheme = LocalScheme::Plan(index, opts).ValueOrDie();
+
+  Structure path = PathGraph(30, true);
+  QueryIndex updated(path, *query, AllParams(path, 1));
+  UpdateCheck check = CheckTypePreservingUpdate(scheme, updated);
+  EXPECT_FALSE(check.type_preserving);
+  EXPECT_LT(check.old_types, check.new_types);
+}
+
+TEST(TypePreservingTest, SurvivingPairsReportedHonestly) {
+  // Shrink the structure so some pair elements go inactive.
+  Structure g = CycleGraph(20, true);
+  auto query = AtomQuery::Adjacency("E");
+  QueryIndex index(g, *query, AllParams(g, 1));
+  LocalSchemeOptions opts;
+  opts.key = {7, 8};
+  auto scheme = LocalScheme::Plan(index, opts).ValueOrDie();
+  ASSERT_GT(scheme.CapacityBits(), 0u);
+
+  // New structure: same universe, but only a short path keeps tuples.
+  Structure sparse(GraphSignature(), 20);
+  sparse.AddTuple(size_t{0}, Tuple{0, 1});
+  sparse.AddTuple(size_t{0}, Tuple{1, 0});
+  sparse.Finalize();
+  QueryIndex updated(sparse, *query, AllParams(sparse, 1));
+  UpdateCheck check = CheckTypePreservingUpdate(scheme, updated);
+  EXPECT_FALSE(check.type_preserving);
+  EXPECT_LT(check.surviving_pairs, scheme.CapacityBits());
+}
+
+}  // namespace
+}  // namespace qpwm

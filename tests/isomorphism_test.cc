@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "qpwm/structure/generators.h"
+#include "qpwm/structure/isomorphism.h"
+#include "qpwm/structure/typemap.h"
+#include "qpwm/util/random.h"
+
+namespace qpwm {
+namespace {
+
+// Relabels a structure's elements by a permutation.
+Structure Permute(const Structure& s, const std::vector<ElemId>& perm) {
+  Structure out(s.signature(), s.universe_size());
+  for (size_t r = 0; r < s.num_relations(); ++r) {
+    for (const Tuple& t : s.relation(r).tuples()) {
+      Tuple mapped;
+      for (ElemId e : t) mapped.push_back(perm[e]);
+      out.AddTuple(r, std::move(mapped));
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+TEST(IsomorphismTest, IdenticalStructuresIsomorphic) {
+  Structure s = CycleGraph(5, false);
+  EXPECT_TRUE(AreIsomorphic(s, {}, s, {}));
+}
+
+TEST(IsomorphismTest, DifferentSizesNotIsomorphic) {
+  EXPECT_FALSE(AreIsomorphic(CycleGraph(5, false), {}, CycleGraph(6, false), {}));
+}
+
+TEST(IsomorphismTest, CycleVsPathNotIsomorphic) {
+  EXPECT_FALSE(AreIsomorphic(CycleGraph(5, false), {}, PathGraph(5, false), {}));
+}
+
+TEST(IsomorphismTest, PermutedCopiesIsomorphic) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    Structure s = RandomBoundedDegreeGraph(10, 3, 20, false, rng);
+    std::vector<ElemId> perm(10);
+    std::iota(perm.begin(), perm.end(), 0u);
+    rng.Shuffle(perm);
+    Structure p = Permute(s, perm);
+    EXPECT_TRUE(AreIsomorphic(s, {}, p, {}));
+  }
+}
+
+TEST(IsomorphismTest, DistinguishedElementsMatter) {
+  // A path 0-1-2: endpoint vs midpoint are distinguished apart.
+  Structure s = PathGraph(3, true);
+  EXPECT_FALSE(AreIsomorphic(s, Tuple{0}, s, Tuple{1}));
+  EXPECT_TRUE(AreIsomorphic(s, Tuple{0}, s, Tuple{2}));  // both endpoints
+}
+
+TEST(IsomorphismTest, DistinguishedOrderMatters) {
+  Structure s = PathGraph(2, false);  // edge 0 -> 1
+  EXPECT_FALSE(AreIsomorphic(s, Tuple{0, 1}, s, Tuple{1, 0}));
+  EXPECT_TRUE(AreIsomorphic(s, Tuple{0, 1}, s, Tuple{0, 1}));
+}
+
+TEST(IsomorphismTest, PermutedCopiesWithDistinguished) {
+  Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    Structure s = RandomBoundedDegreeGraph(9, 3, 16, false, rng);
+    std::vector<ElemId> perm(9);
+    std::iota(perm.begin(), perm.end(), 0u);
+    rng.Shuffle(perm);
+    Structure p = Permute(s, perm);
+    ElemId c = static_cast<ElemId>(rng.Below(9));
+    EXPECT_TRUE(AreIsomorphic(s, Tuple{c}, p, Tuple{perm[c]}));
+  }
+}
+
+TEST(IsomorphismTest, StarWithManyTwins) {
+  // Star with 12 leaves: interchangeable leaves exercise the twin pruning.
+  auto star = [](ElemId center, size_t leaves) {
+    Structure s(GraphSignature(), leaves + 1);
+    for (ElemId i = 0; i < leaves; ++i) {
+      ElemId leaf = i >= center ? i + 1 : i;
+      s.AddTuple(size_t{0}, Tuple{center, leaf});
+    }
+    s.Finalize();
+    return s;
+  };
+  Structure a = star(0, 12);
+  Structure b = star(6, 12);
+  EXPECT_TRUE(AreIsomorphic(a, {}, b, {}));
+  EXPECT_TRUE(AreIsomorphic(a, Tuple{0}, b, Tuple{6}));
+  EXPECT_FALSE(AreIsomorphic(a, Tuple{0}, b, Tuple{0}));  // center vs leaf
+}
+
+TEST(IsomorphismTest, DirectedEdgeOrientation) {
+  Structure fwd(GraphSignature(), 2), pair(GraphSignature(), 2);
+  fwd.AddTuple(size_t{0}, Tuple{0, 1});
+  fwd.Finalize();
+  pair.AddTuple(size_t{0}, Tuple{0, 1});
+  pair.AddTuple(size_t{0}, Tuple{1, 0});
+  pair.Finalize();
+  EXPECT_FALSE(AreIsomorphic(fwd, {}, pair, {}));
+}
+
+TEST(IsomorphismTest, TernaryRelation) {
+  Signature sig;
+  sig.AddRelation("T", 3);
+  Structure a(sig, 3), b(sig, 3);
+  a.AddTuple(size_t{0}, Tuple{0, 1, 2});
+  a.Finalize();
+  b.AddTuple(size_t{0}, Tuple{2, 0, 1});
+  b.Finalize();
+  EXPECT_TRUE(AreIsomorphic(a, {}, b, {}));
+  // Positions within the tuple are not interchangeable:
+  EXPECT_FALSE(AreIsomorphic(a, Tuple{0}, b, Tuple{0}));
+  EXPECT_TRUE(AreIsomorphic(a, Tuple{0}, b, Tuple{2}));
+}
+
+TEST(IsomorphismTest, CanonicalFormIsInvariant) {
+  Rng rng(31);
+  Structure s = RandomBoundedDegreeGraph(8, 3, 14, true, rng);
+  std::vector<ElemId> perm(8);
+  std::iota(perm.begin(), perm.end(), 0u);
+  rng.Shuffle(perm);
+  Structure p = Permute(s, perm);
+  EXPECT_EQ(CanonicalForm(s, {}), CanonicalForm(p, {}));
+}
+
+// --- NeighborhoodTyper ---------------------------------------------------
+
+TEST(TyperTest, CycleHasOneType) {
+  Structure s = CycleGraph(12, true);
+  NeighborhoodTyper typer(s, 1);
+  uint32_t t0 = typer.TypeOf(Tuple{0});
+  for (ElemId e = 1; e < 12; ++e) EXPECT_EQ(typer.TypeOf(Tuple{e}), t0);
+  EXPECT_EQ(typer.NumTypes(), 1u);
+}
+
+TEST(TyperTest, PathEndpointsDiffer) {
+  Structure s = PathGraph(8, true);
+  NeighborhoodTyper typer(s, 1);
+  // endpoint, near-endpoint, interior = 3 types at radius 1.
+  for (ElemId e = 0; e < 8; ++e) typer.TypeOf(Tuple{e});
+  EXPECT_EQ(typer.NumTypes(), 2u);  // radius-1: endpoint vs interior
+  EXPECT_EQ(typer.TypeOf(Tuple{0}), typer.TypeOf(Tuple{7}));
+  EXPECT_EQ(typer.TypeOf(Tuple{3}), typer.TypeOf(Tuple{4}));
+  EXPECT_NE(typer.TypeOf(Tuple{0}), typer.TypeOf(Tuple{3}));
+}
+
+TEST(TyperTest, Figure1TypesMatchPaper) {
+  // The paper: type(a)=type(b), type(d)=type(e), type(c)=type(f), 3 types.
+  Structure s = Figure1Instance();
+  NeighborhoodTyper typer(s, 1);
+  const ElemId a = 0, b = 1, c = 2, d = 3, e = 4, f = 5;
+  for (ElemId v = 0; v < 6; ++v) typer.TypeOf(Tuple{v});
+  EXPECT_EQ(typer.NumTypes(), 3u);
+  EXPECT_EQ(typer.TypeOf(Tuple{a}), typer.TypeOf(Tuple{b}));
+  EXPECT_EQ(typer.TypeOf(Tuple{d}), typer.TypeOf(Tuple{e}));
+  EXPECT_EQ(typer.TypeOf(Tuple{c}), typer.TypeOf(Tuple{f}));
+  EXPECT_NE(typer.TypeOf(Tuple{a}), typer.TypeOf(Tuple{c}));
+  EXPECT_NE(typer.TypeOf(Tuple{a}), typer.TypeOf(Tuple{d}));
+}
+
+TEST(TyperTest, RepresentativeIsFirstSeen) {
+  Structure s = PathGraph(5, true);
+  NeighborhoodTyper typer(s, 1);
+  uint32_t t = typer.TypeOf(Tuple{0});
+  EXPECT_EQ(typer.Representative(t), Tuple{0});
+}
+
+TEST(TyperTest, GridCornerEdgeInteriorTypes) {
+  // A 5x5 grid at radius 1 has corner, edge and interior vertex classes —
+  // with the H/V relations distinguishing orientation, expect the 9 distinct
+  // (row-class x column-class) combinations.
+  Structure g = GridGraph(5, 5);
+  NeighborhoodTyper typer(g, 1);
+  for (ElemId e = 0; e < 25; ++e) typer.TypeOf(Tuple{e});
+  EXPECT_EQ(typer.NumTypes(), 9u);
+  // Opposite corners match; corner != interior.
+  EXPECT_EQ(typer.TypeOf(Tuple{0}), typer.TypeOf(Tuple{0}));
+  EXPECT_NE(typer.TypeOf(Tuple{0}), typer.TypeOf(Tuple{12}));
+  // All four interior-center vertices share a type.
+  EXPECT_EQ(typer.TypeOf(Tuple{12}), typer.TypeOf(Tuple{12}));
+  EXPECT_EQ(typer.TypeOf(Tuple{6}), typer.TypeOf(Tuple{6}));
+}
+
+TEST(TyperTest, PairTuplesTyped) {
+  // Typing 2-tuples: (endpoint, neighbor) vs (interior, neighbor) differ.
+  Structure s = PathGraph(8, true);
+  NeighborhoodTyper typer(s, 1);
+  uint32_t end_pair = typer.TypeOf(Tuple{0, 1});
+  uint32_t mid_pair = typer.TypeOf(Tuple{3, 4});
+  uint32_t far_pair = typer.TypeOf(Tuple{0, 5});
+  EXPECT_NE(end_pair, mid_pair);
+  EXPECT_NE(end_pair, far_pair);
+  // Symmetric positions agree.
+  EXPECT_EQ(typer.TypeOf(Tuple{7, 6}), end_pair);
+}
+
+TEST(TyperTest, RadiusZeroSeesOnlyLoops) {
+  Structure s = PathGraph(5, true);
+  NeighborhoodTyper typer(s, 0);
+  for (ElemId e = 0; e < 5; ++e) typer.TypeOf(Tuple{e});
+  EXPECT_EQ(typer.NumTypes(), 1u);
+}
+
+}  // namespace
+}  // namespace qpwm

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "qpwm/logic/evaluator.h"
+#include "qpwm/logic/locality.h"
+#include "qpwm/logic/parser.h"
+#include "qpwm/structure/generators.h"
+
+namespace qpwm {
+namespace {
+
+// --- Parser ----------------------------------------------------------------
+
+TEST(ParserTest, Atom) {
+  auto f = MustParseFormula("E(x, y)");
+  EXPECT_EQ(f->kind, FormulaKind::kAtom);
+  EXPECT_EQ(f->relation, "E");
+  EXPECT_EQ(f->vars, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(ParserTest, Equality) {
+  auto f = MustParseFormula("x = y");
+  EXPECT_EQ(f->kind, FormulaKind::kEq);
+}
+
+TEST(ParserTest, SetMembership) {
+  auto f = MustParseFormula("x in X");
+  EXPECT_EQ(f->kind, FormulaKind::kSetMember);
+  EXPECT_EQ(f->set_var, "X");
+}
+
+TEST(ParserTest, PrecedenceAndOverOr) {
+  auto f = MustParseFormula("E(x, y) | E(y, x) & x = y");
+  ASSERT_EQ(f->kind, FormulaKind::kOr);
+  EXPECT_EQ(f->right->kind, FormulaKind::kAnd);
+}
+
+TEST(ParserTest, ImplicationDesugars) {
+  auto f = MustParseFormula("E(x, y) -> E(y, x)");
+  ASSERT_EQ(f->kind, FormulaKind::kOr);
+  EXPECT_EQ(f->left->kind, FormulaKind::kNot);
+}
+
+TEST(ParserTest, IffDesugars) {
+  auto f = MustParseFormula("E(x, y) <-> E(y, x)");
+  EXPECT_EQ(f->kind, FormulaKind::kAnd);
+}
+
+TEST(ParserTest, Quantifiers) {
+  auto f = MustParseFormula("exists y forall z (E(y, z))");
+  EXPECT_EQ(f->kind, FormulaKind::kExists);
+  EXPECT_EQ(f->left->kind, FormulaKind::kForall);
+  EXPECT_EQ(f->QuantifierRank(), 2u);
+}
+
+TEST(ParserTest, SetQuantifiers) {
+  auto f = MustParseFormula("existsset X forallset Y (x in X & x in Y)");
+  EXPECT_EQ(f->kind, FormulaKind::kExistsSet);
+  EXPECT_EQ(f->left->kind, FormulaKind::kForallSet);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseFormula("E(x").ok());
+  EXPECT_FALSE(ParseFormula("E(x,)").ok());
+  EXPECT_FALSE(ParseFormula("x =").ok());
+  EXPECT_FALSE(ParseFormula("exists (E(x, y))").ok());
+  EXPECT_FALSE(ParseFormula("E(x, y) E(y, x)").ok());
+  EXPECT_FALSE(ParseFormula("@").ok());
+  EXPECT_FALSE(ParseFormula("x <").ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const char* inputs[] = {
+      "E(x, y)", "~(x = y)", "exists y (E(x, y) & ~(y = z))",
+      "forallset X (x in X | ~(x in X))"};
+  for (const char* in : inputs) {
+    auto f1 = MustParseFormula(in);
+    auto f2 = MustParseFormula(f1->ToString());
+    EXPECT_EQ(f1->ToString(), f2->ToString()) << in;
+  }
+}
+
+// --- Free variables -----------------------------------------------------------
+
+TEST(FormulaTest, FreeVars) {
+  auto f = MustParseFormula("exists y (E(x, y) & y = z)");
+  auto free_vars = f->FreeVars();
+  EXPECT_EQ(free_vars, (std::set<std::string>{"x", "z"}));
+}
+
+TEST(FormulaTest, FreeSetVars) {
+  auto f = MustParseFormula("existsset X (x in X & y in Y)");
+  EXPECT_EQ(f->FreeSetVars(), (std::set<std::string>{"Y"}));
+  EXPECT_EQ(f->FreeVars(), (std::set<std::string>{"x", "y"}));
+}
+
+TEST(FormulaTest, ShadowingKeepsOuterFree) {
+  auto f = MustParseFormula("E(y, y) & exists y E(y, y)");
+  EXPECT_EQ(f->FreeVars(), (std::set<std::string>{"y"}));
+}
+
+TEST(FormulaTest, IsFirstOrder) {
+  EXPECT_TRUE(IsFirstOrder(*MustParseFormula("exists y E(x, y)")));
+  EXPECT_FALSE(IsFirstOrder(*MustParseFormula("existsset X (x in X)")));
+  EXPECT_FALSE(IsFirstOrder(*MustParseFormula("x in X")));
+}
+
+TEST(FormulaTest, CloneIsDeep) {
+  auto f = MustParseFormula("exists y (E(x, y))");
+  auto c = f->Clone();
+  c->quantified_var = "w";
+  EXPECT_EQ(f->quantified_var, "y");
+}
+
+// --- Evaluator -------------------------------------------------------------------
+
+TEST(EvaluatorTest, AtomOnCycle) {
+  Structure s = CycleGraph(4, false);
+  Evaluator ev(s);
+  Environment env;
+  env.elems["x"] = 0;
+  env.elems["y"] = 1;
+  EXPECT_TRUE(ev.MustEval(*MustParseFormula("E(x, y)"), env));
+  env.elems["y"] = 2;
+  EXPECT_FALSE(ev.MustEval(*MustParseFormula("E(x, y)"), env));
+}
+
+TEST(EvaluatorTest, ExistsAndForall) {
+  Structure s = CycleGraph(4, false);
+  Evaluator ev(s);
+  Environment env;
+  // Every vertex of a cycle has a successor.
+  EXPECT_TRUE(ev.MustEval(*MustParseFormula("forall x exists y E(x, y)"), env));
+  // No vertex is its own successor.
+  EXPECT_FALSE(ev.MustEval(*MustParseFormula("exists x E(x, x)"), env));
+}
+
+TEST(EvaluatorTest, PathHasEndpoint) {
+  Structure s = PathGraph(5, false);
+  Evaluator ev(s);
+  Environment env;
+  EXPECT_TRUE(ev.MustEval(*MustParseFormula("exists x forall y ~E(x, y)"), env));
+}
+
+TEST(EvaluatorTest, QuantifierRestoresBinding) {
+  Structure s = CycleGraph(3, false);
+  Evaluator ev(s);
+  Environment env;
+  env.elems["x"] = 2;
+  ev.MustEval(*MustParseFormula("exists x E(x, x)"), env);
+  EXPECT_EQ(env.elems["x"], 2u);
+}
+
+TEST(EvaluatorTest, SetQuantifierSemantics) {
+  // "There is a set containing x and closed under E that avoids y" is false
+  // on a cycle (closure forces everything in).
+  Structure s = CycleGraph(4, false);
+  Evaluator ev(s);
+  Environment env;
+  env.elems["x"] = 0;
+  env.elems["y"] = 2;
+  auto f = MustParseFormula(
+      "existsset X (x in X & ~(y in X) & forall u forall v ((u in X & E(u, v)) -> v "
+      "in X))");
+  EXPECT_FALSE(ev.MustEval(*f, env));
+  // On a path the closure from a later vertex avoids earlier ones.
+  Structure p = PathGraph(4, false);
+  Evaluator ev2(p);
+  env.elems["x"] = 2;
+  env.elems["y"] = 0;
+  EXPECT_TRUE(ev2.MustEval(*f, env));
+}
+
+TEST(EvaluatorTest, ErrorsOnUnknownRelation) {
+  Structure s = CycleGraph(3, false);
+  Evaluator ev(s);
+  Environment env;
+  env.elems["x"] = 0;
+  auto r = ev.Eval(*MustParseFormula("Q(x, x)"), env);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(EvaluatorTest, ErrorsOnUnboundVariable) {
+  Structure s = CycleGraph(3, false);
+  Evaluator ev(s);
+  Environment env;
+  auto r = ev.Eval(*MustParseFormula("E(x, y)"), env);
+  EXPECT_FALSE(r.ok());
+}
+
+// --- Locality -------------------------------------------------------------------
+
+TEST(LocalityTest, GaifmanBoundGrowth) {
+  EXPECT_EQ(GaifmanLocalityBound(0), 0u);
+  EXPECT_EQ(GaifmanLocalityBound(1), 3u);
+  EXPECT_EQ(GaifmanLocalityBound(2), 24u);
+  EXPECT_EQ(GaifmanLocalityBound(3), 171u);
+}
+
+TEST(LocalityTest, DivergenceBound) {
+  // eta = 2 r k^(2 rho + 1)
+  EXPECT_EQ(LocalityDivergenceBound(1, 3, 1), 2u * 27u);
+  EXPECT_EQ(LocalityDivergenceBound(2, 2, 2), 4u * 32u);
+}
+
+TEST(LocalityTest, AdjacencyQueryDivergenceWithinEta) {
+  Rng rng(3);
+  Structure s = RandomBoundedDegreeGraph(60, 3, 150, false, rng);
+  auto query = AtomQuery::Adjacency("E");
+  auto domain = AllParams(s, 1);
+  uint64_t diverge = MaxSameTypeDivergence(s, *query, 1, domain);
+  // Same radius-1 type => identical out-neighborhood counts; Lemma 1 bound.
+  EXPECT_LE(diverge, LocalityDivergenceBound(1, 3, 1));
+}
+
+TEST(LocalityTest, ExactlyLocalOnCycle) {
+  // On a vertex-transitive cycle every vertex has the same type and the same
+  // out-degree; divergence is |W_a \ W_b| = 1 (different neighbor sets).
+  Structure s = CycleGraph(8, true);
+  auto query = AtomQuery::Adjacency("E");
+  auto domain = AllParams(s, 1);
+  uint64_t diverge = MaxSameTypeDivergence(s, *query, 1, domain);
+  EXPECT_LE(diverge, 2u);
+}
+
+}  // namespace
+}  // namespace qpwm

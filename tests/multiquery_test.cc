@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "qpwm/core/distortion.h"
+#include "qpwm/core/local_scheme.h"
+#include "qpwm/logic/multiquery.h"
+#include "qpwm/logic/query.h"
+#include "qpwm/structure/generators.h"
+#include "qpwm/util/random.h"
+
+namespace qpwm {
+namespace {
+
+TEST(UnionQueryTest, SelectsSubQuery) {
+  Structure g = CycleGraph(6, false);
+  auto fwd = AtomQuery::Adjacency("E");
+  AtomQuery bwd("E", {{false, 0}, {true, 0}}, 1, 1);
+  UnionQuery both({fwd.get(), &bwd});
+  EXPECT_EQ(both.ParamArity(), 2u);
+  // Selector 0 = successors; selector 1 = predecessors.
+  EXPECT_EQ(both.Evaluate(g, Tuple{0, 2}), (std::vector<Tuple>{{3}}));
+  EXPECT_EQ(both.Evaluate(g, Tuple{1, 2}), (std::vector<Tuple>{{1}}));
+  // Out-of-range selector answers empty.
+  EXPECT_TRUE(both.Evaluate(g, Tuple{5, 2}).empty());
+}
+
+TEST(UnionQueryTest, PadsShorterQueries) {
+  Structure g = CycleGraph(6, false);
+  auto adjacency = AtomQuery::Adjacency("E");
+  DistanceQuery distance(1);
+  CallbackQuery pairs("pairs", 2, 1,
+                      [](const Structure&, const Tuple& p) {
+                        return std::vector<Tuple>{{p[0]}, {p[1]}};
+                      });
+  UnionQuery all({adjacency.get(), &distance, &pairs});
+  EXPECT_EQ(all.ParamArity(), 3u);  // 1 selector + max_r = 2
+  // Selector 2 consumes both parameter slots.
+  auto w = all.Evaluate(g, Tuple{2, 4, 5});
+  EXPECT_EQ(w.size(), 2u);
+  // Selector 0 ignores the padding slot.
+  EXPECT_EQ(all.Evaluate(g, Tuple{0, 0, 5}), (std::vector<Tuple>{{1}}));
+}
+
+TEST(UnionQueryTest, DomainEnumeratesPerSelector) {
+  Structure g = CycleGraph(4, false);
+  auto adjacency = AtomQuery::Adjacency("E");
+  DistanceQuery distance(1);
+  UnionQuery both({adjacency.get(), &distance});
+  auto domain = both.FullDomain(g);
+  EXPECT_EQ(domain.size(), 8u);  // 4 + 4
+  for (const Tuple& p : domain) EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(UnionQueryTest, LocalityIsWorstMember) {
+  auto adjacency = AtomQuery::Adjacency("E");
+  DistanceQuery distance(3);
+  UnionQuery both({adjacency.get(), &distance});
+  EXPECT_EQ(both.LocalityRank().value(), 3u);
+
+  CallbackQuery opaque("opaque", 1, 1,
+                       [](const Structure&, const Tuple&) {
+                         return std::vector<Tuple>{};
+                       });
+  UnionQuery with_opaque({adjacency.get(), &opaque});
+  EXPECT_FALSE(with_opaque.LocalityRank().has_value());
+}
+
+TEST(UnionQueryTest, SchemePreservesAllQueriesAtOnce) {
+  // The headline use: one plan bounds distortion for BOTH registered
+  // queries, and detection reads through either.
+  Rng rng(99);
+  Structure g = RandomBoundedDegreeGraph(200, 3, 600, true, rng);
+  auto adjacency = AtomQuery::Adjacency("E");
+  DistanceQuery distance(2);
+  UnionQuery both({adjacency.get(), &distance});
+  QueryIndex index(g, both, both.FullDomain(g));
+  WeightMap w = RandomWeights(g, 100, 999, rng);
+
+  LocalSchemeOptions opts;
+  opts.epsilon = 0.5;
+  opts.key = {9, 9};
+  opts.rho = 2;
+  auto scheme = LocalScheme::Plan(index, opts).ValueOrDie();
+  ASSERT_GT(scheme.CapacityBits(), 0u);
+
+  BitVec mark(scheme.CapacityBits());
+  for (size_t i = 0; i < mark.size(); ++i) mark.Set(i, rng.Coin());
+  WeightMap marked = scheme.Embed(w, mark);
+
+  // Check both sub-queries' distortion separately.
+  QueryIndex adj_index(g, *adjacency, AllParams(g, 1));
+  QueryIndex dist_index(g, distance, AllParams(g, 1));
+  EXPECT_LE(GlobalDistortion(adj_index, w, marked),
+            static_cast<Weight>(scheme.Budget()));
+  EXPECT_LE(GlobalDistortion(dist_index, w, marked),
+            static_cast<Weight>(scheme.Budget()));
+
+  HonestServer server(index, marked);
+  EXPECT_EQ(scheme.Detect(w, server).ValueOrDie(), mark);
+}
+
+TEST(GroupedQueryTest, UnionsGroupMembers) {
+  Structure g = PathGraph(6, false);
+  auto adjacency = AtomQuery::Adjacency("E");
+  // Group parameters by parity.
+  GroupedQuery grouped(*adjacency, AllParams(g, 1),
+                       [](const Structure&, const Tuple& p) {
+                         return static_cast<uint64_t>(p[0] % 2);
+                       });
+  // Even group: successors of 0, 2, 4 -> {1, 3, 5}.
+  auto w = grouped.Evaluate(g, Tuple{0});
+  EXPECT_EQ(w, (std::vector<Tuple>{{1}, {3}, {5}}));
+  // Same result for any even parameter.
+  EXPECT_EQ(grouped.Evaluate(g, Tuple{4}), w);
+}
+
+TEST(GroupedQueryTest, AggregatePreservationFollowsFromUnderlying) {
+  // If a marking bounds distortion of the grouped query, grouped SUM
+  // aggregates are bounded too — the AGGR observation.
+  Rng rng(55);
+  Structure g = RandomBoundedDegreeGraph(100, 3, 250, false, rng);
+  auto adjacency = AtomQuery::Adjacency("E");
+  GroupedQuery grouped(*adjacency, AllParams(g, 1),
+                       [](const Structure&, const Tuple& p) {
+                         return static_cast<uint64_t>(p[0] % 5);
+                       });
+  QueryIndex index(g, grouped, AllParams(g, 1));
+  WeightMap w = RandomWeights(g, 10, 99, rng);
+
+  LocalSchemeOptions opts;
+  opts.epsilon = 0.5;
+  opts.key = {3, 4};
+  auto scheme = LocalScheme::Plan(index, opts).ValueOrDie();
+  if (scheme.CapacityBits() == 0) GTEST_SKIP();
+  BitVec mark(scheme.CapacityBits(), true);
+  WeightMap marked = scheme.Embed(w, mark);
+  EXPECT_LE(GlobalDistortion(index, w, marked),
+            static_cast<Weight>(scheme.Budget()));
+}
+
+}  // namespace
+}  // namespace qpwm

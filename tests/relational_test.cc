@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "qpwm/core/answers.h"
+#include "qpwm/logic/query.h"
+#include "qpwm/relational/table.h"
+#include "qpwm/util/random.h"
+
+namespace qpwm {
+namespace {
+
+TEST(TableTest, SchemaAndRows) {
+  Table t("T", {{"k", ColumnRole::kKey, ""}, {"w", ColumnRole::kWeight, "k"}});
+  EXPECT_TRUE(t.AddRow({std::string("a"), Weight{5}}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.KeyAt(0, 0), "a");
+  EXPECT_EQ(t.WeightAt(0, 1), 5);
+  t.SetWeightAt(0, 1, 6);
+  EXPECT_EQ(t.WeightAt(0, 1), 6);
+}
+
+TEST(TableTest, RowValidation) {
+  Table t("T", {{"k", ColumnRole::kKey, ""}, {"w", ColumnRole::kWeight, "k"}});
+  EXPECT_FALSE(t.AddRow({std::string("a")}).ok());                       // width
+  EXPECT_FALSE(t.AddRow({std::string("a"), std::string("b")}).ok());     // kind
+  EXPECT_FALSE(t.AddRow({Weight{1}, Weight{2}}).ok());                   // kind
+}
+
+TEST(TableTest, ColumnIndex) {
+  Table t("T", {{"k", ColumnRole::kKey, ""}, {"w", ColumnRole::kWeight, "k"}});
+  EXPECT_EQ(t.ColumnIndex("w").ValueOrDie(), 1u);
+  EXPECT_FALSE(t.ColumnIndex("zz").ok());
+  EXPECT_EQ(t.WeightColumns(), (std::vector<size_t>{1}));
+}
+
+TEST(DatabaseTest, FindTables) {
+  Database db = TravelAgencyDatabase();
+  EXPECT_TRUE(db.Find("Route").ok());
+  EXPECT_TRUE(db.Find("Timetable").ok());
+  EXPECT_FALSE(db.Find("Nope").ok());
+}
+
+TEST(TravelTest, Example1Contents) {
+  Database db = TravelAgencyDatabase();
+  const Table* route = db.Find("Route").ValueOrDie();
+  EXPECT_EQ(route->num_rows(), 7u);
+  const Table* timetable = db.Find("Timetable").ValueOrDie();
+  EXPECT_EQ(timetable->num_rows(), 6u);
+}
+
+TEST(TravelTest, ToWeightedStructure) {
+  Database db = TravelAgencyDatabase();
+  auto instance = ToWeightedStructure(db).ValueOrDie();
+  // Route arity 2, Timetable arity 4 (duration is a weight column).
+  EXPECT_EQ(instance.structure.relation("Route").arity(), 2u);
+  EXPECT_EQ(instance.structure.relation("Timetable").arity(), 4u);
+  // Weights attach to transports: W(F21) = 10:35 = 635 minutes.
+  ElemId f21 = instance.structure.FindElement("F21").ValueOrDie();
+  EXPECT_EQ(instance.weights.GetElem(f21), 635);
+  ElemId g13 = instance.structure.FindElement("G13").ValueOrDie();
+  EXPECT_EQ(instance.weights.GetElem(g13), 600);
+}
+
+TEST(TravelTest, Example2QueryWeights) {
+  // f(India discovery) = 16:55, f(Nepal Trek) = 20:20, f(TourNepal) = 6:20.
+  Database db = TravelAgencyDatabase();
+  auto instance = ToWeightedStructure(db).ValueOrDie();
+  AtomQuery query("Route", {{true, 0}, {false, 0}}, 1, 1);
+  QueryIndex index(instance.structure, query, AllParams(instance.structure, 1));
+
+  auto f = [&](const std::string& travel) {
+    ElemId e = instance.structure.FindElement(travel).ValueOrDie();
+    size_t param = index.FindParam(Tuple{e}).ValueOrDie();
+    return index.SumWeights(param, instance.weights);
+  };
+  EXPECT_EQ(f("India discovery"), 16 * 60 + 55);
+  EXPECT_EQ(f("Nepal Trek"), 20 * 60 + 20);
+  EXPECT_EQ(f("TourNepal"), 6 * 60 + 20);
+}
+
+TEST(TravelTest, ActiveElementsMatchPaper) {
+  // Active weighted elements are {F21, G12, R5, F2, T33}; G13 is inactive.
+  Database db = TravelAgencyDatabase();
+  auto instance = ToWeightedStructure(db).ValueOrDie();
+  AtomQuery query("Route", {{true, 0}, {false, 0}}, 1, 1);
+  QueryIndex index(instance.structure, query, AllParams(instance.structure, 1));
+  EXPECT_EQ(index.num_active(), 5u);
+  ElemId g13 = instance.structure.FindElement("G13").ValueOrDie();
+  EXPECT_FALSE(index.FindActive(Tuple{g13}).ok());
+  ElemId f21 = instance.structure.FindElement("F21").ValueOrDie();
+  EXPECT_TRUE(index.FindActive(Tuple{f21}).ok());
+}
+
+TEST(TravelTest, ApplyWeightsRoundTrip) {
+  Database db = TravelAgencyDatabase();
+  auto instance = ToWeightedStructure(db).ValueOrDie();
+  WeightMap modified = instance.weights;
+  ElemId f21 = instance.structure.FindElement("F21").ValueOrDie();
+  modified.AddElem(f21, 10);
+  Database out = ApplyWeightsToDatabase(db, instance, modified).ValueOrDie();
+  auto reparsed = ToWeightedStructure(out).ValueOrDie();
+  ElemId f21b = reparsed.structure.FindElement("F21").ValueOrDie();
+  EXPECT_EQ(reparsed.weights.GetElem(f21b), 645);
+}
+
+TEST(TravelTest, ConflictingWeightsRejected) {
+  Database db;
+  Table t("T", {{"k", ColumnRole::kKey, ""}, {"w", ColumnRole::kWeight, "k"}});
+  ASSERT_TRUE(t.AddRow({std::string("a"), Weight{1}}).ok());
+  ASSERT_TRUE(t.AddRow({std::string("a"), Weight{2}}).ok());
+  db.AddTable(std::move(t));
+  EXPECT_FALSE(ToWeightedStructure(db).ok());
+}
+
+TEST(TravelTest, RandomDatabaseConverts) {
+  Rng rng(9);
+  Database db = RandomTravelDatabase(50, 80, 4, rng);
+  auto instance = ToWeightedStructure(db).ValueOrDie();
+  EXPECT_GT(instance.structure.universe_size(), 100u);
+  AtomQuery query("Route", {{true, 0}, {false, 0}}, 1, 1);
+  QueryIndex index(instance.structure, query, AllParams(instance.structure, 1));
+  EXPECT_GT(index.num_active(), 0u);
+}
+
+}  // namespace
+}  // namespace qpwm

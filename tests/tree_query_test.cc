@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "qpwm/logic/parser.h"
+#include "qpwm/tree/mso.h"
+#include "qpwm/tree/query.h"
+#include "qpwm/util/random.h"
+
+namespace qpwm {
+namespace {
+
+class TreeQueryTest : public ::testing::Test {
+ protected:
+  TreeQueryTest() {
+    sigma_.Intern("a");
+    sigma_.Intern("b");
+    sigma_.Intern("c");
+  }
+
+  Dta CompileQuery(const std::string& text, std::vector<std::string> vars) {
+    FormulaPtr f = MustParseFormula(text);
+    return CompileMso(*f, sigma_, vars).ValueOrDie().dta;
+  }
+
+  Alphabet sigma_;
+};
+
+TEST_F(TreeQueryTest, EvaluateWaMatchesMemberWa) {
+  Dta dta = CompileQuery("LEQ(u, v) & P_b(v)", {"u", "v"});
+  Rng rng(21);
+  for (int trial = 0; trial < 6; ++trial) {
+    BinaryTree t = RandomBinaryTree(2 + rng.Below(40), 3, rng);
+    for (NodeId a = 0; a < t.size(); ++a) {
+      auto wa = EvaluateWa(t, t.labels(), 3, dta, 1, a);
+      for (NodeId b = 0; b < t.size(); ++b) {
+        bool in = std::binary_search(wa.begin(), wa.end(), b);
+        EXPECT_EQ(in, MemberWa(t, t.labels(), 3, dta, 1, a, b))
+            << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST_F(TreeQueryTest, EvaluateWaSemantics) {
+  Dta dta = CompileQuery("LEQ(u, v) & P_b(v)", {"u", "v"});
+  BinaryTree t = CompleteTree(7, 3);  // labels 0,1,2,0,1,2,0
+  // W_root = b-labeled descendants of the root = nodes labeled 'b' (1).
+  auto w = EvaluateWa(t, t.labels(), 3, dta, 1, t.root());
+  std::vector<NodeId> expect;
+  for (NodeId v = 0; v < 7; ++v) {
+    if (t.label(v) == 1) expect.push_back(v);
+  }
+  EXPECT_EQ(w, expect);
+}
+
+TEST_F(TreeQueryTest, ParamArityZero) {
+  Dta dta = CompileQuery("P_c(v) & LEAF(v)", {"v"});
+  Rng rng(22);
+  BinaryTree t = RandomBinaryTree(25, 3, rng);
+  auto w = EvaluateWa(t, t.labels(), 3, dta, 0, 0);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    bool expect = t.label(v) == 2 && t.IsLeaf(v);
+    EXPECT_EQ(std::binary_search(w.begin(), w.end(), v), expect);
+  }
+}
+
+TEST_F(TreeQueryTest, ResultPebbleOnParamNode) {
+  // v = u is allowed: both pebbles on the same node.
+  Dta dta = CompileQuery("LEQ(u, v)", {"u", "v"});
+  BinaryTree t = ChainTree(5, 3);
+  for (NodeId a = 0; a < 5; ++a) {
+    auto w = EvaluateWa(t, t.labels(), 3, dta, 1, a);
+    EXPECT_TRUE(std::binary_search(w.begin(), w.end(), a));
+  }
+}
+
+TEST_F(TreeQueryTest, ProjectParamTrackGivesActiveSet) {
+  Dta dta = CompileQuery("LEQ(u, v) & P_b(v)", {"u", "v"});
+  Dta exists_a = ProjectParamTrack(dta, 3);
+  Rng rng(23);
+  BinaryTree t = RandomBinaryTree(30, 3, rng);
+  auto active = EvaluateWa(t, t.labels(), 3, exists_a, 0, 0);
+  // Manual union of W_a.
+  std::vector<bool> expect(t.size(), false);
+  for (NodeId a = 0; a < t.size(); ++a) {
+    for (NodeId b : EvaluateWa(t, t.labels(), 3, dta, 1, a)) expect[b] = true;
+  }
+  for (NodeId v = 0; v < t.size(); ++v) {
+    EXPECT_EQ(std::binary_search(active.begin(), active.end(), v), expect[v]) << v;
+  }
+}
+
+TEST_F(TreeQueryTest, SwapPebbleTracksInvertsRoles) {
+  Dta dta = CompileQuery("S1(u, v)", {"u", "v"});
+  Dta swapped = SwapPebbleTracks(dta, 3);
+  Rng rng(24);
+  BinaryTree t = RandomBinaryTree(20, 3, rng);
+  for (NodeId a = 0; a < t.size(); ++a) {
+    for (NodeId b = 0; b < t.size(); ++b) {
+      EXPECT_EQ(MemberWa(t, t.labels(), 3, dta, 1, a, b),
+                MemberWa(t, t.labels(), 3, swapped, 1, b, a));
+    }
+  }
+}
+
+TEST_F(TreeQueryTest, SkeletonStructureShape) {
+  BinaryTree t = CompleteTree(7, 2);
+  Structure s = TreeSkeletonStructure(t);
+  EXPECT_EQ(s.universe_size(), 7u);
+  EXPECT_EQ(s.relation("S1").size(), 3u);
+  EXPECT_EQ(s.relation("S2").size(), 3u);
+}
+
+TEST_F(TreeQueryTest, MakeTreeQueryBridgesToParametricQuery) {
+  Dta dta = CompileQuery("LEQ(u, v)", {"u", "v"});
+  BinaryTree t = ChainTree(6, 3);
+  auto labels = t.labels();
+  auto query = MakeTreeQuery(t, labels, 3, dta, 1);
+  Structure skeleton = TreeSkeletonStructure(t);
+  EXPECT_EQ(query->ParamArity(), 1u);
+  EXPECT_EQ(query->ResultArity(), 1u);
+  // Descendants of node 2 on a left chain: {2, 3, 4, 5}.
+  auto w = query->Evaluate(skeleton, Tuple{2});
+  EXPECT_EQ(w.size(), 4u);
+}
+
+}  // namespace
+}  // namespace qpwm

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "qpwm/core/tree_scheme.h"
+#include "qpwm/logic/parser.h"
+#include "qpwm/tree/mso.h"
+#include "qpwm/tree/query.h"
+#include "qpwm/util/random.h"
+
+namespace qpwm {
+namespace {
+
+class TreeSchemeTest : public ::testing::Test {
+ protected:
+  TreeSchemeTest() {
+    sigma_.Intern("a");
+    sigma_.Intern("b");
+    sigma_.Intern("c");
+    query_ = CompileMso(*MustParseFormula("LEQ(u, v) & P_b(v)"), sigma_, {"u", "v"})
+                 .ValueOrDie()
+                 .dta;
+  }
+
+  TreeSchemeOptions Options() {
+    TreeSchemeOptions o;
+    o.key = {0xAB, 0xCD};
+    return o;
+  }
+
+  WeightMap RandomTreeWeights(const BinaryTree& t, Rng& rng) {
+    WeightMap w(1, t.size());
+    for (NodeId v = 0; v < t.size(); ++v) w.SetElem(v, rng.Uniform(100, 999));
+    return w;
+  }
+
+  Weight MaxQueryDrift(const BinaryTree& t, const Dta& dta, const WeightMap& w0,
+                       const WeightMap& w1) {
+    Weight worst = 0;
+    for (NodeId a = 0; a < t.size(); ++a) {
+      Weight f0 = 0, f1 = 0;
+      for (NodeId b : EvaluateWa(t, t.labels(), 3, dta, 1, a)) {
+        f0 += w0.GetElem(b);
+        f1 += w1.GetElem(b);
+      }
+      worst = std::max(worst, std::abs(f1 - f0));
+    }
+    return worst;
+  }
+
+  Alphabet sigma_;
+  Dta query_{0, 1};
+};
+
+TEST_F(TreeSchemeTest, RoundTripManyMarksSmallTree) {
+  Rng rng(51);
+  BinaryTree t = RandomBinaryTree(120, 3, rng);
+  WeightMap w = RandomTreeWeights(t, rng);
+  auto scheme = TreeScheme::Plan(t, t.labels(), 3, query_, 1, Options()).ValueOrDie();
+  const size_t bits = scheme.CapacityBits();
+  ASSERT_GT(bits, 0u);
+  // All marks when feasible, otherwise a 64-mark random sample.
+  const uint64_t total = bits <= 6 ? (uint64_t{1} << bits) : 64;
+  for (uint64_t trial = 0; trial < total; ++trial) {
+    BitVec mark(bits);
+    if (bits <= 6) {
+      mark = BitVec::FromUint64(trial, bits);
+    } else {
+      for (size_t i = 0; i < bits; ++i) mark.Set(i, rng.Coin());
+    }
+    WeightMap marked = scheme.Embed(w, mark);
+    EXPECT_LE(w.LocalDistortion(marked), 1);
+    EXPECT_LE(MaxQueryDrift(t, query_, w, marked), scheme.DistortionBound());
+    HonestTreeServer server(t, t.labels(), 3, query_, 1, marked);
+    EXPECT_EQ(scheme.Detect(w, server).ValueOrDie(), mark);
+  }
+}
+
+class TreeSchemeSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TreeSchemeSizeTest, DistortionAtMostOneAndDetectable) {
+  const size_t n = GetParam();
+  Alphabet sigma;
+  sigma.Intern("a");
+  sigma.Intern("b");
+  sigma.Intern("c");
+  Dta query = CompileMso(*MustParseFormula("LEQ(u, v) & P_b(v)"), sigma, {"u", "v"})
+                  .ValueOrDie()
+                  .dta;
+  Rng rng(n);
+  BinaryTree t = RandomBinaryTree(n, 3, rng);
+  WeightMap w(1, n);
+  for (NodeId v = 0; v < n; ++v) w.SetElem(v, rng.Uniform(0, 500));
+
+  TreeSchemeOptions opts;
+  opts.key = {n, n + 1};
+  auto scheme = TreeScheme::Plan(t, t.labels(), 3, query, 1, opts).ValueOrDie();
+  ASSERT_GT(scheme.CapacityBits(), 0u);
+
+  BitVec mark(scheme.CapacityBits());
+  for (size_t i = 0; i < mark.size(); ++i) mark.Set(i, rng.Coin());
+  WeightMap marked = scheme.Embed(w, mark);
+
+  // Theorem 5's structural guarantee: max drift over every parameter <= 1.
+  Weight worst = 0;
+  for (NodeId a = 0; a < n; ++a) {
+    Weight f0 = 0, f1 = 0;
+    for (NodeId b : EvaluateWa(t, t.labels(), 3, query, 1, a)) {
+      f0 += w.GetElem(b);
+      f1 += marked.GetElem(b);
+    }
+    worst = std::max(worst, std::abs(f1 - f0));
+  }
+  EXPECT_LE(worst, 1);
+
+  HonestTreeServer server(t, t.labels(), 3, query, 1, marked);
+  EXPECT_EQ(scheme.Detect(w, server).ValueOrDie(), mark);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeSchemeSizeTest,
+                         ::testing::Values(200, 500, 1200));
+
+TEST_F(TreeSchemeTest, CapacityScalesWithTreeSize) {
+  Rng rng(52);
+  size_t last = 0;
+  for (size_t n : {300, 900, 2700}) {
+    BinaryTree t = RandomBinaryTree(n, 3, rng);
+    auto scheme = TreeScheme::Plan(t, t.labels(), 3, query_, 1, Options()).ValueOrDie();
+    EXPECT_GT(scheme.CapacityBits(), last);
+    last = scheme.CapacityBits();
+  }
+}
+
+TEST_F(TreeSchemeTest, ParamFreeQueryScheme) {
+  Alphabet sigma;
+  sigma.Intern("a");
+  sigma.Intern("b");
+  sigma.Intern("c");
+  Dta query = CompileMso(*MustParseFormula("P_b(v) & ~LEAF(v)"), sigma, {"v"})
+                  .ValueOrDie()
+                  .dta;
+  Rng rng(53);
+  BinaryTree t = RandomBinaryTree(400, 3, rng);
+  WeightMap w = RandomTreeWeights(t, rng);
+  auto scheme = TreeScheme::Plan(t, t.labels(), 3, query, 0, Options()).ValueOrDie();
+  ASSERT_GT(scheme.CapacityBits(), 0u);
+  BitVec mark(scheme.CapacityBits());
+  mark.Set(0, true);
+  WeightMap marked = scheme.Embed(w, mark);
+  // The single (empty-parameter) query drifts by at most 1 in total... per
+  // region pair it cancels exactly since both pair nodes are in W together.
+  Weight f0 = 0, f1 = 0;
+  for (NodeId b : EvaluateWa(t, t.labels(), 3, query, 0, 0)) {
+    f0 += w.GetElem(b);
+    f1 += marked.GetElem(b);
+  }
+  EXPECT_EQ(f0, f1);  // pairs inside W cancel on the one query
+  HonestTreeServer server(t, t.labels(), 3, query, 0, marked);
+  EXPECT_EQ(scheme.Detect(w, server).ValueOrDie(), mark);
+}
+
+TEST_F(TreeSchemeTest, WrongTrackCountRejected) {
+  Rng rng(54);
+  BinaryTree t = RandomBinaryTree(50, 3, rng);
+  // query_ is a 2-track automaton; claiming param_arity 0 mismatches.
+  EXPECT_FALSE(TreeScheme::Plan(t, t.labels(), 3, query_, 0, Options()).ok());
+}
+
+TEST_F(TreeSchemeTest, DetectorSeesTamperedStructure) {
+  Rng rng(55);
+  BinaryTree t = RandomBinaryTree(300, 3, rng);
+  WeightMap w = RandomTreeWeights(t, rng);
+  auto scheme = TreeScheme::Plan(t, t.labels(), 3, query_, 1, Options()).ValueOrDie();
+  if (scheme.CapacityBits() == 0) GTEST_SKIP();
+  // A server answering a *different* tree's results: witness elements go
+  // missing and detection reports failure rather than a wrong mark.
+  BinaryTree other = RandomBinaryTree(10, 3, rng);
+  HonestTreeServer bogus(other, other.labels(), 3, query_, 1,
+                         WeightMap(1, other.size()));
+  auto result = scheme.Detect(w, bogus);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(TreeSchemeTest, ChainTreesWork) {
+  BinaryTree t = ChainTree(600, 3);
+  Rng rng(56);
+  WeightMap w = RandomTreeWeights(t, rng);
+  auto scheme = TreeScheme::Plan(t, t.labels(), 3, query_, 1, Options()).ValueOrDie();
+  ASSERT_GT(scheme.CapacityBits(), 0u);
+  BitVec mark(scheme.CapacityBits());
+  for (size_t i = 0; i < mark.size(); i += 2) mark.Set(i, true);
+  WeightMap marked = scheme.Embed(w, mark);
+  HonestTreeServer server(t, t.labels(), 3, query_, 1, marked);
+  EXPECT_EQ(scheme.Detect(w, server).ValueOrDie(), mark);
+}
+
+}  // namespace
+}  // namespace qpwm

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "qpwm/tree/bintree.h"
+#include "qpwm/util/random.h"
+
+namespace qpwm {
+namespace {
+
+TEST(AlphabetTest, InternAndFind) {
+  Alphabet sigma;
+  EXPECT_EQ(sigma.Intern("a"), 0u);
+  EXPECT_EQ(sigma.Intern("b"), 1u);
+  EXPECT_EQ(sigma.Intern("a"), 0u);
+  EXPECT_EQ(sigma.size(), 2u);
+  EXPECT_EQ(sigma.Find("b").ValueOrDie(), 1u);
+  EXPECT_FALSE(sigma.Find("c").ok());
+  EXPECT_EQ(sigma.Name(0), "a");
+}
+
+TEST(BinaryTreeTest, BuildAndFinalize) {
+  BinaryTree t;
+  NodeId r = t.AddNode(0);
+  NodeId l = t.AddNode(1);
+  NodeId rr = t.AddNode(2);
+  t.SetLeft(r, l);
+  t.SetRight(r, rr);
+  ASSERT_TRUE(t.Finalize().ok());
+  EXPECT_EQ(t.root(), r);
+  EXPECT_EQ(t.left(r), l);
+  EXPECT_EQ(t.right(r), rr);
+  EXPECT_EQ(t.parent(l), r);
+  EXPECT_TRUE(t.IsLeaf(l));
+  EXPECT_FALSE(t.IsLeaf(r));
+  EXPECT_EQ(t.SubtreeSize(r), 3u);
+}
+
+TEST(BinaryTreeTest, PostorderChildrenFirst) {
+  BinaryTree t = CompleteTree(7, 3);
+  std::vector<bool> seen(7, false);
+  for (NodeId v : t.Postorder()) {
+    if (t.left(v) != kNoNode) {
+      EXPECT_TRUE(seen[t.left(v)]);
+    }
+    if (t.right(v) != kNoNode) {
+      EXPECT_TRUE(seen[t.right(v)]);
+    }
+    seen[v] = true;
+  }
+  EXPECT_EQ(t.Postorder().size(), 7u);
+}
+
+TEST(BinaryTreeTest, AncestorOrSelf) {
+  BinaryTree t = CompleteTree(7, 2);
+  EXPECT_TRUE(t.IsAncestorOrSelf(0, 0));
+  EXPECT_TRUE(t.IsAncestorOrSelf(0, 6));
+  EXPECT_TRUE(t.IsAncestorOrSelf(1, 4));
+  EXPECT_FALSE(t.IsAncestorOrSelf(1, 5));
+  EXPECT_FALSE(t.IsAncestorOrSelf(4, 1));
+}
+
+TEST(BinaryTreeTest, MultipleRootsRejected) {
+  BinaryTree t;
+  t.AddNode(0);
+  t.AddNode(0);
+  EXPECT_FALSE(t.Finalize().ok());
+}
+
+TEST(BinaryTreeTest, EmptyTreeRejected) {
+  BinaryTree t;
+  EXPECT_FALSE(t.Finalize().ok());
+}
+
+TEST(BinaryTreeTest, ChainShape) {
+  BinaryTree t = ChainTree(5, 2);
+  ASSERT_TRUE(t.root() == 0);
+  EXPECT_EQ(t.SubtreeSize(0), 5u);
+  NodeId v = 0;
+  size_t depth = 0;
+  while (t.left(v) != kNoNode) {
+    v = t.left(v);
+    ++depth;
+  }
+  EXPECT_EQ(depth, 4u);
+}
+
+TEST(BinaryTreeTest, RandomTreeIsValid) {
+  Rng rng(2);
+  for (size_t n : {1, 2, 17, 100}) {
+    BinaryTree t = RandomBinaryTree(n, 4, rng);
+    EXPECT_EQ(t.size(), n);
+    EXPECT_EQ(t.Postorder().size(), n);
+    EXPECT_EQ(t.SubtreeSize(t.root()), n);
+    for (NodeId v = 0; v < n; ++v) EXPECT_LT(t.label(v), 4u);
+  }
+}
+
+TEST(BinaryTreeTest, SubtreeSizesConsistent) {
+  Rng rng(4);
+  BinaryTree t = RandomBinaryTree(60, 2, rng);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    size_t expected = 1;
+    if (t.left(v) != kNoNode) expected += t.SubtreeSize(t.left(v));
+    if (t.right(v) != kNoNode) expected += t.SubtreeSize(t.right(v));
+    EXPECT_EQ(t.SubtreeSize(v), expected);
+  }
+}
+
+}  // namespace
+}  // namespace qpwm

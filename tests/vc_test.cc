@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "qpwm/core/answers.h"
+#include "qpwm/logic/query.h"
+#include "qpwm/structure/generators.h"
+#include "qpwm/vc/vcdim.h"
+
+namespace qpwm {
+namespace {
+
+SetSystem MakeSystem(size_t ground, std::vector<std::vector<uint32_t>> sets) {
+  return SetSystem{ground, std::move(sets)};
+}
+
+TEST(ShatterTest, EmptySetShatteredByNonEmptyFamily) {
+  SetSystem s = MakeSystem(3, {{0}});
+  EXPECT_TRUE(IsShattered(s, {}));
+}
+
+TEST(ShatterTest, SingletonNeedsInAndOut) {
+  SetSystem s = MakeSystem(3, {{0}});
+  EXPECT_FALSE(IsShattered(s, {0}));  // no set avoiding 0... ({0} itself covers "in")
+  SetSystem s2 = MakeSystem(3, {{0}, {}});
+  EXPECT_TRUE(IsShattered(s2, {0}));
+}
+
+TEST(ShatterTest, PairNeedsFourPatterns) {
+  SetSystem s = MakeSystem(4, {{}, {0}, {1}, {0, 1}});
+  EXPECT_TRUE(IsShattered(s, {0, 1}));
+  SetSystem missing = MakeSystem(4, {{}, {0}, {0, 1}});
+  EXPECT_FALSE(IsShattered(missing, {0, 1}));
+}
+
+TEST(VcDimensionTest, PowerSetFamily) {
+  // All subsets of {0,1,2}: VC = 3.
+  std::vector<std::vector<uint32_t>> sets;
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    std::vector<uint32_t> set;
+    for (uint32_t i = 0; i < 3; ++i) {
+      if ((mask >> i) & 1) set.push_back(i);
+    }
+    sets.push_back(std::move(set));
+  }
+  SetSystem s = MakeSystem(3, std::move(sets));
+  EXPECT_EQ(VcDimension(s), 3u);
+  EXPECT_EQ(VcLowerBound(s), 3u);
+}
+
+TEST(VcDimensionTest, IntervalsHaveVcTwo) {
+  // Intervals [i, j) over 6 points: VC dimension 2.
+  std::vector<std::vector<uint32_t>> sets;
+  for (uint32_t i = 0; i <= 6; ++i) {
+    for (uint32_t j = i; j <= 6; ++j) {
+      std::vector<uint32_t> set;
+      for (uint32_t k = i; k < j; ++k) set.push_back(k);
+      sets.push_back(std::move(set));
+    }
+  }
+  SetSystem s = MakeSystem(6, std::move(sets));
+  EXPECT_EQ(VcDimension(s), 2u);
+}
+
+TEST(VcDimensionTest, SingletonsHaveVcOne) {
+  SetSystem s = MakeSystem(5, {{0}, {1}, {2}, {3}, {4}, {}});
+  EXPECT_EQ(VcDimension(s), 1u);
+}
+
+TEST(VcDimensionTest, EmptyFamilyIsZero) {
+  SetSystem s = MakeSystem(5, {});
+  EXPECT_EQ(VcDimension(s), 0u);
+}
+
+TEST(VcDimensionTest, MaxDimCapRespected) {
+  std::vector<std::vector<uint32_t>> sets;
+  for (uint32_t mask = 0; mask < 32; ++mask) {
+    std::vector<uint32_t> set;
+    for (uint32_t i = 0; i < 5; ++i) {
+      if ((mask >> i) & 1) set.push_back(i);
+    }
+    sets.push_back(std::move(set));
+  }
+  SetSystem s = MakeSystem(5, std::move(sets));
+  EXPECT_EQ(VcDimension(s, 2), 2u);
+}
+
+TEST(VcLowerBoundTest, NeverExceedsExact) {
+  SetSystem s = MakeSystem(6, {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {}, {1}});
+  EXPECT_LE(VcLowerBound(s), VcDimension(s));
+}
+
+// --- Query-derived systems (Theorem 2 setting) ------------------------------
+
+TEST(QuerySystemTest, ShatterInstanceIsFullyShattered) {
+  // Theorem 2: on G_n, VC(psi, G) = |W| = n.
+  for (uint32_t n : {2, 3, 4}) {
+    Structure g = ShatterInstance(n);
+    auto query = AtomQuery::Adjacency("E");
+    QueryIndex index(g, *query, AllParams(g, 1));
+    EXPECT_EQ(index.num_active(), n);
+    SetSystem system = SetSystemFromQuery(index);
+    EXPECT_EQ(VcDimension(system), n);
+  }
+}
+
+TEST(QuerySystemTest, HalfShatterHasHalfDimension) {
+  // Remark 1: VC = |W| / 2 while |W| = n.
+  for (uint32_t n : {4, 6}) {
+    Structure g = HalfShatterInstance(n);
+    auto query = AtomQuery::Adjacency("E");
+    QueryIndex index(g, *query, AllParams(g, 1));
+    EXPECT_EQ(index.num_active(), n);
+    SetSystem system = SetSystemFromQuery(index);
+    EXPECT_EQ(VcDimension(system), n / 2);
+  }
+}
+
+TEST(QuerySystemTest, BoundedDegreeAdjacencyHasSmallVc) {
+  // Out-neighborhood sets in a degree-<=3 graph: VC bounded by a constant
+  // (each set has <= 3 elements, so VC <= 3 trivially; typically less).
+  Rng rng(5);
+  Structure g = RandomBoundedDegreeGraph(40, 3, 100, false, rng);
+  auto query = AtomQuery::Adjacency("E");
+  QueryIndex index(g, *query, AllParams(g, 1));
+  SetSystem system = SetSystemFromQuery(index);
+  EXPECT_LE(VcDimension(system), 3u);
+}
+
+TEST(QuerySystemTest, DeduplicatesSets) {
+  Structure g = ShatterInstance(2);
+  auto query = AtomQuery::Adjacency("E");
+  QueryIndex index(g, *query, AllParams(g, 1));
+  SetSystem system = SetSystemFromQuery(index);
+  // 4 parameters with distinct sets ({}, {0}, {1}, {0,1}); weight vertices
+  // have empty result sets (duplicate of {}).
+  EXPECT_EQ(system.sets.size(), 4u);
+}
+
+}  // namespace
+}  // namespace qpwm

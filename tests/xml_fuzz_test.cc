@@ -1,0 +1,113 @@
+// Robustness tests: the XML parser and XPath parser must never crash or
+// hang on malformed input — every outcome is either a parsed document or a
+// clean ParseError. Inputs are random mutations of valid documents plus
+// random byte soup (deterministic seeds).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "qpwm/util/random.h"
+#include "qpwm/xml/parser.h"
+#include "qpwm/xml/xpath.h"
+
+namespace qpwm {
+namespace {
+
+const char* kSeedDocs[] = {
+    "<a><b>text</b><c x=\"1\"/></a>",
+    "<school><student><firstname>John</firstname><exam>11</exam></student></school>",
+    "<r>&lt;&amp;&gt;<n>42</n><!-- c --></r>",
+};
+
+std::string Mutate(const std::string& base, Rng& rng) {
+  std::string out = base;
+  size_t edits = 1 + rng.Below(4);
+  for (size_t i = 0; i < edits && !out.empty(); ++i) {
+    size_t pos = rng.Below(out.size());
+    switch (rng.Below(3)) {
+      case 0:  // flip a byte
+        out[pos] = static_cast<char>(32 + rng.Below(95));
+        break;
+      case 1:  // delete a byte
+        out.erase(pos, 1);
+        break;
+      case 2:  // duplicate a span
+        out.insert(pos, out.substr(pos, 1 + rng.Below(5)));
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(XmlFuzzTest, MutatedDocumentsNeverCrash) {
+  Rng rng(2718);
+  int parsed = 0, rejected = 0;
+  for (const char* seed : kSeedDocs) {
+    for (int trial = 0; trial < 400; ++trial) {
+      std::string doc = Mutate(seed, rng);
+      auto result = ParseXml(doc);
+      if (result.ok()) {
+        ++parsed;
+        // Whatever parsed must serialize and re-parse.
+        std::string serialized = SerializeXml(result.value());
+        EXPECT_TRUE(ParseXml(serialized).ok()) << doc;
+      } else {
+        ++rejected;
+        EXPECT_FALSE(result.status().message().empty());
+      }
+    }
+  }
+  // Both outcomes must occur — otherwise the harness tests nothing.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(XmlFuzzTest, RandomByteSoupNeverCrashes) {
+  Rng rng(314159);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string soup;
+    size_t len = rng.Below(60);
+    for (size_t i = 0; i < len; ++i) {
+      soup += static_cast<char>(rng.Below(256));
+    }
+    (void)ParseXml(soup);  // must return, never crash
+  }
+}
+
+TEST(XmlFuzzTest, DeeplyNestedDocumentParses) {
+  std::string open, close;
+  for (int i = 0; i < 2000; ++i) {
+    open += "<a>";
+    close += "</a>";
+  }
+  auto result = ParseXml(open + "x" + close);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 2001u);
+}
+
+TEST(XPathFuzzTest, MutatedQueriesNeverCrash) {
+  Rng rng(1618);
+  const std::string seed = "school/student[firstname=$1]/exam";
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 600; ++trial) {
+    std::string text = Mutate(seed, rng);
+    auto result = XPathQuery::Parse(text);
+    (result.ok() ? parsed : rejected) += 1;
+  }
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(XmlFuzzTest, EncodeRejectsGracefully) {
+  // Structured-but-wrong weight content must come back as Status, not abort.
+  Rng rng(999);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string doc = Mutate(kSeedDocs[1], rng);
+    auto parsed = ParseXml(doc);
+    if (!parsed.ok()) continue;
+    (void)EncodeXml(parsed.value(), {"exam"});  // ok() or clean error
+  }
+}
+
+}  // namespace
+}  // namespace qpwm

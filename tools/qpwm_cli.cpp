@@ -1,0 +1,445 @@
+// qpwm — command-line watermarking of CSV tables and XML documents.
+//
+// Subcommands:
+//   mark-csv    --in data.csv --schema col:key,col2:weight:col --query CQ
+//               --param-column col --key K0:K1 --eps E --mark BITS --out out.csv
+//   detect-csv  --original data.csv --suspect sus.csv (same flags as mark-csv)
+//   mark-xml    --in doc.xml --weight-tags tag[,tag] --xpath XPATH
+//               --key K0:K1 --mark BITS --out out.xml
+//   detect-xml  --original doc.xml --suspect sus.xml (same flags as mark-xml)
+//
+// The secret key is two 64-bit hex words. --mark is a 0/1 string; it is
+// padded with zeros to the scheme's capacity (truncated marks are rejected).
+// Detection prints the recovered bit string and the match against --mark if
+// one is given.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "qpwm/core/local_scheme.h"
+#include "qpwm/core/tree_scheme.h"
+#include "qpwm/logic/conjunctive.h"
+#include "qpwm/relational/csv.h"
+#include "qpwm/relational/table.h"
+#include "qpwm/util/str.h"
+#include "qpwm/xml/parser.h"
+#include "qpwm/xml/xpath.h"
+
+using namespace qpwm;
+
+namespace {
+
+struct Args {
+  std::unordered_map<std::string, std::string> flags;
+
+  bool Has(const std::string& name) const { return flags.count(name) > 0; }
+  Result<std::string> Get(const std::string& name) const {
+    auto it = flags.find(name);
+    if (it == flags.end()) return Status::InvalidArgument("missing --" + name);
+    return it->second;
+  }
+  std::string GetOr(const std::string& name, std::string fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  out << content;
+  return Status::OK();
+}
+
+Result<PrfKey> ParseKey(const std::string& text) {
+  auto parts = Split(text, ':');
+  if (parts.size() != 2) {
+    return Status::InvalidArgument("--key must be two hex words, K0:K1");
+  }
+  PrfKey key;
+  try {
+    key.k0 = std::stoull(parts[0], nullptr, 16);
+    key.k1 = std::stoull(parts[1], nullptr, 16);
+  } catch (...) {
+    return Status::InvalidArgument("--key words must be hex integers");
+  }
+  return key;
+}
+
+// schema: "order:key,region:key,revenue:weight:order"
+Result<std::vector<ColumnSpec>> ParseSchema(const std::string& text) {
+  std::vector<ColumnSpec> out;
+  for (const std::string& part : Split(text, ',')) {
+    auto fields = Split(part, ':');
+    if (fields.size() == 2 && fields[1] == "key") {
+      out.push_back({fields[0], ColumnRole::kKey, ""});
+    } else if (fields.size() == 3 && fields[1] == "weight") {
+      out.push_back({fields[0], ColumnRole::kWeight, fields[2]});
+    } else {
+      return Status::InvalidArgument("bad schema entry '" + part +
+                                     "' (want name:key or name:weight:of)");
+    }
+  }
+  if (out.empty()) return Status::InvalidArgument("empty --schema");
+  return out;
+}
+
+Result<BitVec> ParseMark(const std::string& bits, size_t capacity) {
+  for (char c : bits) {
+    if (c != '0' && c != '1') {
+      return Status::InvalidArgument("--mark must be a 0/1 string");
+    }
+  }
+  if (bits.size() > capacity) {
+    return Status::CapacityExhausted(StrCat("mark has ", bits.size(),
+                                            " bits but capacity is ", capacity));
+  }
+  BitVec mark(capacity);
+  for (size_t i = 0; i < bits.size(); ++i) mark.Set(i, bits[i] == '1');
+  return mark;
+}
+
+// --- CSV workflow -----------------------------------------------------------
+
+struct CsvSetup {
+  Database db;
+  RelationalInstance instance;
+  std::unique_ptr<ConjunctiveQuery> query;
+  std::unique_ptr<QueryIndex> index;
+  std::unique_ptr<LocalScheme> scheme;
+  std::vector<ColumnSpec> schema;
+  std::string table_name;
+};
+
+Result<CsvSetup> SetupCsv(const Args& args, const std::string& csv_path) {
+  CsvSetup setup;
+  auto csv = ReadFile(csv_path);
+  if (!csv.ok()) return csv.status();
+  auto schema_text = args.Get("schema");
+  if (!schema_text.ok()) return schema_text.status();
+  auto schema = ParseSchema(schema_text.value());
+  if (!schema.ok()) return schema.status();
+  setup.schema = schema.value();
+  setup.table_name = args.GetOr("table", "T");
+
+  auto table = TableFromCsv(setup.table_name, setup.schema, csv.value());
+  if (!table.ok()) return table.status();
+  setup.db.AddTable(std::move(table).value());
+  auto instance = ToWeightedStructure(setup.db);
+  if (!instance.ok()) return instance.status();
+  setup.instance = std::move(instance).value();
+
+  auto query_text = args.Get("query");
+  if (!query_text.ok()) return query_text.status();
+  auto query = ConjunctiveQuery::Parse(query_text.value());
+  if (!query.ok()) return query.status();
+  setup.query = std::make_unique<ConjunctiveQuery>(std::move(query).value());
+
+  // Parameter domain: all values of --param-column, or the full universe.
+  std::vector<Tuple> domain;
+  if (args.Has("param-column")) {
+    if (setup.query->ParamArity() != 1) {
+      return Status::InvalidArgument("--param-column needs a 1-parameter query");
+    }
+    const Table* t = setup.db.Find(setup.table_name).ValueOrDie();
+    auto col = t->ColumnIndex(args.Get("param-column").ValueOrDie());
+    if (!col.ok()) return col.status();
+    std::set<std::string> seen;
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      const std::string& value = t->KeyAt(r, col.value());
+      if (!seen.insert(value).second) continue;
+      domain.push_back(Tuple{setup.instance.structure.FindElement(value).ValueOrDie()});
+    }
+  } else {
+    domain = AllParams(setup.instance.structure, setup.query->ParamArity());
+  }
+  setup.index = std::make_unique<QueryIndex>(setup.instance.structure, *setup.query,
+                                             std::move(domain));
+
+  LocalSchemeOptions opts;
+  auto key = ParseKey(args.GetOr("key", "c0ffee:7ea"));
+  if (!key.ok()) return key.status();
+  opts.key = key.value();
+  opts.epsilon = std::stod(args.GetOr("eps", "0.5"));
+  auto scheme = LocalScheme::Plan(*setup.index, opts);
+  if (!scheme.ok()) return scheme.status();
+  setup.scheme = std::make_unique<LocalScheme>(std::move(scheme).value());
+  return setup;
+}
+
+int MarkCsv(const Args& args) {
+  auto in = args.Get("in");
+  if (!in.ok()) {
+    std::cerr << in.status() << "\n";
+    return 2;
+  }
+  auto setup = SetupCsv(args, in.value());
+  if (!setup.ok()) {
+    std::cerr << setup.status() << "\n";
+    return 2;
+  }
+  CsvSetup& s = setup.value();
+  std::cout << "capacity: " << s.scheme->CapacityBits() << " bits, bound <= "
+            << s.scheme->Budget() << " per query\n";
+
+  auto mark = ParseMark(args.GetOr("mark", "1"), s.scheme->CapacityBits());
+  if (!mark.ok()) {
+    std::cerr << mark.status() << "\n";
+    return 2;
+  }
+  WeightMap marked = s.scheme->Embed(s.instance.weights, mark.value());
+  auto marked_db = ApplyWeightsToDatabase(s.db, s.instance, marked);
+  if (!marked_db.ok()) {
+    std::cerr << marked_db.status() << "\n";
+    return 2;
+  }
+  std::string out_csv =
+      TableToCsv(*marked_db.value().Find(s.table_name).ValueOrDie());
+  Status written = WriteFile(args.GetOr("out", in.value() + ".marked"), out_csv);
+  if (!written.ok()) {
+    std::cerr << written << "\n";
+    return 2;
+  }
+  std::cout << "embedded " << mark.value().ToString() << "\n";
+  return 0;
+}
+
+int DetectCsv(const Args& args) {
+  auto original = args.Get("original");
+  if (!original.ok()) {
+    std::cerr << original.status() << "\n";
+    return 2;
+  }
+  auto setup = SetupCsv(args, original.value());
+  if (!setup.ok()) {
+    std::cerr << setup.status() << "\n";
+    return 2;
+  }
+  CsvSetup& s = setup.value();
+
+  auto suspect_path = args.Get("suspect");
+  if (!suspect_path.ok()) {
+    std::cerr << suspect_path.status() << "\n";
+    return 2;
+  }
+  auto suspect_csv = ReadFile(suspect_path.value());
+  if (!suspect_csv.ok()) {
+    std::cerr << suspect_csv.status() << "\n";
+    return 2;
+  }
+  auto suspect_table = TableFromCsv(s.table_name, s.schema, suspect_csv.value());
+  if (!suspect_table.ok()) {
+    std::cerr << suspect_table.status() << "\n";
+    return 2;
+  }
+  Database suspect_db;
+  suspect_db.AddTable(std::move(suspect_table).value());
+  auto suspect_instance = ToWeightedStructure(suspect_db);
+  if (!suspect_instance.ok()) {
+    std::cerr << suspect_instance.status() << "\n";
+    return 2;
+  }
+  // A server over the suspect's weights, answering the registered query.
+  HonestServer server(*s.index, suspect_instance.value().weights);
+  auto detected = s.scheme->Detect(s.instance.weights, server);
+  if (!detected.ok()) {
+    std::cerr << detected.status() << "\n";
+    return 2;
+  }
+  std::cout << "detected: " << detected.value().ToString() << "\n";
+  if (args.Has("mark")) {
+    auto expected = ParseMark(args.GetOr("mark", ""), s.scheme->CapacityBits());
+    if (expected.ok()) {
+      bool match = detected.value() == expected.value();
+      std::cout << (match ? "MATCH" : "NO MATCH") << "\n";
+      return match ? 0 : 1;
+    }
+  }
+  return 0;
+}
+
+// --- XML workflow -------------------------------------------------------------
+
+struct XmlSetup {
+  XmlDocument doc;
+  EncodedXml encoded;
+  std::unique_ptr<XPathQuery> query;
+  std::unique_ptr<TrackedDta> automaton;
+  std::unique_ptr<TreeScheme> scheme;
+};
+
+Result<XmlSetup> SetupXml(const Args& args, const std::string& xml_path) {
+  XmlSetup setup;
+  auto xml = ReadFile(xml_path);
+  if (!xml.ok()) return xml.status();
+  auto doc = ParseXml(xml.value());
+  if (!doc.ok()) return doc.status();
+  setup.doc = std::move(doc).value();
+
+  auto tags_text = args.Get("weight-tags");
+  if (!tags_text.ok()) return tags_text.status();
+  std::set<std::string> tags;
+  for (const std::string& tag : Split(tags_text.value(), ',')) tags.insert(tag);
+  auto encoded = EncodeXml(setup.doc, tags);
+  if (!encoded.ok()) return encoded.status();
+  setup.encoded = std::move(encoded).value();
+
+  auto xpath_text = args.Get("xpath");
+  if (!xpath_text.ok()) return xpath_text.status();
+  auto query = XPathQuery::Parse(xpath_text.value());
+  if (!query.ok()) return query.status();
+  setup.query = std::make_unique<XPathQuery>(std::move(query).value());
+  auto automaton = setup.query->Compile(setup.encoded);
+  if (!automaton.ok()) return automaton.status();
+  setup.automaton = std::make_unique<TrackedDta>(std::move(automaton).value());
+
+  TreeSchemeOptions opts;
+  auto key = ParseKey(args.GetOr("key", "c0ffee:7ea"));
+  if (!key.ok()) return key.status();
+  opts.key = key.value();
+  auto scheme = TreeScheme::Plan(setup.encoded.tree, setup.encoded.tree.labels(),
+                                 static_cast<uint32_t>(setup.encoded.sigma.size()),
+                                 setup.automaton->dta,
+                                 setup.query->has_param() ? 1 : 0, opts);
+  if (!scheme.ok()) return scheme.status();
+  setup.scheme = std::make_unique<TreeScheme>(std::move(scheme).value());
+  return setup;
+}
+
+int MarkXml(const Args& args) {
+  auto in = args.Get("in");
+  if (!in.ok()) {
+    std::cerr << in.status() << "\n";
+    return 2;
+  }
+  auto setup = SetupXml(args, in.value());
+  if (!setup.ok()) {
+    std::cerr << setup.status() << "\n";
+    return 2;
+  }
+  XmlSetup& s = setup.value();
+  std::cout << "capacity: " << s.scheme->CapacityBits()
+            << " bits, per-query distortion <= " << s.scheme->DistortionBound()
+            << "\n";
+  auto mark = ParseMark(args.GetOr("mark", "1"), s.scheme->CapacityBits());
+  if (!mark.ok()) {
+    std::cerr << mark.status() << "\n";
+    return 2;
+  }
+  WeightMap marked = s.scheme->Embed(s.encoded.weights, mark.value());
+  XmlDocument out_doc = ApplyWeights(s.doc, s.encoded, marked);
+  Status written =
+      WriteFile(args.GetOr("out", in.value() + ".marked"), SerializeXml(out_doc));
+  if (!written.ok()) {
+    std::cerr << written << "\n";
+    return 2;
+  }
+  std::cout << "embedded " << mark.value().ToString() << "\n";
+  return 0;
+}
+
+int DetectXml(const Args& args) {
+  auto original = args.Get("original");
+  if (!original.ok()) {
+    std::cerr << original.status() << "\n";
+    return 2;
+  }
+  auto setup = SetupXml(args, original.value());
+  if (!setup.ok()) {
+    std::cerr << setup.status() << "\n";
+    return 2;
+  }
+  XmlSetup& s = setup.value();
+
+  auto suspect_path = args.Get("suspect");
+  if (!suspect_path.ok()) {
+    std::cerr << suspect_path.status() << "\n";
+    return 2;
+  }
+  auto suspect_xml = ReadFile(suspect_path.value());
+  if (!suspect_xml.ok()) {
+    std::cerr << suspect_xml.status() << "\n";
+    return 2;
+  }
+  auto suspect_doc = ParseXml(suspect_xml.value());
+  if (!suspect_doc.ok()) {
+    std::cerr << suspect_doc.status() << "\n";
+    return 2;
+  }
+  std::set<std::string> tags;
+  for (const std::string& tag : Split(args.Get("weight-tags").ValueOrDie(), ',')) {
+    tags.insert(tag);
+  }
+  auto suspect_encoded = EncodeXml(suspect_doc.value(), tags);
+  if (!suspect_encoded.ok()) {
+    std::cerr << suspect_encoded.status() << "\n";
+    return 2;
+  }
+  if (suspect_encoded.value().tree.size() != s.encoded.tree.size()) {
+    std::cerr << "suspect document structure differs from the original\n";
+    return 2;
+  }
+  HonestTreeServer server(s.encoded.tree, s.encoded.tree.labels(),
+                          static_cast<uint32_t>(s.encoded.sigma.size()),
+                          s.automaton->dta, s.query->has_param() ? 1 : 0,
+                          suspect_encoded.value().weights);
+  auto detected = s.scheme->Detect(s.encoded.weights, server);
+  if (!detected.ok()) {
+    std::cerr << detected.status() << "\n";
+    return 2;
+  }
+  std::cout << "detected: " << detected.value().ToString() << "\n";
+  if (args.Has("mark")) {
+    auto expected = ParseMark(args.GetOr("mark", ""), s.scheme->CapacityBits());
+    if (expected.ok()) {
+      bool match = detected.value() == expected.value();
+      std::cout << (match ? "MATCH" : "NO MATCH") << "\n";
+      return match ? 0 : 1;
+    }
+  }
+  return 0;
+}
+
+void Usage() {
+  std::cerr <<
+      "usage: qpwm <mark-csv|detect-csv|mark-xml|detect-xml> [--flag value]...\n"
+      "  mark-csv   --in F --schema C --query Q [--param-column C] [--key K0:K1]\n"
+      "             [--eps E] [--mark BITS] [--out F]\n"
+      "  detect-csv --original F --suspect F (+ the mark-csv flags)\n"
+      "  mark-xml   --in F --weight-tags T[,T] --xpath X [--key K0:K1]\n"
+      "             [--mark BITS] [--out F]\n"
+      "  detect-xml --original F --suspect F (+ the mark-xml flags)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  std::string command = argv[1];
+  Args args;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0) {
+      Usage();
+      return 2;
+    }
+    args.flags[flag.substr(2)] = argv[i + 1];
+  }
+  if (command == "mark-csv") return MarkCsv(args);
+  if (command == "detect-csv") return DetectCsv(args);
+  if (command == "mark-xml") return MarkXml(args);
+  if (command == "detect-xml") return DetectXml(args);
+  Usage();
+  return 2;
+}
