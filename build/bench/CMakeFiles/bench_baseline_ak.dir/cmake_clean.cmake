@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_ak.dir/bench_baseline_ak.cc.o"
+  "CMakeFiles/bench_baseline_ak.dir/bench_baseline_ak.cc.o.d"
+  "bench_baseline_ak"
+  "bench_baseline_ak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_ak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

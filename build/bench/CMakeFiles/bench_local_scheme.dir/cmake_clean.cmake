@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_scheme.dir/bench_local_scheme.cc.o"
+  "CMakeFiles/bench_local_scheme.dir/bench_local_scheme.cc.o.d"
+  "bench_local_scheme"
+  "bench_local_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

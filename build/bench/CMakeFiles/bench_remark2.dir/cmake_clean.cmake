@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remark2.dir/bench_remark2.cc.o"
+  "CMakeFiles/bench_remark2.dir/bench_remark2.cc.o.d"
+  "bench_remark2"
+  "bench_remark2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remark2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_scheme.dir/bench_tree_scheme.cc.o"
+  "CMakeFiles/bench_tree_scheme.dir/bench_tree_scheme.cc.o.d"
+  "bench_tree_scheme"
+  "bench_tree_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

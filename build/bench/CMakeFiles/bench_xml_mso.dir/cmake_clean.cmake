@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xml_mso.dir/bench_xml_mso.cc.o"
+  "CMakeFiles/bench_xml_mso.dir/bench_xml_mso.cc.o.d"
+  "bench_xml_mso"
+  "bench_xml_mso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xml_mso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_sales.dir/csv_sales.cpp.o"
+  "CMakeFiles/csv_sales.dir/csv_sales.cpp.o.d"
+  "csv_sales"
+  "csv_sales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_sales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

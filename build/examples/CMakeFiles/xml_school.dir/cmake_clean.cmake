@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_school.dir/xml_school.cpp.o"
+  "CMakeFiles/xml_school.dir/xml_school.cpp.o.d"
+  "xml_school"
+  "xml_school.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_school.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("qpwm/util")
+subdirs("qpwm/structure")
+subdirs("qpwm/logic")
+subdirs("qpwm/relational")
+subdirs("qpwm/tree")
+subdirs("qpwm/xml")
+subdirs("qpwm/vc")
+subdirs("qpwm/capacity")
+subdirs("qpwm/core")
+subdirs("qpwm/baseline")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpwm_baseline.dir/agrawal_kiernan.cc.o"
+  "CMakeFiles/qpwm_baseline.dir/agrawal_kiernan.cc.o.d"
+  "libqpwm_baseline.a"
+  "libqpwm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpwm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpwm_capacity.dir/capacity.cc.o"
+  "CMakeFiles/qpwm_capacity.dir/capacity.cc.o.d"
+  "libqpwm_capacity.a"
+  "libqpwm_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpwm_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

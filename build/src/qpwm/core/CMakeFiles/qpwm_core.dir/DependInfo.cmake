@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qpwm/core/adversarial.cc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/adversarial.cc.o" "gcc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/adversarial.cc.o.d"
+  "/root/repo/src/qpwm/core/answers.cc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/answers.cc.o" "gcc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/answers.cc.o.d"
+  "/root/repo/src/qpwm/core/attack.cc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/attack.cc.o" "gcc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/attack.cc.o.d"
+  "/root/repo/src/qpwm/core/distortion.cc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/distortion.cc.o" "gcc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/distortion.cc.o.d"
+  "/root/repo/src/qpwm/core/incremental.cc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/incremental.cc.o" "gcc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/incremental.cc.o.d"
+  "/root/repo/src/qpwm/core/local_scheme.cc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/local_scheme.cc.o" "gcc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/local_scheme.cc.o.d"
+  "/root/repo/src/qpwm/core/pairs.cc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/pairs.cc.o" "gcc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/pairs.cc.o.d"
+  "/root/repo/src/qpwm/core/tree_scheme.cc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/tree_scheme.cc.o" "gcc" "src/qpwm/core/CMakeFiles/qpwm_core.dir/tree_scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qpwm/logic/CMakeFiles/qpwm_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/structure/CMakeFiles/qpwm_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/tree/CMakeFiles/qpwm_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/util/CMakeFiles/qpwm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

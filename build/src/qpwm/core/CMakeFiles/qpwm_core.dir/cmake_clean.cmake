@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpwm_core.dir/adversarial.cc.o"
+  "CMakeFiles/qpwm_core.dir/adversarial.cc.o.d"
+  "CMakeFiles/qpwm_core.dir/answers.cc.o"
+  "CMakeFiles/qpwm_core.dir/answers.cc.o.d"
+  "CMakeFiles/qpwm_core.dir/attack.cc.o"
+  "CMakeFiles/qpwm_core.dir/attack.cc.o.d"
+  "CMakeFiles/qpwm_core.dir/distortion.cc.o"
+  "CMakeFiles/qpwm_core.dir/distortion.cc.o.d"
+  "CMakeFiles/qpwm_core.dir/incremental.cc.o"
+  "CMakeFiles/qpwm_core.dir/incremental.cc.o.d"
+  "CMakeFiles/qpwm_core.dir/local_scheme.cc.o"
+  "CMakeFiles/qpwm_core.dir/local_scheme.cc.o.d"
+  "CMakeFiles/qpwm_core.dir/pairs.cc.o"
+  "CMakeFiles/qpwm_core.dir/pairs.cc.o.d"
+  "CMakeFiles/qpwm_core.dir/tree_scheme.cc.o"
+  "CMakeFiles/qpwm_core.dir/tree_scheme.cc.o.d"
+  "libqpwm_core.a"
+  "libqpwm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpwm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

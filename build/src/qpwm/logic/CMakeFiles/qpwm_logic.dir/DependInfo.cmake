@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qpwm/logic/conjunctive.cc" "src/qpwm/logic/CMakeFiles/qpwm_logic.dir/conjunctive.cc.o" "gcc" "src/qpwm/logic/CMakeFiles/qpwm_logic.dir/conjunctive.cc.o.d"
+  "/root/repo/src/qpwm/logic/evaluator.cc" "src/qpwm/logic/CMakeFiles/qpwm_logic.dir/evaluator.cc.o" "gcc" "src/qpwm/logic/CMakeFiles/qpwm_logic.dir/evaluator.cc.o.d"
+  "/root/repo/src/qpwm/logic/formula.cc" "src/qpwm/logic/CMakeFiles/qpwm_logic.dir/formula.cc.o" "gcc" "src/qpwm/logic/CMakeFiles/qpwm_logic.dir/formula.cc.o.d"
+  "/root/repo/src/qpwm/logic/locality.cc" "src/qpwm/logic/CMakeFiles/qpwm_logic.dir/locality.cc.o" "gcc" "src/qpwm/logic/CMakeFiles/qpwm_logic.dir/locality.cc.o.d"
+  "/root/repo/src/qpwm/logic/multiquery.cc" "src/qpwm/logic/CMakeFiles/qpwm_logic.dir/multiquery.cc.o" "gcc" "src/qpwm/logic/CMakeFiles/qpwm_logic.dir/multiquery.cc.o.d"
+  "/root/repo/src/qpwm/logic/parser.cc" "src/qpwm/logic/CMakeFiles/qpwm_logic.dir/parser.cc.o" "gcc" "src/qpwm/logic/CMakeFiles/qpwm_logic.dir/parser.cc.o.d"
+  "/root/repo/src/qpwm/logic/query.cc" "src/qpwm/logic/CMakeFiles/qpwm_logic.dir/query.cc.o" "gcc" "src/qpwm/logic/CMakeFiles/qpwm_logic.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qpwm/structure/CMakeFiles/qpwm_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/util/CMakeFiles/qpwm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

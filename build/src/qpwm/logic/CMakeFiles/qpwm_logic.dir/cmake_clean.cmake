@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpwm_logic.dir/conjunctive.cc.o"
+  "CMakeFiles/qpwm_logic.dir/conjunctive.cc.o.d"
+  "CMakeFiles/qpwm_logic.dir/evaluator.cc.o"
+  "CMakeFiles/qpwm_logic.dir/evaluator.cc.o.d"
+  "CMakeFiles/qpwm_logic.dir/formula.cc.o"
+  "CMakeFiles/qpwm_logic.dir/formula.cc.o.d"
+  "CMakeFiles/qpwm_logic.dir/locality.cc.o"
+  "CMakeFiles/qpwm_logic.dir/locality.cc.o.d"
+  "CMakeFiles/qpwm_logic.dir/multiquery.cc.o"
+  "CMakeFiles/qpwm_logic.dir/multiquery.cc.o.d"
+  "CMakeFiles/qpwm_logic.dir/parser.cc.o"
+  "CMakeFiles/qpwm_logic.dir/parser.cc.o.d"
+  "CMakeFiles/qpwm_logic.dir/query.cc.o"
+  "CMakeFiles/qpwm_logic.dir/query.cc.o.d"
+  "libqpwm_logic.a"
+  "libqpwm_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpwm_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

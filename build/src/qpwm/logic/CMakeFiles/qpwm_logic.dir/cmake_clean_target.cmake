@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqpwm_logic.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qpwm/relational/csv.cc" "src/qpwm/relational/CMakeFiles/qpwm_relational.dir/csv.cc.o" "gcc" "src/qpwm/relational/CMakeFiles/qpwm_relational.dir/csv.cc.o.d"
+  "/root/repo/src/qpwm/relational/table.cc" "src/qpwm/relational/CMakeFiles/qpwm_relational.dir/table.cc.o" "gcc" "src/qpwm/relational/CMakeFiles/qpwm_relational.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qpwm/structure/CMakeFiles/qpwm_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/util/CMakeFiles/qpwm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpwm_relational.dir/csv.cc.o"
+  "CMakeFiles/qpwm_relational.dir/csv.cc.o.d"
+  "CMakeFiles/qpwm_relational.dir/table.cc.o"
+  "CMakeFiles/qpwm_relational.dir/table.cc.o.d"
+  "libqpwm_relational.a"
+  "libqpwm_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpwm_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qpwm/structure/gaifman.cc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/gaifman.cc.o" "gcc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/gaifman.cc.o.d"
+  "/root/repo/src/qpwm/structure/generators.cc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/generators.cc.o" "gcc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/generators.cc.o.d"
+  "/root/repo/src/qpwm/structure/isomorphism.cc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/isomorphism.cc.o" "gcc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/isomorphism.cc.o.d"
+  "/root/repo/src/qpwm/structure/neighborhood.cc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/neighborhood.cc.o" "gcc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/neighborhood.cc.o.d"
+  "/root/repo/src/qpwm/structure/paths.cc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/paths.cc.o" "gcc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/paths.cc.o.d"
+  "/root/repo/src/qpwm/structure/structure.cc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/structure.cc.o" "gcc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/structure.cc.o.d"
+  "/root/repo/src/qpwm/structure/typemap.cc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/typemap.cc.o" "gcc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/typemap.cc.o.d"
+  "/root/repo/src/qpwm/structure/weighted.cc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/weighted.cc.o" "gcc" "src/qpwm/structure/CMakeFiles/qpwm_structure.dir/weighted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qpwm/util/CMakeFiles/qpwm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpwm_structure.dir/gaifman.cc.o"
+  "CMakeFiles/qpwm_structure.dir/gaifman.cc.o.d"
+  "CMakeFiles/qpwm_structure.dir/generators.cc.o"
+  "CMakeFiles/qpwm_structure.dir/generators.cc.o.d"
+  "CMakeFiles/qpwm_structure.dir/isomorphism.cc.o"
+  "CMakeFiles/qpwm_structure.dir/isomorphism.cc.o.d"
+  "CMakeFiles/qpwm_structure.dir/neighborhood.cc.o"
+  "CMakeFiles/qpwm_structure.dir/neighborhood.cc.o.d"
+  "CMakeFiles/qpwm_structure.dir/paths.cc.o"
+  "CMakeFiles/qpwm_structure.dir/paths.cc.o.d"
+  "CMakeFiles/qpwm_structure.dir/structure.cc.o"
+  "CMakeFiles/qpwm_structure.dir/structure.cc.o.d"
+  "CMakeFiles/qpwm_structure.dir/typemap.cc.o"
+  "CMakeFiles/qpwm_structure.dir/typemap.cc.o.d"
+  "CMakeFiles/qpwm_structure.dir/weighted.cc.o"
+  "CMakeFiles/qpwm_structure.dir/weighted.cc.o.d"
+  "libqpwm_structure.a"
+  "libqpwm_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpwm_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qpwm/tree/automaton.cc" "src/qpwm/tree/CMakeFiles/qpwm_tree.dir/automaton.cc.o" "gcc" "src/qpwm/tree/CMakeFiles/qpwm_tree.dir/automaton.cc.o.d"
+  "/root/repo/src/qpwm/tree/bintree.cc" "src/qpwm/tree/CMakeFiles/qpwm_tree.dir/bintree.cc.o" "gcc" "src/qpwm/tree/CMakeFiles/qpwm_tree.dir/bintree.cc.o.d"
+  "/root/repo/src/qpwm/tree/decomposition.cc" "src/qpwm/tree/CMakeFiles/qpwm_tree.dir/decomposition.cc.o" "gcc" "src/qpwm/tree/CMakeFiles/qpwm_tree.dir/decomposition.cc.o.d"
+  "/root/repo/src/qpwm/tree/mso.cc" "src/qpwm/tree/CMakeFiles/qpwm_tree.dir/mso.cc.o" "gcc" "src/qpwm/tree/CMakeFiles/qpwm_tree.dir/mso.cc.o.d"
+  "/root/repo/src/qpwm/tree/query.cc" "src/qpwm/tree/CMakeFiles/qpwm_tree.dir/query.cc.o" "gcc" "src/qpwm/tree/CMakeFiles/qpwm_tree.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qpwm/logic/CMakeFiles/qpwm_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/structure/CMakeFiles/qpwm_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/util/CMakeFiles/qpwm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpwm_tree.dir/automaton.cc.o"
+  "CMakeFiles/qpwm_tree.dir/automaton.cc.o.d"
+  "CMakeFiles/qpwm_tree.dir/bintree.cc.o"
+  "CMakeFiles/qpwm_tree.dir/bintree.cc.o.d"
+  "CMakeFiles/qpwm_tree.dir/decomposition.cc.o"
+  "CMakeFiles/qpwm_tree.dir/decomposition.cc.o.d"
+  "CMakeFiles/qpwm_tree.dir/mso.cc.o"
+  "CMakeFiles/qpwm_tree.dir/mso.cc.o.d"
+  "CMakeFiles/qpwm_tree.dir/query.cc.o"
+  "CMakeFiles/qpwm_tree.dir/query.cc.o.d"
+  "libqpwm_tree.a"
+  "libqpwm_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpwm_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qpwm/util/bitvec.cc" "src/qpwm/util/CMakeFiles/qpwm_util.dir/bitvec.cc.o" "gcc" "src/qpwm/util/CMakeFiles/qpwm_util.dir/bitvec.cc.o.d"
+  "/root/repo/src/qpwm/util/hash.cc" "src/qpwm/util/CMakeFiles/qpwm_util.dir/hash.cc.o" "gcc" "src/qpwm/util/CMakeFiles/qpwm_util.dir/hash.cc.o.d"
+  "/root/repo/src/qpwm/util/random.cc" "src/qpwm/util/CMakeFiles/qpwm_util.dir/random.cc.o" "gcc" "src/qpwm/util/CMakeFiles/qpwm_util.dir/random.cc.o.d"
+  "/root/repo/src/qpwm/util/status.cc" "src/qpwm/util/CMakeFiles/qpwm_util.dir/status.cc.o" "gcc" "src/qpwm/util/CMakeFiles/qpwm_util.dir/status.cc.o.d"
+  "/root/repo/src/qpwm/util/str.cc" "src/qpwm/util/CMakeFiles/qpwm_util.dir/str.cc.o" "gcc" "src/qpwm/util/CMakeFiles/qpwm_util.dir/str.cc.o.d"
+  "/root/repo/src/qpwm/util/table.cc" "src/qpwm/util/CMakeFiles/qpwm_util.dir/table.cc.o" "gcc" "src/qpwm/util/CMakeFiles/qpwm_util.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

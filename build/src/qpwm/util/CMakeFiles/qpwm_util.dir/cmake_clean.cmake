@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpwm_util.dir/bitvec.cc.o"
+  "CMakeFiles/qpwm_util.dir/bitvec.cc.o.d"
+  "CMakeFiles/qpwm_util.dir/hash.cc.o"
+  "CMakeFiles/qpwm_util.dir/hash.cc.o.d"
+  "CMakeFiles/qpwm_util.dir/random.cc.o"
+  "CMakeFiles/qpwm_util.dir/random.cc.o.d"
+  "CMakeFiles/qpwm_util.dir/status.cc.o"
+  "CMakeFiles/qpwm_util.dir/status.cc.o.d"
+  "CMakeFiles/qpwm_util.dir/str.cc.o"
+  "CMakeFiles/qpwm_util.dir/str.cc.o.d"
+  "CMakeFiles/qpwm_util.dir/table.cc.o"
+  "CMakeFiles/qpwm_util.dir/table.cc.o.d"
+  "libqpwm_util.a"
+  "libqpwm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpwm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

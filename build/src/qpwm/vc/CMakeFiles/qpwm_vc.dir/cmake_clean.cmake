@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpwm_vc.dir/vcdim.cc.o"
+  "CMakeFiles/qpwm_vc.dir/vcdim.cc.o.d"
+  "libqpwm_vc.a"
+  "libqpwm_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpwm_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

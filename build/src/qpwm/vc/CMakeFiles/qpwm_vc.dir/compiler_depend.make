@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qpwm_vc.
+# This may be replaced when dependencies are built.

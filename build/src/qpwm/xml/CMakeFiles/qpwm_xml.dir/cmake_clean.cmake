@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpwm_xml.dir/dom.cc.o"
+  "CMakeFiles/qpwm_xml.dir/dom.cc.o.d"
+  "CMakeFiles/qpwm_xml.dir/encode.cc.o"
+  "CMakeFiles/qpwm_xml.dir/encode.cc.o.d"
+  "CMakeFiles/qpwm_xml.dir/parser.cc.o"
+  "CMakeFiles/qpwm_xml.dir/parser.cc.o.d"
+  "CMakeFiles/qpwm_xml.dir/xpath.cc.o"
+  "CMakeFiles/qpwm_xml.dir/xpath.cc.o.d"
+  "libqpwm_xml.a"
+  "libqpwm_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpwm_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

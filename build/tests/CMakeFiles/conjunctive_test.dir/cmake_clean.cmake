@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conjunctive_test.dir/conjunctive_test.cc.o"
+  "CMakeFiles/conjunctive_test.dir/conjunctive_test.cc.o.d"
+  "conjunctive_test"
+  "conjunctive_test.pdb"
+  "conjunctive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conjunctive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

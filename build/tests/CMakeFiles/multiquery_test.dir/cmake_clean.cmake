@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiquery_test.dir/multiquery_test.cc.o"
+  "CMakeFiles/multiquery_test.dir/multiquery_test.cc.o.d"
+  "multiquery_test"
+  "multiquery_test.pdb"
+  "multiquery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiquery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_scheme_test.dir/tree_scheme_test.cc.o"
+  "CMakeFiles/tree_scheme_test.dir/tree_scheme_test.cc.o.d"
+  "tree_scheme_test"
+  "tree_scheme_test.pdb"
+  "tree_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

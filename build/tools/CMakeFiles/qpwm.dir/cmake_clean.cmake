@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpwm.dir/qpwm_cli.cpp.o"
+  "CMakeFiles/qpwm.dir/qpwm_cli.cpp.o.d"
+  "qpwm"
+  "qpwm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpwm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
