@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_structural_attacks.cc" "bench/CMakeFiles/bench_structural_attacks.dir/bench_structural_attacks.cc.o" "gcc" "bench/CMakeFiles/bench_structural_attacks.dir/bench_structural_attacks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qpwm/core/CMakeFiles/qpwm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/tree/CMakeFiles/qpwm_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/xml/CMakeFiles/qpwm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/vc/CMakeFiles/qpwm_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/capacity/CMakeFiles/qpwm_capacity.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/relational/CMakeFiles/qpwm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/baseline/CMakeFiles/qpwm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/logic/CMakeFiles/qpwm_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/structure/CMakeFiles/qpwm_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/util/CMakeFiles/qpwm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

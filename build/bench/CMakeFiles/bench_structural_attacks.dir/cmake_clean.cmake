@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_structural_attacks.dir/bench_structural_attacks.cc.o"
+  "CMakeFiles/bench_structural_attacks.dir/bench_structural_attacks.cc.o.d"
+  "bench_structural_attacks"
+  "bench_structural_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_structural_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

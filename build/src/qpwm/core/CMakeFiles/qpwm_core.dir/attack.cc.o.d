@@ -1,7 +1,7 @@
 src/qpwm/core/CMakeFiles/qpwm_core.dir/attack.cc.o: \
  /root/repo/src/qpwm/core/attack.cc /usr/include/stdc-predef.h \
- /root/repo/src/qpwm/core/attack.h /root/repo/src/qpwm/core/answers.h \
- /usr/include/c++/12/cstdint \
+ /root/repo/src/qpwm/core/attack.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/type_traits \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -13,15 +13,6 @@ src/qpwm/core/CMakeFiles/qpwm_core.dir/attack.cc.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
  /usr/include/c++/12/pstl/pstl_config.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
- /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
- /usr/include/x86_64-linux-gnu/bits/types.h \
- /usr/include/x86_64-linux-gnu/bits/typesizes.h \
- /usr/include/x86_64-linux-gnu/bits/time64.h \
- /usr/include/x86_64-linux-gnu/bits/wchar.h \
- /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
- /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/type_traits \
  /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/allocator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
@@ -61,11 +52,21 @@ src/qpwm/core/CMakeFiles/qpwm_core.dir/attack.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/refwrap.h /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/qpwm/core/answers.h /usr/include/c++/12/cstdint \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
+ /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
+ /usr/include/x86_64-linux-gnu/bits/types.h \
+ /usr/include/x86_64-linux-gnu/bits/typesizes.h \
+ /usr/include/x86_64-linux-gnu/bits/time64.h \
+ /usr/include/x86_64-linux-gnu/bits/wchar.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
  /root/repo/src/qpwm/logic/query.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
  /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
@@ -214,12 +215,13 @@ src/qpwm/core/CMakeFiles/qpwm_core.dir/attack.cc.o: \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/qpwm/structure/gaifman.h \
  /root/repo/src/qpwm/structure/structure.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/qpwm/structure/signature.h \
  /root/repo/src/qpwm/util/status.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/qpwm/util/check.h \
  /root/repo/src/qpwm/util/hash.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/qpwm/structure/weighted.h \
- /root/repo/src/qpwm/util/random.h
+ /root/repo/src/qpwm/util/random.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

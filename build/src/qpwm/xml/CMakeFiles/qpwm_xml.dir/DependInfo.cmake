@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qpwm/xml/attack.cc" "src/qpwm/xml/CMakeFiles/qpwm_xml.dir/attack.cc.o" "gcc" "src/qpwm/xml/CMakeFiles/qpwm_xml.dir/attack.cc.o.d"
   "/root/repo/src/qpwm/xml/dom.cc" "src/qpwm/xml/CMakeFiles/qpwm_xml.dir/dom.cc.o" "gcc" "src/qpwm/xml/CMakeFiles/qpwm_xml.dir/dom.cc.o.d"
   "/root/repo/src/qpwm/xml/encode.cc" "src/qpwm/xml/CMakeFiles/qpwm_xml.dir/encode.cc.o" "gcc" "src/qpwm/xml/CMakeFiles/qpwm_xml.dir/encode.cc.o.d"
   "/root/repo/src/qpwm/xml/parser.cc" "src/qpwm/xml/CMakeFiles/qpwm_xml.dir/parser.cc.o" "gcc" "src/qpwm/xml/CMakeFiles/qpwm_xml.dir/parser.cc.o.d"

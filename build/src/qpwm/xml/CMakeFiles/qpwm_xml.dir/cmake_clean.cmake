@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/qpwm_xml.dir/attack.cc.o"
+  "CMakeFiles/qpwm_xml.dir/attack.cc.o.d"
   "CMakeFiles/qpwm_xml.dir/dom.cc.o"
   "CMakeFiles/qpwm_xml.dir/dom.cc.o.d"
   "CMakeFiles/qpwm_xml.dir/encode.cc.o"

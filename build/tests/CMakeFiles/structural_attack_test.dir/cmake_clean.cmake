@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_attack_test.dir/structural_attack_test.cc.o"
+  "CMakeFiles/structural_attack_test.dir/structural_attack_test.cc.o.d"
+  "structural_attack_test"
+  "structural_attack_test.pdb"
+  "structural_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

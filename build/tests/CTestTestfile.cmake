@@ -23,6 +23,7 @@ include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/local_scheme_test[1]_include.cmake")
 include("/root/repo/build/tests/tree_scheme_test[1]_include.cmake")
 include("/root/repo/build/tests/adversarial_test[1]_include.cmake")
+include("/root/repo/build/tests/structural_attack_test[1]_include.cmake")
 include("/root/repo/build/tests/incremental_test[1]_include.cmake")
 include("/root/repo/build/tests/baseline_test[1]_include.cmake")
 include("/root/repo/build/tests/multiquery_test[1]_include.cmake")

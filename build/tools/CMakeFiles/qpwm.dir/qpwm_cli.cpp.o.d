@@ -158,7 +158,7 @@ tools/CMakeFiles/qpwm.dir/qpwm_cli.cpp.o: /root/repo/tools/qpwm_cli.cpp \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/iostream \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/qpwm/core/local_scheme.h /usr/include/c++/12/memory \
+ /root/repo/src/qpwm/core/adversarial.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -199,12 +199,14 @@ tools/CMakeFiles/qpwm.dir/qpwm_cli.cpp.o: /root/repo/tools/qpwm_cli.cpp \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/qpwm/core/answers.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/qpwm/core/local_scheme.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/qpwm/core/answers.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
@@ -231,10 +233,11 @@ tools/CMakeFiles/qpwm.dir/qpwm_cli.cpp.o: /root/repo/tools/qpwm_cli.cpp \
  /root/repo/src/qpwm/core/tree_scheme.h \
  /root/repo/src/qpwm/tree/automaton.h /root/repo/src/qpwm/tree/bintree.h \
  /root/repo/src/qpwm/tree/decomposition.h \
+ /root/repo/src/qpwm/core/attack.h /root/repo/src/qpwm/util/random.h \
  /root/repo/src/qpwm/logic/conjunctive.h \
  /root/repo/src/qpwm/relational/csv.h \
  /root/repo/src/qpwm/relational/table.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/qpwm/util/str.h \
- /root/repo/src/qpwm/xml/parser.h /root/repo/src/qpwm/xml/dom.h \
- /root/repo/src/qpwm/xml/xpath.h /root/repo/src/qpwm/tree/mso.h \
- /root/repo/src/qpwm/xml/encode.h
+ /root/repo/src/qpwm/util/table.h /root/repo/src/qpwm/xml/encode.h \
+ /root/repo/src/qpwm/xml/dom.h /root/repo/src/qpwm/xml/parser.h \
+ /root/repo/src/qpwm/xml/xpath.h /root/repo/src/qpwm/tree/mso.h

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/qpwm_faultgen.cpp" "tools/CMakeFiles/qpwm_faultgen.dir/qpwm_faultgen.cpp.o" "gcc" "tools/CMakeFiles/qpwm_faultgen.dir/qpwm_faultgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qpwm/core/CMakeFiles/qpwm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/logic/CMakeFiles/qpwm_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/structure/CMakeFiles/qpwm_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/util/CMakeFiles/qpwm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpwm/tree/CMakeFiles/qpwm_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpwm_faultgen.dir/qpwm_faultgen.cpp.o"
+  "CMakeFiles/qpwm_faultgen.dir/qpwm_faultgen.cpp.o.d"
+  "qpwm_faultgen"
+  "qpwm_faultgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpwm_faultgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

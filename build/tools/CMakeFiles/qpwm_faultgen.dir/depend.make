@@ -1,0 +1,2 @@
+# Empty dependencies file for qpwm_faultgen.
+# This may be replaced when dependencies are built.

@@ -15,9 +15,9 @@ class LocalCarrier : public PairCarrier {
              PairEncoding encoding) const override {
     base_->marking().Apply(expanded_mark, weights, encoding);
   }
-  Result<std::vector<Weight>> PairDeltas(const WeightMap& original,
-                                         const AnswerServer& suspect) const override {
-    return base_->PairDeltas(original, suspect);
+  std::vector<PairObservation> Observe(const WeightMap& original,
+                                       const AnswerServer& suspect) const override {
+    return base_->ObservePairs(original, suspect);
   }
 
  private:
@@ -32,9 +32,9 @@ class TreeCarrier : public PairCarrier {
              PairEncoding encoding) const override {
     base_->ApplyMark(expanded_mark, weights, encoding);
   }
-  Result<std::vector<Weight>> PairDeltas(const WeightMap& original,
-                                         const AnswerServer& suspect) const override {
-    return base_->PairDeltas(original, suspect);
+  std::vector<PairObservation> Observe(const WeightMap& original,
+                                       const AnswerServer& suspect) const override {
+    return base_->ObservePairs(original, suspect);
   }
 
  private:
@@ -74,30 +74,51 @@ WeightMap AdversarialScheme::Embed(const WeightMap& original,
 
 Result<AdversarialDetection> AdversarialScheme::Detect(
     const WeightMap& original, const AnswerServer& suspect) const {
-  auto deltas = carrier_->PairDeltas(original, suspect);
-  if (!deltas.ok()) return deltas.status();
+  const std::vector<PairObservation> observations =
+      carrier_->Observe(original, suspect);
 
   AdversarialDetection out;
   out.mark = BitVec(capacity_);
   out.margins.resize(capacity_);
+  out.group_sizes.resize(capacity_);
+  out.bit_erased.resize(capacity_);
   out.min_margin = capacity_ == 0 ? 0.0 : 1.0;
   for (size_t j = 0; j < capacity_; ++j) {
     int votes_one = 0;
     int votes_zero = 0;
+    uint32_t surviving = 0;
     for (size_t k = 0; k < redundancy_; ++k) {
-      Weight d = deltas.value()[j * redundancy_ + k];
-      if (d > 0) {
+      const PairObservation& obs = observations[j * redundancy_ + k];
+      if (obs.erased) {
+        // The pair's elements are gone from the suspect (structural attack):
+        // abstain and shrink the group — never fabricate a 0-delta vote.
+        ++out.pairs_erased;
+        continue;
+      }
+      ++surviving;
+      if (obs.delta > 0) {
         ++votes_one;
-      } else if (d < 0) {
+      } else if (obs.delta < 0) {
         ++votes_zero;
       }
-      // d == 0: the attacker neutralized this pair; abstain.
+      // delta == 0: the attacker neutralized this pair; abstain (but the
+      // pair is still present, so it stays in the margin denominator).
     }
+    out.group_sizes[j] = surviving;
+    if (surviving == 0) {
+      out.bit_erased[j] = true;
+      ++out.bits_erased;
+      out.mark.Set(j, false);
+      out.margins[j] = 0.0;
+      continue;
+    }
+    ++out.bits_recovered;
     out.mark.Set(j, votes_one >= votes_zero);
     out.margins[j] =
-        static_cast<double>(std::abs(votes_one - votes_zero)) / redundancy_;
+        static_cast<double>(std::abs(votes_one - votes_zero)) / surviving;
     out.min_margin = std::min(out.min_margin, out.margins[j]);
   }
+  if (out.bits_recovered == 0) out.min_margin = 0.0;
   return out;
 }
 

@@ -22,27 +22,49 @@
 
 namespace qpwm {
 
-/// Detection output with per-bit confidence.
+/// Detection output with per-bit confidence and erasure accounting.
+///
+/// Structural attacks (tuple deletion, dropped subtrees, shipped subsets)
+/// remove pair elements from the suspect's answers. Such pairs are *erasures*:
+/// they abstain from the vote and shrink the group, they are never fabricated
+/// as 0-deltas. A bit whose entire group was erased is reported as erased
+/// rather than guessed — detection returns this partial report instead of an
+/// all-or-nothing kDetectionFailed.
 struct AdversarialDetection {
   BitVec mark;
-  /// Vote margin per bit: (votes for winner - votes against) / group size,
-  /// in [0, 1]. A margin of 0 means a tie (that bit is untrusted).
+  /// Vote margin per bit: (votes for winner - votes against) / surviving
+  /// group size, in [0, 1]. A margin of 0 means a tie (that bit is
+  /// untrusted); erased bits report margin 0.
   std::vector<double> margins;
-  /// Smallest margin — the detection confidence.
+  /// Smallest margin over recovered bits — the detection confidence.
+  /// 0 when every bit was erased.
   double min_margin = 0;
+  /// Surviving (non-erased) pairs per bit group; at most Redundancy() each.
+  std::vector<uint32_t> group_sizes;
+  /// Per bit: true iff every pair in its group was erased (the mark bit is
+  /// reported as 0 but carries no information).
+  std::vector<bool> bit_erased;
+  /// Pairs whose elements were missing from the suspect's answers.
+  size_t pairs_erased = 0;
+  /// Bits with at least one surviving vote / bits fully erased.
+  size_t bits_recovered = 0;
+  size_t bits_erased = 0;
+
+  /// True iff every message bit still has at least one surviving vote.
+  bool complete() const { return bits_erased == 0; }
 };
 
 /// What the wrapper needs from a base scheme: how many mark-carrying pairs
-/// it has, how to write a full-width mark, and how to read the pair deltas
-/// back through a suspect server.
+/// it has, how to write a full-width mark, and how to read the pair
+/// observations back through a suspect server (erasure-aware).
 class PairCarrier {
  public:
   virtual ~PairCarrier() = default;
   virtual size_t NumPairs() const = 0;
   virtual void Apply(const BitVec& expanded_mark, WeightMap& weights,
                      PairEncoding encoding) const = 0;
-  virtual Result<std::vector<Weight>> PairDeltas(const WeightMap& original,
-                                                 const AnswerServer& suspect) const = 0;
+  virtual std::vector<PairObservation> Observe(const WeightMap& original,
+                                               const AnswerServer& suspect) const = 0;
 };
 
 /// Adversarial wrapper around a planned base scheme.

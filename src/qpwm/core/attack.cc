@@ -1,5 +1,7 @@
 #include "qpwm/core/attack.h"
 
+#include <algorithm>
+
 namespace qpwm {
 
 WeightMap UniformNoiseAttack(const WeightMap& marked, Weight c, Rng& rng) {
@@ -45,8 +47,17 @@ WeightMap GuessingPairAttack(const WeightMap& marked, const QueryIndex& index,
   return out;
 }
 
-WeightMap AveragingCollusionAttack(const std::vector<const WeightMap*>& copies) {
-  QPWM_CHECK(!copies.empty());
+Result<WeightMap> AveragingCollusionAttack(
+    const std::vector<const WeightMap*>& copies) {
+  if (copies.empty()) {
+    return Status::InvalidArgument("collusion needs at least one copy");
+  }
+  for (size_t i = 1; i < copies.size(); ++i) {
+    if (!copies[0]->SameDomain(*copies[i])) {
+      return Status::InvalidArgument(
+          "collusion copies cover different weight domains");
+    }
+  }
   WeightMap out = *copies[0];
   out.ForEach([&](const Tuple& t, Weight) {
     Weight sum = 0;
@@ -57,6 +68,63 @@ WeightMap AveragingCollusionAttack(const std::vector<const WeightMap*>& copies) 
     out.Set(t, rounded);
   });
   return out;
+}
+
+AnswerSet TamperedAnswerServer::Answer(const Tuple& params) const {
+  AnswerSet out;
+  for (const AnswerRow& row : base_->Answer(params)) {
+    if (erased_.count(row.element) == 0) out.push_back(row);
+  }
+  auto it = inserted_at_.find(params);
+  if (it != inserted_at_.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  out.insert(out.end(), inserted_everywhere_.begin(), inserted_everywhere_.end());
+  return out;
+}
+
+std::vector<Tuple> SampleSubset(const std::vector<Tuple>& elements, double frac,
+                                Rng& rng) {
+  std::vector<Tuple> out;
+  for (const Tuple& t : elements) {
+    if (rng.Bernoulli(frac)) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<Tuple> SubsetDeletionAttack(const QueryIndex& index, double drop_frac,
+                                        Rng& rng) {
+  std::vector<Tuple> elements;
+  elements.reserve(index.num_active());
+  for (size_t w = 0; w < index.num_active(); ++w) {
+    elements.push_back(index.active_element(w));
+  }
+  return SampleSubset(elements, drop_frac, rng);
+}
+
+void TupleInsertionAttack(TamperedAnswerServer& server, const QueryIndex& index,
+                          const WeightMap& marked, size_t count, Rng& rng) {
+  if (index.num_params() == 0) return;
+  // Plausible weight range: the marked map's observed min..max.
+  Weight lo = 0, hi = 0;
+  bool first = true;
+  marked.ForEach([&](const Tuple&, Weight w) {
+    if (first) {
+      lo = hi = w;
+      first = false;
+    } else {
+      lo = std::min(lo, w);
+      hi = std::max(hi, w);
+    }
+  });
+  const ElemId fresh_base =
+      static_cast<ElemId>(index.structure().universe_size());
+  const uint32_t s = marked.s();
+  for (size_t i = 0; i < count; ++i) {
+    Tuple fresh(s, fresh_base + static_cast<ElemId>(i));
+    AnswerRow row{std::move(fresh), rng.Uniform(lo, hi)};
+    server.InsertAt(index.param(rng.Below(index.num_params())), std::move(row));
+  }
 }
 
 }  // namespace qpwm

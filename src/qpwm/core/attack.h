@@ -1,16 +1,31 @@
-// Attacker models for the adversarial setting (Fact 1's assumptions):
-// bounded-distortion weight tampering by a malicious server that does not
-// know the secret pair positions (limited knowledge). Attacks transform a
-// weight map; they never touch the structure (parameter values are keys and
-// cannot be modified without destroying the data's value).
+// Attacker models for the adversarial setting. Two tiers:
+//
+// Tier 1 (Fact 1's assumptions): bounded-distortion weight tampering by a
+// malicious server that does not know the secret pair positions (limited
+// knowledge). These attacks transform a weight map and leave the structure
+// alone.
+//
+// Tier 2 (structural attacks, beyond Fact 1): the attacker deletes tuples,
+// drops subtrees, ships a subset, or inserts fresh rows. These attacks
+// transform the *served answers* — deleted elements vanish from every answer,
+// inserted rows show up where the attacker planted them. Detection must treat
+// missing pair elements as erasures (see PairObservation) and degrade
+// gracefully instead of failing outright.
 #ifndef QPWM_CORE_ATTACK_H_
 #define QPWM_CORE_ATTACK_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "qpwm/core/answers.h"
 #include "qpwm/structure/weighted.h"
 #include "qpwm/util/random.h"
+#include "qpwm/util/status.h"
 
 namespace qpwm {
+
+// --- Tier 1: weight tampering ----------------------------------------------
 
 /// Adds an independent uniform integer in [-c, c] to every weight.
 /// Realizes a c'-local distortion; the induced global distortion is measured
@@ -22,7 +37,7 @@ WeightMap UniformNoiseAttack(const WeightMap& marked, Weight c, Rng& rng);
 WeightMap JitterAttack(const WeightMap& marked, double flip_prob, Rng& rng);
 
 /// Rounds every weight to the nearest multiple of `granularity` (>= 1) —
-/// a deterministic "cleaning" attack.
+/// a deterministic "cleaning" attack. Ties round down.
 WeightMap RoundingAttack(const WeightMap& marked, Weight granularity);
 
 /// Guessing attack: the attacker picks `guesses` random element pairs and
@@ -34,8 +49,63 @@ WeightMap GuessingPairAttack(const WeightMap& marked, const QueryIndex& index,
 /// Collusion: servers holding several differently-marked copies average them
 /// per weight (rounding toward the first copy on ties). With enough copies
 /// the pair deltas wash out — the auto-collusion risk Section 5 raises
-/// against naive re-marking after updates.
-WeightMap AveragingCollusionAttack(const std::vector<const WeightMap*>& copies);
+/// against naive re-marking after updates. All copies must cover the same
+/// weight domain; mismatched domains (e.g. copies of different subsets) are
+/// rejected with kInvalidArgument instead of silently averaging garbage.
+Result<WeightMap> AveragingCollusionAttack(const std::vector<const WeightMap*>& copies);
+
+// --- Tier 2: structural attacks --------------------------------------------
+
+/// A suspect server whose data was structurally tampered with: erased
+/// elements vanish from every answer, inserted rows are appended to the
+/// answers the attacker planted them in. The paper's indirect-access threat
+/// model is preserved — detection still only sees answers. The base server
+/// must outlive the wrapper.
+class TamperedAnswerServer : public AnswerServer {
+ public:
+  explicit TamperedAnswerServer(const AnswerServer& base) : base_(&base) {}
+
+  /// Removes `element` from every answer (tuple deletion / subset shipping).
+  void Erase(const Tuple& element) { erased_.insert(element); }
+
+  /// Appends `row` to the answer of parameter `param` only.
+  void InsertAt(const Tuple& param, AnswerRow row) {
+    inserted_at_[param].push_back(std::move(row));
+  }
+
+  /// Appends `row` to every answer (an inserted tuple matching all queries).
+  void InsertEverywhere(AnswerRow row) {
+    inserted_everywhere_.push_back(std::move(row));
+  }
+
+  size_t num_erased() const { return erased_.size(); }
+
+  AnswerSet Answer(const Tuple& params) const override;
+
+ private:
+  const AnswerServer* base_;
+  std::unordered_set<Tuple, TupleHash> erased_;
+  std::unordered_map<Tuple, AnswerSet, TupleHash> inserted_at_;
+  AnswerSet inserted_everywhere_;
+};
+
+/// Picks each element independently with probability `frac` (the generic
+/// sampling step behind the deletion attacks).
+std::vector<Tuple> SampleSubset(const std::vector<Tuple>& elements, double frac,
+                                Rng& rng);
+
+/// Subset-deletion attack: each active weighted element of the index is
+/// deleted independently with probability `drop_frac`. Returns the deleted
+/// element tuples; feed them into TamperedAnswerServer::Erase.
+std::vector<Tuple> SubsetDeletionAttack(const QueryIndex& index, double drop_frac,
+                                        Rng& rng);
+
+/// Tuple-insertion attack: plants `count` fresh rows with plausible weights
+/// (uniform over the marked map's observed min..max range) into randomly
+/// chosen parameters' answers. Fresh elements use ids beyond the original
+/// universe so they mimic genuinely new rows (new keys).
+void TupleInsertionAttack(TamperedAnswerServer& server, const QueryIndex& index,
+                          const WeightMap& marked, size_t count, Rng& rng);
 
 }  // namespace qpwm
 

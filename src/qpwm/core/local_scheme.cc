@@ -214,37 +214,55 @@ WeightMap LocalScheme::Embed(const WeightMap& original, const BitVec& mark) cons
   return out;
 }
 
-Result<std::vector<Weight>> LocalScheme::PairDeltas(const WeightMap& original,
-                                                    const AnswerServer& suspect) const {
+std::vector<PairObservation> LocalScheme::ObservePairs(
+    const WeightMap& original, const AnswerServer& suspect) const {
   const QueryIndex& index = marking_->index();
-  std::vector<Weight> deltas;
-  deltas.reserve(marking_->size());
+  std::vector<PairObservation> observations;
+  observations.reserve(marking_->size());
 
   // Reads the suspect weight of active element `w` through a witness query.
-  auto read_weight = [&](uint32_t w) -> Result<Weight> {
+  // Missing from the witness answer (deleted tuple, shipped subset) or
+  // witness-less (inactive — cannot happen for planned pairs, checked
+  // defensively) reads as an erasure.
+  auto read_weight = [&](uint32_t w) -> std::optional<Weight> {
     const auto& witnesses = index.ParamsContaining(w);
-    if (witnesses.empty()) {
-      return Status::DetectionFailed(
-          "pair element is not in any query result (inactive)");
-    }
+    if (witnesses.empty()) return std::nullopt;
     const Tuple& param = index.param(witnesses[0]);
     const Tuple& elem = index.active_element(w);
     for (const AnswerRow& row : suspect.Answer(param)) {
       if (row.element == elem) return row.weight;
     }
-    return Status::DetectionFailed(
-        "suspect answer is missing an expected element (structure tampered)");
+    return std::nullopt;
   };
 
   for (size_t i = 0; i < marking_->size(); ++i) {
     const WeightPair& p = marking_->pairs()[i];
-    auto plus = read_weight(p.plus);
-    if (!plus.ok()) return plus.status();
-    auto minus = read_weight(p.minus);
-    if (!minus.ok()) return minus.status();
-    const Weight d_plus = plus.value() - original.Get(index.active_element(p.plus));
-    const Weight d_minus = minus.value() - original.Get(index.active_element(p.minus));
-    deltas.push_back(d_plus - d_minus);
+    std::optional<Weight> plus = read_weight(p.plus);
+    std::optional<Weight> minus = read_weight(p.minus);
+    PairObservation obs;
+    if (!plus.has_value() || !minus.has_value()) {
+      obs.erased = true;
+    } else {
+      const Weight d_plus = *plus - original.Get(index.active_element(p.plus));
+      const Weight d_minus = *minus - original.Get(index.active_element(p.minus));
+      obs.delta = d_plus - d_minus;
+    }
+    observations.push_back(obs);
+  }
+  return observations;
+}
+
+Result<std::vector<Weight>> LocalScheme::PairDeltas(const WeightMap& original,
+                                                    const AnswerServer& suspect) const {
+  std::vector<PairObservation> observations = ObservePairs(original, suspect);
+  std::vector<Weight> deltas;
+  deltas.reserve(observations.size());
+  for (const PairObservation& obs : observations) {
+    if (obs.erased) {
+      return Status::DetectionFailed(
+          "suspect answer is missing an expected element (structure tampered)");
+    }
+    deltas.push_back(obs.delta);
   }
   return deltas;
 }

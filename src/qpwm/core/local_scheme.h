@@ -98,10 +98,18 @@ class LocalScheme {
   /// the suspect server.
   Result<BitVec> Detect(const WeightMap& original, const AnswerServer& suspect) const;
 
-  /// Raw per-pair deltas ((w*+ - w+) - (w*- - w-)); the adversarial wrapper
-  /// feeds these into majority decoding.
+  /// Raw per-pair deltas ((w*+ - w+) - (w*- - w-)). Strict: a pair element
+  /// missing from the suspect's answers fails the whole read with
+  /// kDetectionFailed (the pre-structural-attack contract).
   Result<std::vector<Weight>> PairDeltas(const WeightMap& original,
                                          const AnswerServer& suspect) const;
+
+  /// Erasure-aware per-pair reading: a pair whose element is missing from the
+  /// suspect's answers comes back flagged `erased` instead of failing the
+  /// read. The adversarial wrapper feeds these into majority decoding so
+  /// detection degrades gracefully under deletion/subset attacks.
+  std::vector<PairObservation> ObservePairs(const WeightMap& original,
+                                            const AnswerServer& suspect) const;
 
  private:
   LocalScheme(std::unique_ptr<PairMarking> marking, LocalSchemeOptions options)

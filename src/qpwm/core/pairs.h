@@ -23,6 +23,15 @@ struct WeightPair {
   uint32_t minus;  // receives -1 when the bit is set
 };
 
+/// One pair's reading through the suspect server. A pair whose elements no
+/// longer appear in the suspect's answers (deleted tuple, dropped subtree,
+/// shipped subset) is an *erasure*: the detector must abstain on it rather
+/// than fabricate a 0-delta vote.
+struct PairObservation {
+  Weight delta = 0;     // (w*+ - w+) - (w*- - w-); meaningless when erased
+  bool erased = false;  // element(s) missing from the suspect's answers
+};
+
 /// How a set bit is written into a pair's weights.
 enum class PairEncoding {
   /// bit 1 -> (+1, -1); bit 0 -> no change (the paper's encoding).

@@ -140,10 +140,10 @@ void TreeScheme::ApplyMark(const BitVec& mark, WeightMap& weights,
   }
 }
 
-Result<std::vector<Weight>> TreeScheme::PairDeltas(const WeightMap& original,
-                                                   const AnswerServer& suspect) const {
-  std::vector<Weight> deltas;
-  deltas.reserve(pairs_.size());
+std::vector<PairObservation> TreeScheme::ObservePairs(
+    const WeightMap& original, const AnswerServer& suspect) const {
+  std::vector<PairObservation> observations;
+  observations.reserve(pairs_.size());
   for (const DetectablePair& pair : pairs_) {
     AnswerSet answers = suspect.Answer(pair.witness);
     Weight w_plus = 0, w_minus = 0;
@@ -158,13 +158,30 @@ Result<std::vector<Weight>> TreeScheme::PairDeltas(const WeightMap& original,
         saw_minus = true;
       }
     }
+    PairObservation obs;
     if (!saw_plus || !saw_minus) {
+      obs.erased = true;
+    } else {
+      Weight d_plus = w_plus - original.GetElem(pair.b_plus);
+      Weight d_minus = w_minus - original.GetElem(pair.b_minus);
+      obs.delta = d_plus - d_minus;
+    }
+    observations.push_back(obs);
+  }
+  return observations;
+}
+
+Result<std::vector<Weight>> TreeScheme::PairDeltas(const WeightMap& original,
+                                                   const AnswerServer& suspect) const {
+  std::vector<PairObservation> observations = ObservePairs(original, suspect);
+  std::vector<Weight> deltas;
+  deltas.reserve(observations.size());
+  for (const PairObservation& obs : observations) {
+    if (obs.erased) {
       return Status::DetectionFailed(
           "witness answer is missing a pair node (structure tampered)");
     }
-    Weight d_plus = w_plus - original.GetElem(pair.b_plus);
-    Weight d_minus = w_minus - original.GetElem(pair.b_minus);
-    deltas.push_back(d_plus - d_minus);
+    deltas.push_back(obs.delta);
   }
   return deltas;
 }

@@ -97,9 +97,16 @@ class TreeScheme {
   /// Detector (non-adversarial): recovers the mark from suspect answers.
   Result<BitVec> Detect(const WeightMap& original, const AnswerServer& suspect) const;
 
-  /// Per-pair deltas for majority decoding under attacks.
+  /// Per-pair deltas, strict: a pair node missing from its witness answer
+  /// fails the whole read with kDetectionFailed.
   Result<std::vector<Weight>> PairDeltas(const WeightMap& original,
                                          const AnswerServer& suspect) const;
+
+  /// Erasure-aware per-pair reading: a pair node missing from its witness
+  /// answer (dropped subtree, shipped fragment) is flagged `erased` instead
+  /// of failing; the adversarial wrapper abstains on such votes.
+  std::vector<PairObservation> ObservePairs(const WeightMap& original,
+                                            const AnswerServer& suspect) const;
 
  private:
   struct DetectablePair {

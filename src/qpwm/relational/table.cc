@@ -117,7 +117,8 @@ Result<RelationalInstance> ToWeightedStructure(const Database& db) {
   }
   out.weights = WeightMap(1, names.size());
 
-  std::vector<bool> has_weight(names.size(), false);
+  std::vector<bool>& has_weight = out.has_weight;
+  has_weight.assign(names.size(), false);
   for (size_t ti = 0; ti < db.tables().size(); ++ti) {
     const Table& t = db.tables()[ti];
     for (size_t r = 0; r < t.num_rows(); ++r) {
@@ -160,6 +161,50 @@ Result<Database> ApplyWeightsToDatabase(const Database& db,
       }
     }
   }
+  return out;
+}
+
+Table SubsetRowsAttack(const Table& table, double keep_frac, Rng& rng) {
+  Table out(table.name(), table.columns());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (rng.Bernoulli(keep_frac)) {
+      Status added = out.AddRow(table.row(r));
+      QPWM_CHECK(added.ok());
+    }
+  }
+  return out;
+}
+
+AlignedSuspect AlignSuspectInstance(const RelationalInstance& original,
+                                    const RelationalInstance& suspect) {
+  AlignedSuspect out;
+  out.weights = original.weights;
+  const size_t n = original.structure.universe_size();
+  out.present.assign(n, false);
+  for (ElemId e = 0; e < n; ++e) {
+    auto found = suspect.structure.FindElement(original.structure.ElementName(e));
+    if (!found.ok()) {
+      ++out.missing;
+      continue;
+    }
+    // An element can survive in a key column while the row carrying its
+    // weight is gone: its suspect weight is unknown, so it must be served as
+    // erased, not as a fabricated 0.
+    const bool original_weighted =
+        e < original.has_weight.size() && original.has_weight[e];
+    const bool suspect_weighted = found.value() < suspect.has_weight.size() &&
+                                  suspect.has_weight[found.value()];
+    if (original_weighted && !suspect_weighted) {
+      ++out.missing;
+      continue;
+    }
+    if (suspect_weighted) {
+      out.weights.SetElem(e, suspect.weights.GetElem(found.value()));
+    }
+    out.present[e] = true;
+    ++out.matched;
+  }
+  out.extra = suspect.structure.universe_size() - out.matched;
   return out;
 }
 

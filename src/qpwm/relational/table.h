@@ -78,6 +78,9 @@ class Database {
 struct RelationalInstance {
   Structure structure;
   WeightMap weights;
+  /// Element actually appears in some weight cell (key-only elements such as
+  /// city names carry no weight; their WeightMap entry is a filler 0).
+  std::vector<bool> has_weight;
 
   RelationalInstance() : weights(1, 0) {}
 };
@@ -90,6 +93,30 @@ Result<RelationalInstance> ToWeightedStructure(const Database& db);
 Result<Database> ApplyWeightsToDatabase(const Database& db,
                                         const RelationalInstance& instance,
                                         const WeightMap& weights);
+
+/// Subset-selection attack: keeps each row independently with probability
+/// `keep_frac` (an attacker shipping a sampled fragment of the marked table).
+class Rng;
+Table SubsetRowsAttack(const Table& table, double keep_frac, Rng& rng);
+
+/// Alignment of a structurally tampered suspect instance against the
+/// original, keyed by element name (key values identify data): which original
+/// elements survive in the suspect, and with what weights. Feeds the
+/// erasure-aware detection path — absent elements are served as deleted.
+struct AlignedSuspect {
+  /// Suspect weights over the *original* universe ids; absent elements keep
+  /// the original value (they are erased from answers anyway).
+  WeightMap weights;
+  std::vector<bool> present;  // original element still in the suspect
+  size_t matched = 0;
+  size_t missing = 0;  // original elements gone from the suspect
+  size_t extra = 0;    // suspect elements with no original counterpart
+
+  AlignedSuspect() : weights(1, 0) {}
+};
+
+AlignedSuspect AlignSuspectInstance(const RelationalInstance& original,
+                                    const RelationalInstance& suspect);
 
 /// The paper's Example 1 travel database: Route(travel, transport) and
 /// Timetable(transport, departure, arrival, type, duration), durations in

@@ -51,6 +51,17 @@ Weight WeightMap::LocalDistortion(const WeightMap& other) const {
   return worst;
 }
 
+bool WeightMap::SameDomain(const WeightMap& other) const {
+  if (s_ != other.s_) return false;
+  if (s_ == 1) return dense_.size() == other.dense_.size();
+  if (sparse_.size() != other.sparse_.size()) return false;
+  for (const auto& [t, w] : sparse_) {
+    (void)w;
+    if (other.sparse_.find(t) == other.sparse_.end()) return false;
+  }
+  return true;
+}
+
 bool WeightMap::operator==(const WeightMap& other) const {
   return LocalDistortion(other) == 0;
 }

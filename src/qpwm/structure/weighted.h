@@ -52,6 +52,11 @@ class WeightMap {
   /// paper's c in the c-local distortion assumption.
   Weight LocalDistortion(const WeightMap& other) const;
 
+  /// True iff both maps assign weights to exactly the same tuple domain
+  /// (same arity; same universe for s = 1, same key set otherwise).
+  /// Cross-domain arithmetic (averaging, distortion) is undefined.
+  bool SameDomain(const WeightMap& other) const;
+
   /// Visits every tuple with a (possibly zero) explicitly assigned weight.
   template <typename Fn>  // Fn(const Tuple&, Weight)
   void ForEach(Fn&& fn) const {

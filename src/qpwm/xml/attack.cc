@@ -1,0 +1,85 @@
+#include "qpwm/xml/attack.h"
+
+#include <charconv>
+#include <string>
+#include <vector>
+
+#include "qpwm/structure/weighted.h"
+#include "qpwm/util/str.h"
+
+namespace qpwm {
+namespace {
+
+// Deep-copies `id`'s subtree from `src` into `dst`, skipping nodes marked in
+// `drop` (and, implicitly, their descendants). Returns the new node id, or
+// kNoXmlNode if the node itself was dropped.
+XmlNodeId CopySubtree(const XmlDocument& src, XmlNodeId id, XmlDocument& dst,
+                      const std::vector<bool>& drop) {
+  if (drop[id]) return kNoXmlNode;
+  const XmlNode& n = src.node(id);
+  if (n.kind == XmlNode::Kind::kText) return dst.AddText(n.text);
+  XmlNodeId copy = dst.AddElement(n.tag);
+  for (const XmlAttr& a : n.attrs) dst.AddAttribute(copy, a.name, a.value);
+  for (XmlNodeId c : n.children) {
+    XmlNodeId child_copy = CopySubtree(src, c, dst, drop);
+    if (child_copy != kNoXmlNode) dst.AppendChild(copy, child_copy);
+  }
+  return copy;
+}
+
+// Deep-copies a subtree into the same document, jittering integer text.
+XmlNodeId CloneWithJitter(XmlDocument& doc, XmlNodeId id, Rng& rng) {
+  const XmlNode n = doc.node(id);  // copy: AddElement may reallocate the arena
+  if (n.kind == XmlNode::Kind::kText) {
+    Weight value = 0;
+    auto [ptr, ec] =
+        std::from_chars(n.text.data(), n.text.data() + n.text.size(), value);
+    if (ec == std::errc() && ptr == n.text.data() + n.text.size()) {
+      return doc.AddText(StrCat(value + rng.Uniform(-3, 3)));
+    }
+    return doc.AddText(n.text);
+  }
+  XmlNodeId copy = doc.AddElement(n.tag);
+  for (const XmlAttr& a : n.attrs) doc.AddAttribute(copy, a.name, a.value);
+  for (XmlNodeId c : n.children) doc.AppendChild(copy, CloneWithJitter(doc, c, rng));
+  return copy;
+}
+
+}  // namespace
+
+XmlDocument SubtreeDeletionAttack(const XmlDocument& doc, double drop_frac,
+                                  Rng& rng) {
+  std::vector<bool> drop(doc.size(), false);
+  for (XmlNodeId id = 0; id < doc.size(); ++id) {
+    if (id == doc.root()) continue;
+    if (doc.node(id).kind != XmlNode::Kind::kElement) continue;
+    drop[id] = rng.Bernoulli(drop_frac);
+  }
+  XmlDocument out;
+  XmlNodeId root = CopySubtree(doc, doc.root(), out, drop);
+  out.SetRoot(root);
+  return out;
+}
+
+XmlDocument ElementInsertionAttack(const XmlDocument& doc, double insert_frac,
+                                   Rng& rng) {
+  XmlDocument out = doc;
+  std::vector<XmlNodeId> candidates;
+  for (XmlNodeId id = 0; id < doc.size(); ++id) {
+    const XmlNode& n = doc.node(id);
+    if (n.kind == XmlNode::Kind::kElement && n.parent != kNoXmlNode) {
+      candidates.push_back(id);
+    }
+  }
+  if (candidates.empty()) return out;
+  const size_t insertions =
+      static_cast<size_t>(insert_frac * static_cast<double>(candidates.size()) + 0.5);
+  for (size_t i = 0; i < insertions; ++i) {
+    XmlNodeId victim = candidates[rng.Below(candidates.size())];
+    XmlNodeId parent = out.node(victim).parent;
+    out.AppendChild(parent, CloneWithJitter(out, victim, rng));
+  }
+  return out;
+}
+
+}  // namespace qpwm

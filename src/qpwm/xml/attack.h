@@ -1,0 +1,30 @@
+// Structural attacks on XML documents (DOM level): dropping subtrees and
+// inserting cloned elements. These model the survey literature's standard
+// robustness attacks — an attacker who ships a pruned or padded copy of a
+// marked document. The owner-side response is erasure-aware detection: see
+// AlignSuspectWeights (encode.h) and PairObservation (core/pairs.h).
+#ifndef QPWM_XML_ATTACK_H_
+#define QPWM_XML_ATTACK_H_
+
+#include "qpwm/util/random.h"
+#include "qpwm/xml/dom.h"
+
+namespace qpwm {
+
+/// Deletes each non-root element subtree independently with probability
+/// `drop_frac` (deleting an ancestor subsumes its descendants). Text children
+/// follow their element. The root always survives, so the result is a valid
+/// document.
+XmlDocument SubtreeDeletionAttack(const XmlDocument& doc, double drop_frac,
+                                  Rng& rng);
+
+/// Inserts roughly `insert_frac * element_count` cloned records: each clone
+/// deep-copies a random non-root element subtree, jitters every integer text
+/// value by +-1..3 (plausible fresh data), and appends the clone as an extra
+/// child of the original's parent.
+XmlDocument ElementInsertionAttack(const XmlDocument& doc, double insert_frac,
+                                   Rng& rng);
+
+}  // namespace qpwm
+
+#endif  // QPWM_XML_ATTACK_H_

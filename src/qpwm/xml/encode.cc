@@ -1,6 +1,8 @@
 #include "qpwm/xml/encode.h"
 
+#include <algorithm>
 #include <charconv>
+#include <map>
 
 #include "qpwm/util/check.h"
 #include "qpwm/util/random.h"
@@ -146,6 +148,157 @@ XmlDocument ApplyWeights(const XmlDocument& doc, const EncodedXml& encoded,
       }
     }
   }
+  return out;
+}
+
+namespace {
+
+// Record signature of a weight element: own tag, ancestor tag path, and the
+// text of the parent's non-weight element children (the record's key fields).
+// Stable under subtree deletion of *other* records and under weight-value
+// tampering (the weight's own text is deliberately excluded).
+std::string WeightSignature(const XmlDocument& doc, XmlNodeId elem,
+                            const std::set<std::string>& weight_tags) {
+  std::string sig = doc.node(elem).tag;
+  sig += '|';
+  for (XmlNodeId p = doc.node(elem).parent; p != kNoXmlNode; p = doc.node(p).parent) {
+    sig += doc.node(p).tag;
+    sig += '/';
+  }
+  sig += '|';
+  XmlNodeId parent = doc.node(elem).parent;
+  if (parent != kNoXmlNode) {
+    for (XmlNodeId sib : doc.node(parent).children) {
+      const XmlNode& s = doc.node(sib);
+      if (s.kind != XmlNode::Kind::kElement) continue;
+      if (weight_tags.count(s.tag) > 0) continue;
+      sig += s.tag;
+      sig += '=';
+      sig += doc.TextContent(sib);
+      sig += ';';
+    }
+  }
+  return sig;
+}
+
+// Weight-tagged elements of `doc` in document order.
+std::vector<XmlNodeId> WeightElements(const XmlDocument& doc, XmlNodeId id,
+                                      const std::set<std::string>& weight_tags) {
+  std::vector<XmlNodeId> out;
+  std::vector<XmlNodeId> stack{id};
+  while (!stack.empty()) {
+    XmlNodeId cur = stack.back();
+    stack.pop_back();
+    const XmlNode& n = doc.node(cur);
+    if (n.kind != XmlNode::Kind::kElement) continue;
+    if (weight_tags.count(n.tag) > 0) out.push_back(cur);
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+// When several records share a signature (e.g. students with the same
+// firstname), a deletion shifts every later record of the class — naive
+// doc-order pairing would hand each original the *next* record's value and
+// flip votes instead of erasing them. Within a class we instead take the
+// longest common subsequence of original-vs-suspect values, where a pair is
+// compatible iff the suspect value is within the schemes' per-value
+// distortion of the original. Originals left unmatched become erasures.
+constexpr Weight kAlignTolerance = 1;
+
+bool Compatible(Weight original, Weight suspect) {
+  const Weight d = original - suspect;
+  return d <= kAlignTolerance && d >= -kAlignTolerance;
+}
+
+// Per-original matched suspect index (or npos) within one signature class.
+std::vector<size_t> MatchClass(const std::vector<Weight>& orig,
+                               const std::vector<Weight>& sus) {
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  const size_t n = orig.size();
+  const size_t m = sus.size();
+  std::vector<size_t> match(n, kNone);
+  // Equal counts: the class is structurally untouched; doc-order 1:1 keeps
+  // weight-only attacks (which may exceed the tolerance) decodable as votes.
+  if (n == m || n * m > (size_t{16} << 20)) {
+    for (size_t i = 0; i < std::min(n, m); ++i) match[i] = i;
+    return match;
+  }
+  // dp[i][j] = LCS length of orig[i..) vs sus[j..).
+  std::vector<uint32_t> dp((n + 1) * (m + 1), 0);
+  auto at = [&](size_t i, size_t j) -> uint32_t& { return dp[i * (m + 1) + j]; };
+  for (size_t i = n; i-- > 0;) {
+    for (size_t j = m; j-- > 0;) {
+      uint32_t best = std::max(at(i + 1, j), at(i, j + 1));
+      if (Compatible(orig[i], sus[j])) {
+        best = std::max(best, at(i + 1, j + 1) + 1);
+      }
+      at(i, j) = best;
+    }
+  }
+  for (size_t i = 0, j = 0; i < n && j < m;) {
+    if (Compatible(orig[i], sus[j]) && at(i, j) == at(i + 1, j + 1) + 1) {
+      match[i] = j;
+      ++i;
+      ++j;
+    } else if (at(i + 1, j) >= at(i, j + 1)) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return match;
+}
+
+}  // namespace
+
+Result<SuspectAlignment> AlignSuspectWeights(
+    const XmlDocument& original, const EncodedXml& encoded,
+    const XmlDocument& suspect, const std::set<std::string>& weight_tags) {
+  SuspectAlignment out;
+  out.weights = encoded.weights;
+  out.present.assign(encoded.tree.size(), true);
+
+  // Suspect weight records, grouped per signature in document order.
+  std::map<std::string, std::vector<Weight>> suspect_by_sig;
+  size_t suspect_records = 0;
+  for (XmlNodeId e : WeightElements(suspect, suspect.root(), weight_tags)) {
+    auto w = ParseWeight(suspect.TextContent(e));
+    if (!w.ok()) return w.status();
+    suspect_by_sig[WeightSignature(suspect, e, weight_tags)].push_back(w.value());
+    ++suspect_records;
+  }
+
+  // Original weight nodes, grouped the same way.
+  std::map<std::string, std::vector<NodeId>> original_by_sig;
+  for (XmlNodeId e : WeightElements(original, original.root(), weight_tags)) {
+    NodeId v = encoded.xml_to_tree[e];
+    QPWM_CHECK(v != kNoNode);
+    original_by_sig[WeightSignature(original, e, weight_tags)].push_back(v);
+  }
+
+  // Match within each signature class; unmatched originals are erasures.
+  static const std::vector<Weight> kEmpty;
+  for (const auto& [sig, nodes] : original_by_sig) {
+    auto it = suspect_by_sig.find(sig);
+    const std::vector<Weight>& sus = it == suspect_by_sig.end() ? kEmpty : it->second;
+    std::vector<Weight> orig;
+    orig.reserve(nodes.size());
+    for (NodeId v : nodes) orig.push_back(encoded.weights.GetElem(v));
+    std::vector<size_t> match = MatchClass(orig, sus);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (match[i] == static_cast<size_t>(-1)) {
+        out.present[nodes[i]] = false;
+        ++out.missing;
+      } else {
+        out.weights.SetElem(nodes[i], sus[match[i]]);
+        ++out.matched;
+      }
+    }
+  }
+  out.extra = suspect_records - out.matched;
   return out;
 }
 

@@ -40,6 +40,35 @@ Result<EncodedXml> EncodeXml(const XmlDocument& doc,
 XmlDocument ApplyWeights(const XmlDocument& doc, const EncodedXml& encoded,
                          const WeightMap& weights);
 
+/// Alignment of a structurally tampered suspect document against the
+/// original: which original weight nodes still have a counterpart in the
+/// suspect, and what the suspect's values are. This is what lets the detector
+/// serve erasure-aware answers over the original tree even when the suspect
+/// dropped subtrees or inserted records (node ids no longer line up).
+struct SuspectAlignment {
+  /// Suspect values written over the original tree's node ids; unmatched
+  /// nodes keep the original value (they are erased from answers anyway).
+  WeightMap weights;
+  /// present[v] == false iff tree node v is a weight node with no suspect
+  /// counterpart — serve it as deleted.
+  std::vector<bool> present;
+  size_t matched = 0;  // original weight nodes found in the suspect
+  size_t missing = 0;  // original weight nodes absent from the suspect
+  size_t extra = 0;    // suspect weight records with no original counterpart
+
+  SuspectAlignment() : weights(1, 0) {}
+};
+
+/// Matches the original's weight elements to the suspect's by record
+/// signature — own tag, ancestor tag path, and the text of the parent's
+/// non-weight children (the record's key fields) — in document order among
+/// equal signatures. Fails only if a matched suspect element's content is not
+/// an integer.
+Result<SuspectAlignment> AlignSuspectWeights(const XmlDocument& original,
+                                             const EncodedXml& encoded,
+                                             const XmlDocument& suspect,
+                                             const std::set<std::string>& weight_tags);
+
 /// The paper's Example 4 school document.
 XmlDocument SchoolExampleDocument();
 

@@ -12,11 +12,16 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string_view in) : in_(in) {}
+  Parser(std::string_view in, const XmlParseLimits& limits)
+      : in_(in), limits_(limits) {}
 
   Result<XmlDocument> Parse() {
+    if (limits_.max_bytes > 0 && in_.size() > limits_.max_bytes) {
+      return Status::ParseError(StrCat("document size ", in_.size(),
+                                       " exceeds limit ", limits_.max_bytes));
+    }
     SkipProlog();
-    auto root = ParseElement();
+    auto root = ParseElement(1);
     if (!root.ok()) return root.status();
     SkipWhitespaceAndComments();
     if (pos_ != in_.size()) {
@@ -107,7 +112,11 @@ class Parser {
     return out;
   }
 
-  Result<XmlNodeId> ParseElement() {
+  Result<XmlNodeId> ParseElement(size_t depth) {
+    if (limits_.max_depth > 0 && depth > limits_.max_depth) {
+      return Status::ParseError(StrCat("nesting depth exceeds limit ",
+                                       limits_.max_depth, " at offset ", pos_));
+    }
     if (AtEnd() || Peek() != '<') {
       return Status::ParseError(StrCat("expected '<' at offset ", pos_));
     }
@@ -183,20 +192,23 @@ class Parser {
         ++pos_;
         return elem;
       }
-      auto child = ParseElement();
+      auto child = ParseElement(depth + 1);
       if (!child.ok()) return child.status();
       doc_.AppendChild(elem, child.value());
     }
   }
 
   std::string_view in_;
+  XmlParseLimits limits_;
   size_t pos_ = 0;
   XmlDocument doc_;
 };
 
 }  // namespace
 
-Result<XmlDocument> ParseXml(std::string_view input) { return Parser(input).Parse(); }
+Result<XmlDocument> ParseXml(std::string_view input, const XmlParseLimits& limits) {
+  return Parser(input, limits).Parse();
+}
 
 XmlDocument MustParseXml(std::string_view input) {
   auto doc = ParseXml(input);

@@ -12,8 +12,20 @@
 
 namespace qpwm {
 
+/// Resource limits on a parse. Inputs exceeding a limit are rejected with a
+/// clean kParseError (never a crash or stack overflow) — the guard against
+/// hostile "XML bomb" inputs in the suspect-document path.
+struct XmlParseLimits {
+  /// Maximum element nesting depth. The parser recurses one frame per level,
+  /// so this bounds stack use. 0 disables the check.
+  size_t max_depth = 4096;
+  /// Maximum input size in bytes. 0 disables the check.
+  size_t max_bytes = 64u << 20;
+};
+
 /// Parses an XML document.
-Result<XmlDocument> ParseXml(std::string_view input);
+Result<XmlDocument> ParseXml(std::string_view input,
+                             const XmlParseLimits& limits = {});
 
 /// Parses, aborting on error — for documents embedded in code.
 XmlDocument MustParseXml(std::string_view input);

@@ -138,10 +138,10 @@ TEST(AdversarialTest, CollusionAveragingDegradesDeltas) {
   WeightMap copy1 = adv.Embed(s.weights, msg);
   WeightMap copy2 = adv.Embed(s.weights, inverse);
 
-  WeightMap self_avg = AveragingCollusionAttack({&copy1, &copy1});
+  WeightMap self_avg = AveragingCollusionAttack({&copy1, &copy1}).ValueOrDie();
   EXPECT_TRUE(self_avg == copy1);
 
-  WeightMap averaged = AveragingCollusionAttack({&copy1, &copy2});
+  WeightMap averaged = AveragingCollusionAttack({&copy1, &copy2}).ValueOrDie();
   // Antipodal +1/-1 on message-carrying pairs cancel exactly; only the
   // constant padding pairs beyond the last group may keep a +-1 residue.
   EXPECT_LE(averaged.LocalDistortion(s.weights), 1);
@@ -162,6 +162,83 @@ TEST(AdversarialTest, RedundancyOneEqualsPlainDetection) {
   EXPECT_EQ(adv.Detect(s.weights, server).ValueOrDie().mark, msg);
   // The base scheme (antipodal) decodes the expanded mark identically.
   EXPECT_EQ(s.scheme->Detect(s.weights, server).ValueOrDie(), msg);
+}
+
+TEST(AdversarialTest, RoundingAttackRoundsToNearestMultiple) {
+  WeightMap w(1, 6);
+  w.SetElem(0, 7);    // -> 5 (7-5 <= 10-7)
+  w.SetElem(1, 8);    // -> 10
+  w.SetElem(2, 10);   // -> 10
+  w.SetElem(3, 0);    // -> 0
+  w.SetElem(4, -7);   // -> -5 (ties and sign mirror the positive case)
+  w.SetElem(5, 13);   // -> 15
+  WeightMap rounded = RoundingAttack(w, 5);
+  EXPECT_EQ(rounded.GetElem(0), 5);
+  EXPECT_EQ(rounded.GetElem(1), 10);
+  EXPECT_EQ(rounded.GetElem(2), 10);
+  EXPECT_EQ(rounded.GetElem(3), 0);
+  EXPECT_EQ(rounded.GetElem(4), -5);
+  EXPECT_EQ(rounded.GetElem(5), 15);
+  // Granularity 1 is the identity.
+  EXPECT_TRUE(RoundingAttack(w, 1) == w);
+}
+
+TEST(AdversarialTest, SurvivesRoundingAttack) {
+  // Rounding to granularity 2 moves each weight by at most 1 — inside the
+  // attacker's bounded-distortion budget, so majorities survive.
+  Fixture s(500, 9);
+  AdversarialScheme adv(*s.scheme, 9);
+  if (adv.CapacityBits() < 1) GTEST_SKIP();
+  Rng rng(9);
+  BitVec msg(adv.CapacityBits());
+  for (size_t i = 0; i < msg.size(); ++i) msg.Set(i, rng.Coin());
+  WeightMap marked = adv.Embed(s.weights, msg);
+  WeightMap attacked = RoundingAttack(marked, 2);
+  HonestServer server(*s.index, attacked);
+  auto detection = adv.Detect(s.weights, server).ValueOrDie();
+  EXPECT_EQ(detection.mark, msg);
+  // Coarse rounding (granularity 50) may destroy the mark, but it also
+  // destroys the data; detection still returns a full partial report.
+  WeightMap coarse = RoundingAttack(marked, 50);
+  HonestServer coarse_server(*s.index, coarse);
+  auto coarse_detection = adv.Detect(s.weights, coarse_server).ValueOrDie();
+  EXPECT_EQ(coarse_detection.bits_recovered + coarse_detection.bits_erased,
+            coarse_detection.mark.size());
+}
+
+TEST(AdversarialTest, WeightOnlyAttacksNeverReportErasures) {
+  // Value tampering (jitter, noise, rounding, pair guessing, collusion)
+  // keeps every element answerable: the erasure accounting must stay silent
+  // and every bit group must stay at full size.
+  Fixture s(400, 10);
+  AdversarialScheme adv(*s.scheme, 5);
+  if (adv.CapacityBits() < 1) GTEST_SKIP();
+  Rng rng(10);
+  BitVec msg(adv.CapacityBits());
+  for (size_t i = 0; i < msg.size(); ++i) msg.Set(i, rng.Coin());
+  WeightMap marked = adv.Embed(s.weights, msg);
+
+  const WeightMap attacked[] = {
+      JitterAttack(marked, 0.3, rng),
+      UniformNoiseAttack(marked, 2, rng),
+      RoundingAttack(marked, 3),
+      GuessingPairAttack(marked, *s.index, 10, rng),
+      AveragingCollusionAttack({&marked, &marked}).ValueOrDie(),
+  };
+  for (const WeightMap& w : attacked) {
+    HonestServer server(*s.index, w);
+    auto detection = adv.Detect(s.weights, server).ValueOrDie();
+    EXPECT_EQ(detection.pairs_erased, 0u);
+    EXPECT_EQ(detection.bits_erased, 0u);
+    EXPECT_TRUE(detection.complete());
+    ASSERT_EQ(detection.group_sizes.size(), detection.mark.size());
+    for (uint32_t g : detection.group_sizes) {
+      EXPECT_EQ(g, adv.Redundancy());
+    }
+    for (bool erased : detection.bit_erased) {
+      EXPECT_FALSE(erased);
+    }
+  }
 }
 
 TEST(AdversarialTest, TreeSchemeWrapperSurvivesJitter) {

@@ -85,6 +85,58 @@ TEST(XmlFuzzTest, DeeplyNestedDocumentParses) {
   EXPECT_EQ(result.value().size(), 2001u);
 }
 
+TEST(XmlFuzzTest, NestingDepthLimitReturnsParseError) {
+  std::string open, close;
+  for (int i = 0; i < 64; ++i) {
+    open += "<a>";
+    close += "</a>";
+  }
+  const std::string doc = open + "x" + close;
+
+  XmlParseLimits limits;
+  limits.max_depth = 32;
+  auto rejected = ParseXml(doc, limits);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kParseError);
+
+  // At or under the limit: parses.
+  limits.max_depth = 64;
+  EXPECT_TRUE(ParseXml(doc, limits).ok());
+
+  // 0 disables the check entirely.
+  limits.max_depth = 0;
+  EXPECT_TRUE(ParseXml(doc, limits).ok());
+}
+
+TEST(XmlFuzzTest, DocumentSizeLimitReturnsParseError) {
+  const std::string doc = "<a><b>hello</b></a>";
+
+  XmlParseLimits limits;
+  limits.max_bytes = 8;
+  auto rejected = ParseXml(doc, limits);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kParseError);
+
+  limits.max_bytes = doc.size();
+  EXPECT_TRUE(ParseXml(doc, limits).ok());
+
+  limits.max_bytes = 0;  // disabled
+  EXPECT_TRUE(ParseXml(doc, limits).ok());
+}
+
+TEST(XmlFuzzTest, BombInputsRejectedNotCrashed) {
+  // A pathological nesting bomb under tight limits must come back as a clean
+  // ParseError long before the recursion can exhaust the stack.
+  XmlParseLimits limits;
+  limits.max_depth = 128;
+  limits.max_bytes = 1u << 20;
+  std::string bomb;
+  for (int i = 0; i < 100000; ++i) bomb += "<a>";
+  auto result = ParseXml(bomb, limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
 TEST(XPathFuzzTest, MutatedQueriesNeverCrash) {
   Rng rng(1618);
   const std::string seed = "school/student[firstname=$1]/exam";

@@ -10,24 +10,43 @@
 //
 // The secret key is two 64-bit hex words. --mark is a 0/1 string; it is
 // padded with zeros to the scheme's capacity (truncated marks are rejected).
-// Detection prints the recovered bit string and the match against --mark if
-// one is given.
+// --redundancy R spreads each mark bit over R pairs (majority vote on
+// detection); --min-margin M sets the confidence threshold.
+//
+// Detection is erasure-aware: suspects with deleted rows / dropped subtrees
+// are aligned back onto the original by key, missing pair elements abstain,
+// and a partial report (bits recovered / erased, per-bit margins) is printed.
+//
+// Exit codes: 0 = ok (mark found / full match), 1 = no mark found (recovered
+// bits contradict --mark), 2 = I/O, parse or usage error, 3 = partial
+// detection below threshold (erasures present or margin < --min-margin).
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "qpwm/core/adversarial.h"
+#include "qpwm/core/attack.h"
 #include "qpwm/core/local_scheme.h"
 #include "qpwm/core/tree_scheme.h"
 #include "qpwm/logic/conjunctive.h"
 #include "qpwm/relational/csv.h"
 #include "qpwm/relational/table.h"
 #include "qpwm/util/str.h"
+#include "qpwm/util/table.h"
+#include "qpwm/xml/encode.h"
 #include "qpwm/xml/parser.h"
 #include "qpwm/xml/xpath.h"
 
 using namespace qpwm;
 
 namespace {
+
+// Exit codes (documented in Usage): keep distinct so scripts can tell "the
+// mark is not there" from "the invocation is broken" from "inconclusive".
+constexpr int kExitOk = 0;
+constexpr int kExitNoMark = 1;
+constexpr int kExitError = 2;
+constexpr int kExitPartial = 3;
 
 struct Args {
   std::unordered_map<std::string, std::string> flags;
@@ -107,6 +126,66 @@ Result<BitVec> ParseMark(const std::string& bits, size_t capacity) {
   return mark;
 }
 
+Result<size_t> ParseRedundancy(const Args& args) {
+  const std::string text = args.GetOr("redundancy", "1");
+  char* end = nullptr;
+  long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < 1) {
+    return Status::InvalidArgument("--redundancy must be a positive integer");
+  }
+  return static_cast<size_t>(value);
+}
+
+// Prints the partial-detection report and maps it to an exit code. Erased
+// bits are shown as '?'; the match against --mark (if given) only judges
+// recovered bits.
+int ReportDetection(const Args& args, const AdversarialDetection& d) {
+  std::string bits;
+  for (size_t i = 0; i < d.mark.size(); ++i) {
+    bits += d.bit_erased[i] ? '?' : (d.mark.Get(i) ? '1' : '0');
+  }
+  std::cout << "detected: " << bits << " (? = erased)\n";
+  std::cout << "bits: " << d.bits_recovered << " recovered, " << d.bits_erased
+            << " erased; pairs erased: " << d.pairs_erased << "\n";
+  std::cout << "per-bit margins:";
+  for (size_t i = 0; i < d.margins.size(); ++i) {
+    std::cout << ' ' << FmtDouble(d.margins[i], 2);
+  }
+  std::cout << "\nmin margin over recovered bits: " << FmtDouble(d.min_margin, 2)
+            << "\n";
+
+  const double threshold = std::stod(args.GetOr("min-margin", "0"));
+  bool below_threshold = d.bits_recovered == 0 || d.min_margin < threshold;
+
+  if (args.Has("mark")) {
+    auto expected = ParseMark(args.GetOr("mark", ""), d.mark.size());
+    if (!expected.ok()) {
+      std::cerr << expected.status() << "\n";
+      return kExitError;
+    }
+    size_t mismatched = 0;
+    for (size_t i = 0; i < d.mark.size(); ++i) {
+      if (!d.bit_erased[i] && d.mark.Get(i) != expected.value().Get(i)) {
+        ++mismatched;
+      }
+    }
+    if (mismatched > 0) {
+      std::cout << "NO MATCH (" << mismatched << " recovered bit(s) differ)\n";
+      return kExitNoMark;
+    }
+    if (d.bits_erased > 0 || below_threshold) {
+      std::cout << "PARTIAL MATCH (recovered bits agree, but "
+                << d.bits_erased << " bit(s) erased, min margin "
+                << FmtDouble(d.min_margin, 2) << ")\n";
+      return kExitPartial;
+    }
+    std::cout << "MATCH\n";
+    return kExitOk;
+  }
+  if (d.bits_erased > 0 || below_threshold) return kExitPartial;
+  return kExitOk;
+}
+
 // --- CSV workflow -----------------------------------------------------------
 
 struct CsvSetup {
@@ -179,91 +258,107 @@ int MarkCsv(const Args& args) {
   auto in = args.Get("in");
   if (!in.ok()) {
     std::cerr << in.status() << "\n";
-    return 2;
+    return kExitError;
   }
   auto setup = SetupCsv(args, in.value());
   if (!setup.ok()) {
     std::cerr << setup.status() << "\n";
-    return 2;
+    return kExitError;
   }
   CsvSetup& s = setup.value();
-  std::cout << "capacity: " << s.scheme->CapacityBits() << " bits, bound <= "
-            << s.scheme->Budget() << " per query\n";
+  auto redundancy = ParseRedundancy(args);
+  if (!redundancy.ok()) {
+    std::cerr << redundancy.status() << "\n";
+    return kExitError;
+  }
+  AdversarialScheme adv(*s.scheme, redundancy.value());
+  std::cout << "capacity: " << adv.CapacityBits() << " bits at redundancy "
+            << adv.Redundancy() << " (" << s.scheme->CapacityBits()
+            << " pairs), bound <= " << s.scheme->Budget() << " per query\n";
 
-  auto mark = ParseMark(args.GetOr("mark", "1"), s.scheme->CapacityBits());
+  auto mark = ParseMark(args.GetOr("mark", "1"), adv.CapacityBits());
   if (!mark.ok()) {
     std::cerr << mark.status() << "\n";
-    return 2;
+    return kExitError;
   }
-  WeightMap marked = s.scheme->Embed(s.instance.weights, mark.value());
+  WeightMap marked = adv.Embed(s.instance.weights, mark.value());
   auto marked_db = ApplyWeightsToDatabase(s.db, s.instance, marked);
   if (!marked_db.ok()) {
     std::cerr << marked_db.status() << "\n";
-    return 2;
+    return kExitError;
   }
   std::string out_csv =
       TableToCsv(*marked_db.value().Find(s.table_name).ValueOrDie());
   Status written = WriteFile(args.GetOr("out", in.value() + ".marked"), out_csv);
   if (!written.ok()) {
     std::cerr << written << "\n";
-    return 2;
+    return kExitError;
   }
   std::cout << "embedded " << mark.value().ToString() << "\n";
-  return 0;
+  return kExitOk;
 }
 
 int DetectCsv(const Args& args) {
   auto original = args.Get("original");
   if (!original.ok()) {
     std::cerr << original.status() << "\n";
-    return 2;
+    return kExitError;
   }
   auto setup = SetupCsv(args, original.value());
   if (!setup.ok()) {
     std::cerr << setup.status() << "\n";
-    return 2;
+    return kExitError;
   }
   CsvSetup& s = setup.value();
 
   auto suspect_path = args.Get("suspect");
   if (!suspect_path.ok()) {
     std::cerr << suspect_path.status() << "\n";
-    return 2;
+    return kExitError;
   }
   auto suspect_csv = ReadFile(suspect_path.value());
   if (!suspect_csv.ok()) {
     std::cerr << suspect_csv.status() << "\n";
-    return 2;
+    return kExitError;
   }
   auto suspect_table = TableFromCsv(s.table_name, s.schema, suspect_csv.value());
   if (!suspect_table.ok()) {
     std::cerr << suspect_table.status() << "\n";
-    return 2;
+    return kExitError;
   }
   Database suspect_db;
   suspect_db.AddTable(std::move(suspect_table).value());
   auto suspect_instance = ToWeightedStructure(suspect_db);
   if (!suspect_instance.ok()) {
     std::cerr << suspect_instance.status() << "\n";
-    return 2;
+    return kExitError;
   }
-  // A server over the suspect's weights, answering the registered query.
-  HonestServer server(*s.index, suspect_instance.value().weights);
-  auto detected = s.scheme->Detect(s.instance.weights, server);
-  if (!detected.ok()) {
-    std::cerr << detected.status() << "\n";
-    return 2;
+  auto redundancy = ParseRedundancy(args);
+  if (!redundancy.ok()) {
+    std::cerr << redundancy.status() << "\n";
+    return kExitError;
   }
-  std::cout << "detected: " << detected.value().ToString() << "\n";
-  if (args.Has("mark")) {
-    auto expected = ParseMark(args.GetOr("mark", ""), s.scheme->CapacityBits());
-    if (expected.ok()) {
-      bool match = detected.value() == expected.value();
-      std::cout << (match ? "MATCH" : "NO MATCH") << "\n";
-      return match ? 0 : 1;
-    }
+
+  // Align the suspect's elements back onto the original universe by key;
+  // rows the attacker deleted become erasures, not failures.
+  AlignedSuspect aligned =
+      AlignSuspectInstance(s.instance, suspect_instance.value());
+  std::cout << "alignment: " << aligned.matched << " matched, "
+            << aligned.missing << " deleted, " << aligned.extra
+            << " inserted element(s)\n";
+  HonestServer base(*s.index, aligned.weights);
+  TamperedAnswerServer server(base);
+  for (ElemId e = 0; e < aligned.present.size(); ++e) {
+    if (!aligned.present[e]) server.Erase(Tuple{e});
   }
-  return 0;
+
+  AdversarialScheme adv(*s.scheme, redundancy.value());
+  auto detection = adv.Detect(s.instance.weights, server);
+  if (!detection.ok()) {
+    std::cerr << detection.status() << "\n";
+    return kExitError;
+  }
+  return ReportDetection(args, detection.value());
 }
 
 // --- XML workflow -------------------------------------------------------------
@@ -318,105 +413,118 @@ int MarkXml(const Args& args) {
   auto in = args.Get("in");
   if (!in.ok()) {
     std::cerr << in.status() << "\n";
-    return 2;
+    return kExitError;
   }
   auto setup = SetupXml(args, in.value());
   if (!setup.ok()) {
     std::cerr << setup.status() << "\n";
-    return 2;
+    return kExitError;
   }
   XmlSetup& s = setup.value();
-  std::cout << "capacity: " << s.scheme->CapacityBits()
-            << " bits, per-query distortion <= " << s.scheme->DistortionBound()
+  auto redundancy = ParseRedundancy(args);
+  if (!redundancy.ok()) {
+    std::cerr << redundancy.status() << "\n";
+    return kExitError;
+  }
+  AdversarialScheme adv(*s.scheme, redundancy.value());
+  std::cout << "capacity: " << adv.CapacityBits() << " bits at redundancy "
+            << adv.Redundancy() << " (" << s.scheme->CapacityBits()
+            << " pairs), per-query distortion <= " << s.scheme->DistortionBound()
             << "\n";
-  auto mark = ParseMark(args.GetOr("mark", "1"), s.scheme->CapacityBits());
+  auto mark = ParseMark(args.GetOr("mark", "1"), adv.CapacityBits());
   if (!mark.ok()) {
     std::cerr << mark.status() << "\n";
-    return 2;
+    return kExitError;
   }
-  WeightMap marked = s.scheme->Embed(s.encoded.weights, mark.value());
+  WeightMap marked = adv.Embed(s.encoded.weights, mark.value());
   XmlDocument out_doc = ApplyWeights(s.doc, s.encoded, marked);
   Status written =
       WriteFile(args.GetOr("out", in.value() + ".marked"), SerializeXml(out_doc));
   if (!written.ok()) {
     std::cerr << written << "\n";
-    return 2;
+    return kExitError;
   }
   std::cout << "embedded " << mark.value().ToString() << "\n";
-  return 0;
+  return kExitOk;
 }
 
 int DetectXml(const Args& args) {
   auto original = args.Get("original");
   if (!original.ok()) {
     std::cerr << original.status() << "\n";
-    return 2;
+    return kExitError;
   }
   auto setup = SetupXml(args, original.value());
   if (!setup.ok()) {
     std::cerr << setup.status() << "\n";
-    return 2;
+    return kExitError;
   }
   XmlSetup& s = setup.value();
 
   auto suspect_path = args.Get("suspect");
   if (!suspect_path.ok()) {
     std::cerr << suspect_path.status() << "\n";
-    return 2;
+    return kExitError;
   }
   auto suspect_xml = ReadFile(suspect_path.value());
   if (!suspect_xml.ok()) {
     std::cerr << suspect_xml.status() << "\n";
-    return 2;
+    return kExitError;
   }
   auto suspect_doc = ParseXml(suspect_xml.value());
   if (!suspect_doc.ok()) {
     std::cerr << suspect_doc.status() << "\n";
-    return 2;
+    return kExitError;
+  }
+  auto redundancy = ParseRedundancy(args);
+  if (!redundancy.ok()) {
+    std::cerr << redundancy.status() << "\n";
+    return kExitError;
   }
   std::set<std::string> tags;
   for (const std::string& tag : Split(args.Get("weight-tags").ValueOrDie(), ',')) {
     tags.insert(tag);
   }
-  auto suspect_encoded = EncodeXml(suspect_doc.value(), tags);
-  if (!suspect_encoded.ok()) {
-    std::cerr << suspect_encoded.status() << "\n";
-    return 2;
+
+  // Align the suspect's weight records back onto the original tree by record
+  // signature; dropped subtrees become erasures, not failures.
+  auto aligned = AlignSuspectWeights(s.doc, s.encoded, suspect_doc.value(), tags);
+  if (!aligned.ok()) {
+    std::cerr << aligned.status() << "\n";
+    return kExitError;
   }
-  if (suspect_encoded.value().tree.size() != s.encoded.tree.size()) {
-    std::cerr << "suspect document structure differs from the original\n";
-    return 2;
+  std::cout << "alignment: " << aligned.value().matched << " matched, "
+            << aligned.value().missing << " deleted, " << aligned.value().extra
+            << " inserted record(s)\n";
+  HonestTreeServer base(s.encoded.tree, s.encoded.tree.labels(),
+                        static_cast<uint32_t>(s.encoded.sigma.size()),
+                        s.automaton->dta, s.query->has_param() ? 1 : 0,
+                        aligned.value().weights);
+  TamperedAnswerServer server(base);
+  for (NodeId v = 0; v < aligned.value().present.size(); ++v) {
+    if (!aligned.value().present[v]) server.Erase(Tuple{v});
   }
-  HonestTreeServer server(s.encoded.tree, s.encoded.tree.labels(),
-                          static_cast<uint32_t>(s.encoded.sigma.size()),
-                          s.automaton->dta, s.query->has_param() ? 1 : 0,
-                          suspect_encoded.value().weights);
-  auto detected = s.scheme->Detect(s.encoded.weights, server);
-  if (!detected.ok()) {
-    std::cerr << detected.status() << "\n";
-    return 2;
+
+  AdversarialScheme adv(*s.scheme, redundancy.value());
+  auto detection = adv.Detect(s.encoded.weights, server);
+  if (!detection.ok()) {
+    std::cerr << detection.status() << "\n";
+    return kExitError;
   }
-  std::cout << "detected: " << detected.value().ToString() << "\n";
-  if (args.Has("mark")) {
-    auto expected = ParseMark(args.GetOr("mark", ""), s.scheme->CapacityBits());
-    if (expected.ok()) {
-      bool match = detected.value() == expected.value();
-      std::cout << (match ? "MATCH" : "NO MATCH") << "\n";
-      return match ? 0 : 1;
-    }
-  }
-  return 0;
+  return ReportDetection(args, detection.value());
 }
 
 void Usage() {
   std::cerr <<
       "usage: qpwm <mark-csv|detect-csv|mark-xml|detect-xml> [--flag value]...\n"
       "  mark-csv   --in F --schema C --query Q [--param-column C] [--key K0:K1]\n"
-      "             [--eps E] [--mark BITS] [--out F]\n"
-      "  detect-csv --original F --suspect F (+ the mark-csv flags)\n"
+      "             [--eps E] [--mark BITS] [--redundancy R] [--out F]\n"
+      "  detect-csv --original F --suspect F [--min-margin M] (+ mark-csv flags)\n"
       "  mark-xml   --in F --weight-tags T[,T] --xpath X [--key K0:K1]\n"
-      "             [--mark BITS] [--out F]\n"
-      "  detect-xml --original F --suspect F (+ the mark-xml flags)\n";
+      "             [--mark BITS] [--redundancy R] [--out F]\n"
+      "  detect-xml --original F --suspect F [--min-margin M] (+ mark-xml flags)\n"
+      "exit codes: 0 ok / match, 1 mark contradicted, 2 I/O or usage error,\n"
+      "            3 partial detection (erasures or margin below --min-margin)\n";
 }
 
 }  // namespace

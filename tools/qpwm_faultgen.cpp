@@ -1,0 +1,245 @@
+// qpwm_faultgen — fault-injection campaign against the adversarial scheme.
+//
+// Sweeps structural attacks (pair-element deletion at 0..90%, spurious tuple
+// insertion, and combined mixes) over seeded trials on a synthetic workload,
+// and emits a JSON survival-curve report: per attack level, the fraction of
+// trials where the full mark was recovered, where every recovered bit was
+// correct, and the mean erasure / margin statistics.
+//
+// Flags (all optional):
+//   --elements N     universe size of the random workload      (default 400)
+//   --redundancy R   pairs per message bit                     (default 5)
+//   --trials T       seeded trials per attack level            (default 20)
+//   --seed S         campaign base seed                        (default 1)
+//   --out F          JSON report path                          (default stdout)
+//
+// Exit codes follow the CLI contract: 0 = campaign ran, 2 = usage/I/O error.
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qpwm/core/adversarial.h"
+#include "qpwm/core/attack.h"
+#include "qpwm/core/local_scheme.h"
+#include "qpwm/logic/query.h"
+#include "qpwm/structure/generators.h"
+#include "qpwm/util/random.h"
+#include "qpwm/util/str.h"
+
+using namespace qpwm;
+
+namespace {
+
+struct Options {
+  size_t elements = 400;
+  size_t redundancy = 5;
+  size_t trials = 20;
+  uint64_t seed = 1;
+  std::string out;  // empty = stdout
+};
+
+struct TrialOutcome {
+  bool full_mark = false;       // complete() and mark == message
+  bool recovered_correct = false;  // every non-erased bit matches
+  size_t bits_erased = 0;
+  size_t pairs_erased = 0;
+  double min_margin = 0;
+};
+
+struct LevelSummary {
+  double deletion_frac = 0;
+  double insertion_frac = 0;
+  size_t trials = 0;
+  size_t full_mark = 0;
+  size_t recovered_correct = 0;
+  double mean_bits_erased = 0;
+  double mean_pairs_erased = 0;
+  double mean_min_margin = 0;
+};
+
+// One seeded trial: fresh workload, random message, structural attack through
+// a TamperedAnswerServer, erasure-aware detection.
+TrialOutcome RunTrial(const Options& opt, double deletion_frac,
+                      double insertion_frac, uint64_t seed) {
+  Rng rng(seed);
+  Structure g = RandomBoundedDegreeGraph(opt.elements, 3, 3 * opt.elements,
+                                         false, rng);
+  auto query = AtomQuery::Adjacency("E");
+  QueryIndex index(g, *query, AllParams(g, 1));
+  WeightMap weights = RandomWeights(g, 1000, 9999, rng);
+
+  LocalSchemeOptions scheme_opts;
+  scheme_opts.epsilon = 0.25;
+  scheme_opts.key = {seed, seed + 1};
+  scheme_opts.encoding = PairEncoding::kAntipodal;
+  auto scheme = LocalScheme::Plan(index, scheme_opts);
+  QPWM_CHECK(scheme.ok());
+  AdversarialScheme adv(scheme.value(), opt.redundancy);
+  if (adv.CapacityBits() == 0) return {};
+
+  BitVec msg(adv.CapacityBits());
+  for (size_t i = 0; i < msg.size(); ++i) msg.Set(i, rng.Coin());
+  WeightMap marked = adv.Embed(weights, msg);
+
+  HonestServer base(index, marked);
+  TamperedAnswerServer server(base);
+  for (const Tuple& t : SubsetDeletionAttack(index, deletion_frac, rng)) {
+    server.Erase(t);
+  }
+  const size_t insertions =
+      static_cast<size_t>(insertion_frac * static_cast<double>(index.num_active()));
+  TupleInsertionAttack(server, index, marked, insertions, rng);
+
+  auto detection = adv.Detect(weights, server);
+  QPWM_CHECK(detection.ok());  // never fails: partial results, not errors
+  const AdversarialDetection& d = detection.value();
+
+  TrialOutcome out;
+  out.bits_erased = d.bits_erased;
+  out.pairs_erased = d.pairs_erased;
+  out.min_margin = d.min_margin;
+  out.recovered_correct = true;
+  for (size_t i = 0; i < d.mark.size(); ++i) {
+    if (!d.bit_erased[i] && d.mark.Get(i) != msg.Get(i)) {
+      out.recovered_correct = false;
+    }
+  }
+  out.full_mark = d.complete() && d.mark == msg;
+  return out;
+}
+
+LevelSummary RunLevel(const Options& opt, double deletion_frac,
+                      double insertion_frac, uint64_t level_tag) {
+  LevelSummary s;
+  s.deletion_frac = deletion_frac;
+  s.insertion_frac = insertion_frac;
+  s.trials = opt.trials;
+  for (size_t t = 0; t < opt.trials; ++t) {
+    TrialOutcome o = RunTrial(opt, deletion_frac, insertion_frac,
+                              opt.seed + level_tag * 1000003 + t);
+    s.full_mark += o.full_mark;
+    s.recovered_correct += o.recovered_correct;
+    s.mean_bits_erased += static_cast<double>(o.bits_erased);
+    s.mean_pairs_erased += static_cast<double>(o.pairs_erased);
+    s.mean_min_margin += o.min_margin;
+  }
+  const double n = static_cast<double>(opt.trials);
+  s.mean_bits_erased /= n;
+  s.mean_pairs_erased /= n;
+  s.mean_min_margin /= n;
+  return s;
+}
+
+void AppendLevelJson(std::ostringstream& json, const LevelSummary& s,
+                     bool last) {
+  const double n = static_cast<double>(s.trials);
+  json << "    {\"deletion_frac\": " << s.deletion_frac
+       << ", \"insertion_frac\": " << s.insertion_frac
+       << ", \"trials\": " << s.trials
+       << ", \"full_mark_rate\": " << static_cast<double>(s.full_mark) / n
+       << ", \"recovered_correct_rate\": "
+       << static_cast<double>(s.recovered_correct) / n
+       << ", \"mean_bits_erased\": " << s.mean_bits_erased
+       << ", \"mean_pairs_erased\": " << s.mean_pairs_erased
+       << ", \"mean_min_margin\": " << s.mean_min_margin << "}"
+       << (last ? "\n" : ",\n");
+}
+
+int Run(const Options& opt) {
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"workload\": {\"elements\": " << opt.elements
+       << ", \"redundancy\": " << opt.redundancy
+       << ", \"trials\": " << opt.trials << ", \"seed\": " << opt.seed
+       << "},\n";
+
+  // Campaign 1: deletion sweep 0..90%.
+  std::cerr << "deletion sweep";
+  json << "  \"deletion_sweep\": [\n";
+  for (int i = 0; i <= 9; ++i) {
+    std::cerr << " " << i * 10 << "%" << std::flush;
+    AppendLevelJson(json, RunLevel(opt, i * 0.1, 0.0, static_cast<uint64_t>(i)),
+                    i == 9);
+  }
+  json << "  ],\n";
+  std::cerr << "\n";
+
+  // Campaign 2: insertion sweep (spurious rows relative to the active set).
+  std::cerr << "insertion sweep";
+  json << "  \"insertion_sweep\": [\n";
+  for (int i = 0; i <= 4; ++i) {
+    std::cerr << " " << i * 25 << "%" << std::flush;
+    AppendLevelJson(json,
+                    RunLevel(opt, 0.0, i * 0.25, 100 + static_cast<uint64_t>(i)),
+                    i == 4);
+  }
+  json << "  ],\n";
+  std::cerr << "\n";
+
+  // Campaign 3: combined deletion + insertion mixes.
+  std::cerr << "mixed sweep";
+  json << "  \"mixed_sweep\": [\n";
+  const double mixes[][2] = {{0.1, 0.1}, {0.3, 0.25}, {0.5, 0.5}, {0.7, 0.5}};
+  for (size_t i = 0; i < 4; ++i) {
+    std::cerr << " " << mixes[i][0] << "/" << mixes[i][1] << std::flush;
+    AppendLevelJson(json,
+                    RunLevel(opt, mixes[i][0], mixes[i][1],
+                             200 + static_cast<uint64_t>(i)),
+                    i == 3);
+  }
+  json << "  ]\n}\n";
+  std::cerr << "\n";
+
+  if (opt.out.empty()) {
+    std::cout << json.str();
+    return 0;
+  }
+  std::ofstream f(opt.out, std::ios::binary);
+  if (!f) {
+    std::cerr << "cannot write " << opt.out << "\n";
+    return 2;
+  }
+  f << json.str();
+  std::cerr << "wrote " << opt.out << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; i += 2) {
+    std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::cerr << flag << " requires a value\n"
+                << "usage: qpwm_faultgen [--elements N] [--redundancy R]\n"
+                   "       [--trials T] [--seed S] [--out report.json]\n";
+      return 2;
+    }
+    std::string value = argv[i + 1];
+    if (flag == "--elements") {
+      opt.elements = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--redundancy") {
+      opt.redundancy = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--trials") {
+      opt.trials = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--seed") {
+      opt.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--out") {
+      opt.out = value;
+    } else {
+      std::cerr << "usage: qpwm_faultgen [--elements N] [--redundancy R]\n"
+                   "       [--trials T] [--seed S] [--out report.json]\n";
+      return 2;
+    }
+  }
+  if (opt.elements == 0 || opt.redundancy == 0 || opt.trials == 0) {
+    std::cerr << "--elements, --redundancy and --trials must be positive\n";
+    return 2;
+  }
+  return Run(opt);
+}
