@@ -1,0 +1,243 @@
+// Shared JSON emission for the plan benches. Two pieces:
+//
+//   * JsonWriter — a tiny ordered writer (objects, arrays, scalars) with
+//     comma management; no external dependency.
+//   * UpdateBenchJsonSection — read-modify-write of one top-level key in a
+//     JSON object file, so bench_plan_scale and bench_local_scheme can both
+//     contribute sections to the same BENCH_plan.json artifact.
+//
+// The merge scanner only has to understand files this header itself wrote
+// (a flat object of sections), but it parses strings/nesting properly so a
+// hand-edited file does not get silently corrupted.
+#ifndef QPWM_BENCH_BENCH_JSON_H_
+#define QPWM_BENCH_BENCH_JSON_H_
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qpwm {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(std::string_view k) {
+    Comma();
+    AppendString(k);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& String(std::string_view v) {
+    Comma();
+    AppendString(v);
+    return *this;
+  }
+  JsonWriter& UInt(uint64_t v) {
+    Comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Int(int64_t v) {
+    Comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Bool(bool v) {
+    Comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& Double(double v) {
+    Comma();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!needs_comma_.empty() && needs_comma_.back()) out_ += ',';
+    if (!needs_comma_.empty()) needs_comma_.back() = true;
+  }
+
+  JsonWriter& Open(char c) {
+    Comma();
+    out_ += c;
+    needs_comma_.push_back(false);
+    return *this;
+  }
+
+  JsonWriter& Close(char c) {
+    needs_comma_.pop_back();
+    out_ += c;
+    if (!needs_comma_.empty()) needs_comma_.back() = true;
+    return *this;
+  }
+
+  void AppendString(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default: out_ += c;
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+  bool pending_value_ = false;
+};
+
+namespace bench_json_internal {
+
+inline void SkipWs(const std::string& s, size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+inline bool SkipString(const std::string& s, size_t& i) {
+  if (i >= s.size() || s[i] != '"') return false;
+  for (++i; i < s.size(); ++i) {
+    if (s[i] == '\\') {
+      ++i;
+    } else if (s[i] == '"') {
+      ++i;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Advances past one JSON value (object, array, string, or primitive).
+inline bool SkipValue(const std::string& s, size_t& i) {
+  SkipWs(s, i);
+  if (i >= s.size()) return false;
+  if (s[i] == '"') return SkipString(s, i);
+  if (s[i] == '{' || s[i] == '[') {
+    int depth = 0;
+    for (; i < s.size(); ++i) {
+      if (s[i] == '"') {
+        if (!SkipString(s, i)) return false;
+        --i;  // loop increment compensates
+      } else if (s[i] == '{' || s[i] == '[') {
+        ++depth;
+      } else if (s[i] == '}' || s[i] == ']') {
+        if (--depth == 0) {
+          ++i;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+  while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']' &&
+         !std::isspace(static_cast<unsigned char>(s[i]))) {
+    ++i;
+  }
+  return true;
+}
+
+// Splits a top-level JSON object into (key, raw value) pairs. Returns false
+// on malformed input (caller then starts a fresh file).
+inline bool ParseSections(const std::string& s,
+                          std::vector<std::pair<std::string, std::string>>& out) {
+  size_t i = 0;
+  SkipWs(s, i);
+  if (i >= s.size() || s[i] != '{') return false;
+  ++i;
+  SkipWs(s, i);
+  if (i < s.size() && s[i] == '}') return true;
+  for (;;) {
+    SkipWs(s, i);
+    const size_t key_begin = i;
+    if (!SkipString(s, i)) return false;
+    // Key without the surrounding quotes, escapes left as-is (sections this
+    // helper writes never contain escapes).
+    std::string key = s.substr(key_begin + 1, i - key_begin - 2);
+    SkipWs(s, i);
+    if (i >= s.size() || s[i] != ':') return false;
+    ++i;
+    SkipWs(s, i);
+    const size_t value_begin = i;
+    if (!SkipValue(s, i)) return false;
+    out.emplace_back(std::move(key), s.substr(value_begin, i - value_begin));
+    SkipWs(s, i);
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    return i < s.size() && s[i] == '}';
+  }
+}
+
+}  // namespace bench_json_internal
+
+/// Inserts or replaces top-level key `section` with `payload` (a serialized
+/// JSON value) in the object stored at `path`; creates the file if missing
+/// or unreadable. Returns false only when the file cannot be written.
+inline bool UpdateBenchJsonSection(const std::string& path, const std::string& section,
+                                   const std::string& payload) {
+  std::vector<std::pair<std::string, std::string>> sections;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      std::vector<std::pair<std::string, std::string>> parsed;
+      if (bench_json_internal::ParseSections(buffer.str(), parsed)) {
+        sections = std::move(parsed);
+      }
+    }
+  }
+  bool replaced = false;
+  for (auto& [key, value] : sections) {
+    if (key == section) {
+      value = payload;
+      replaced = true;
+    }
+  }
+  if (!replaced) sections.emplace_back(section, payload);
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\n";
+  for (size_t i = 0; i < sections.size(); ++i) {
+    out << "  \"" << sections[i].first << "\": " << sections[i].second;
+    if (i + 1 < sections.size()) out << ',';
+    out << '\n';
+  }
+  out << "}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace qpwm
+
+#endif  // QPWM_BENCH_BENCH_JSON_H_

@@ -5,7 +5,10 @@
 // and detector recovery over random marks. Ablations: class pairing on/off,
 // paper-random vs greedy selection.
 #include <iostream>
+#include <optional>
+#include <string>
 
+#include "bench_json.h"
 #include "qpwm/core/distortion.h"
 #include "qpwm/core/local_scheme.h"
 #include "qpwm/logic/query.h"
@@ -60,9 +63,25 @@ CellResult RunCell(size_t n, size_t k, double epsilon, LocalSchemeOptions base,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::optional<std::string> json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json_path = "BENCH_plan.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::cerr << "usage: bench_local_scheme [--json[=PATH]]\n";
+      return 2;
+    }
+  }
+
   std::cout << "=== bench_local_scheme: Theorem 3 on STRUCT_k ===\n";
 
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("sweep").BeginArray();
   TextTable sweep("Capacity and distortion vs |U|, k, epsilon (query E(u,v))");
   sweep.SetHeader({"|U|", "k", "1/eps", "ntp", "pairs", "bits l", "bound", "budget",
                    "tries", "detect"});
@@ -74,9 +93,23 @@ int main() {
                       StrCat(r.candidates), StrCat(r.bits), StrCat(r.bound),
                       StrCat(r.budget), StrCat(r.tries),
                       r.detected ? "OK" : "FAIL"});
+        json.BeginObject();
+        json.Key("n").UInt(n);
+        json.Key("k").UInt(k);
+        json.Key("inv_eps").Double(inv_eps);
+        json.Key("ntp").UInt(r.ntp);
+        json.Key("candidate_pairs").UInt(r.candidates);
+        json.Key("bits").UInt(r.bits);
+        json.Key("distortion_bound").UInt(r.bound);
+        json.Key("budget").UInt(r.budget);
+        json.Key("tries").Int(r.tries);
+        json.Key("detected").Bool(r.detected);
+        json.EndObject();
       }
     }
   }
+  json.EndArray();
+  json.EndObject();
   sweep.Print(std::cout);
   std::cout << "shape check: bits grow with |U| at fixed (k, eps); the verified "
                "bound never exceeds the budget; detection is exact.\n";
@@ -134,6 +167,14 @@ int main() {
                        StrCat(r.tries)});
     }
     ablation.Print(std::cout);
+  }
+
+  if (json_path) {
+    if (!UpdateBenchJsonSection(*json_path, "local_scheme", json.str())) {
+      std::cerr << "FAIL: cannot write " << *json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote section \"local_scheme\" to " << *json_path << "\n";
   }
   return 0;
 }

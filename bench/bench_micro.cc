@@ -6,6 +6,7 @@
 #include "qpwm/core/local_scheme.h"
 #include "qpwm/core/pairs.h"
 #include "qpwm/logic/parser.h"
+#include "qpwm/structure/canon_cache.h"
 #include "qpwm/structure/generators.h"
 #include "qpwm/structure/isomorphism.h"
 #include "qpwm/structure/neighborhood.h"
@@ -13,6 +14,7 @@
 #include "qpwm/tree/decomposition.h"
 #include "qpwm/tree/mso.h"
 #include "qpwm/tree/query.h"
+#include "qpwm/util/parallel.h"
 #include "qpwm/util/random.h"
 
 namespace qpwm {
@@ -33,12 +35,72 @@ void BM_CanonicalForm(benchmark::State& state) {
 }
 BENCHMARK(BM_CanonicalForm)->Arg(100)->Arg(1000);
 
+// The fingerprint/key the canonical-form cache hashes on — the per-tuple
+// price every *hit* pays instead of a full canonicalization.
+void BM_CanonCacheKey(benchmark::State& state) {
+  Rng rng(1);
+  Structure g = RandomBoundedDegreeGraph(static_cast<size_t>(state.range(0)), 3,
+                                         3 * state.range(0), false, rng);
+  GaifmanGraph gg(g);
+  IncidenceIndex idx(g);
+  ElemId e = 0;
+  for (auto _ : state) {
+    Neighborhood nb = ExtractNeighborhood(g, gg, idx, Tuple{e}, 2);
+    benchmark::DoNotOptimize(CanonCacheKey(nb.local, nb.distinguished));
+    e = (e + 1) % g.universe_size();
+  }
+}
+BENCHMARK(BM_CanonCacheKey)->Arg(100)->Arg(1000);
+
+// Hit path: every neighborhood was already canonicalized, so each call is
+// extract + key + one sharded map lookup.
+void BM_CanonicalFormCacheHit(benchmark::State& state) {
+  Rng rng(1);
+  Structure g = RandomBoundedDegreeGraph(static_cast<size_t>(state.range(0)), 3,
+                                         3 * state.range(0), false, rng);
+  GaifmanGraph gg(g);
+  IncidenceIndex idx(g);
+  CanonCache cache;
+  for (ElemId e = 0; e < g.universe_size(); ++e) {  // prime
+    Neighborhood nb = ExtractNeighborhood(g, gg, idx, Tuple{e}, 2);
+    cache.Canonical(nb.local, nb.distinguished);
+  }
+  ElemId e = 0;
+  for (auto _ : state) {
+    Neighborhood nb = ExtractNeighborhood(g, gg, idx, Tuple{e}, 2);
+    benchmark::DoNotOptimize(cache.Canonical(nb.local, nb.distinguished));
+    e = (e + 1) % g.universe_size();
+  }
+}
+BENCHMARK(BM_CanonicalFormCacheHit)->Arg(100)->Arg(1000);
+
+// Miss path: cache cleared each iteration batch, so this is key + full
+// canonicalization + insert (the worst case; contrast with BM_CanonicalForm).
+void BM_CanonicalFormCacheMiss(benchmark::State& state) {
+  Rng rng(1);
+  Structure g = RandomBoundedDegreeGraph(static_cast<size_t>(state.range(0)), 3,
+                                         3 * state.range(0), false, rng);
+  GaifmanGraph gg(g);
+  IncidenceIndex idx(g);
+  CanonCache cache;
+  ElemId e = 0;
+  for (auto _ : state) {
+    cache.Clear();
+    Neighborhood nb = ExtractNeighborhood(g, gg, idx, Tuple{e}, 2);
+    benchmark::DoNotOptimize(cache.Canonical(nb.local, nb.distinguished));
+    e = (e + 1) % g.universe_size();
+  }
+}
+BENCHMARK(BM_CanonicalFormCacheMiss)->Arg(100)->Arg(1000);
+
+// Uncached baseline: every tuple canonicalizes from scratch (cache = nullptr,
+// the pre-optimization typing loop).
 void BM_NeighborhoodTyping(benchmark::State& state) {
   Rng rng(2);
   Structure g = RandomBoundedDegreeGraph(static_cast<size_t>(state.range(0)), 3,
                                          3 * state.range(0), false, rng);
   for (auto _ : state) {
-    NeighborhoodTyper typer(g, 1);
+    NeighborhoodTyper typer(g, 1, nullptr);
     for (ElemId e = 0; e < g.universe_size(); ++e) {
       benchmark::DoNotOptimize(typer.TypeOf(Tuple{e}));
     }
@@ -46,6 +108,37 @@ void BM_NeighborhoodTyping(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_NeighborhoodTyping)->Arg(500)->Arg(2000);
+
+// Same loop through a (benchmark-local) canonical-form cache; after the first
+// pass every repeated neighborhood type is a hit.
+void BM_NeighborhoodTypingCached(benchmark::State& state) {
+  Rng rng(2);
+  Structure g = RandomBoundedDegreeGraph(static_cast<size_t>(state.range(0)), 3,
+                                         3 * state.range(0), false, rng);
+  CanonCache cache;
+  for (auto _ : state) {
+    NeighborhoodTyper typer(g, 1, &cache);
+    for (ElemId e = 0; e < g.universe_size(); ++e) {
+      benchmark::DoNotOptimize(typer.TypeOf(Tuple{e}));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NeighborhoodTypingCached)->Arg(500)->Arg(2000);
+
+// Dispatch cost of an (empty-body) ParallelFor at various thread counts —
+// what a hot path pays for choosing parallel dispatch over a plain loop.
+void BM_ParallelForOverhead(benchmark::State& state) {
+  SetParallelThreads(static_cast<size_t>(state.range(0)));
+  std::vector<uint64_t> out(4096);
+  for (auto _ : state) {
+    ParallelFor(out.size(), [&](size_t i) { out[i] = i; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+  SetParallelThreads(0);
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(2)->Arg(8);
 
 void BM_QueryIndexBuild(benchmark::State& state) {
   Rng rng(3);

@@ -1,0 +1,271 @@
+// bench_plan_scale — the plan-time perf baseline for the parallel, memoized
+// planning layer (thread pool + canonical-form cache).
+//
+// Instance: the E6-style bounded-degree graph (RandomBoundedDegreeGraph,
+// degree k, adjacency query over all unary parameters) with rho = 2, the
+// regime the paper's Theorem 3 targets: neighborhoods are tiny and highly
+// repetitive (ntp << |domain|), so canonicalization memoizes extremely well.
+//
+// Reported speedups are against the *pre-optimization planner* — serial with
+// the canonical-form cache disabled — which is what "1 thread" meant before
+// this layer existed. `speedup_vs_cached_serial` additionally isolates the
+// thread-pool contribution (≈1.0 on single-core CI; see docs/perf.md).
+//
+// --json[=PATH] writes/merges the "plan_scale" section of BENCH_plan.json so
+// future PRs have a trajectory to beat.
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "qpwm/core/local_scheme.h"
+#include "qpwm/logic/query.h"
+#include "qpwm/structure/canon_cache.h"
+#include "qpwm/structure/generators.h"
+#include "qpwm/structure/typemap.h"
+#include "qpwm/util/parallel.h"
+#include "qpwm/util/random.h"
+#include "qpwm/util/str.h"
+#include "qpwm/util/table.h"
+
+using namespace qpwm;
+
+namespace {
+
+double TimeMs(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+struct RunResult {
+  size_t threads = 0;
+  double index_ms = 0;
+  double plan_ms = 0;
+  CanonCache::Stats cache;
+  bool identical = true;
+};
+
+bool SamePlan(const LocalScheme& a, const LocalScheme& b) {
+  if (a.CapacityBits() != b.CapacityBits() || a.DistortionBound() != b.DistortionBound() ||
+      a.NumTypes() != b.NumTypes() || a.CanonicalParams() != b.CanonicalParams()) {
+    return false;
+  }
+  const auto& pa = a.marking().pairs();
+  const auto& pb = b.marking().pairs();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i].plus != pb[i].plus || pa[i].minus != pb[i].minus) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n = 12000;
+  size_t k = 3;
+  uint32_t rho = 2;
+  int reps = 3;
+  std::optional<std::string> json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json_path = "BENCH_plan.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--n" && i + 1 < argc) {
+      n = std::stoul(argv[++i]);
+    } else if (arg == "--k" && i + 1 < argc) {
+      k = std::stoul(argv[++i]);
+    } else if (arg == "--rho" && i + 1 < argc) {
+      rho = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    } else {
+      std::cerr << "usage: bench_plan_scale [--json[=PATH]] [--n N] [--k K] "
+                   "[--rho R] [--reps R]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "=== bench_plan_scale: parallel, memoized planning (n=" << n
+            << ", k=" << k << ", rho=" << rho << ") ===\n";
+
+  Rng rng(42);
+  Structure g = RandomBoundedDegreeGraph(n, k, 3 * n, false, rng);
+  auto query = AtomQuery::Adjacency("E");
+
+  LocalSchemeOptions opts;
+  opts.rho = rho;
+  opts.epsilon = 0.5;
+  opts.key = {42, 99};
+
+  // Baseline: the pre-optimization planner — one thread, no canonical-form
+  // cache. This is the "1 thread" number every speedup is measured against.
+  SetParallelThreads(1);
+  std::optional<QueryIndex> index;
+  const double baseline_index_ms = TimeMs([&] { index.emplace(g, *query, AllParams(g, 1)); });
+  LocalSchemeOptions uncached = opts;
+  uncached.canon_cache = false;
+  std::optional<LocalScheme> baseline_scheme;
+  double baseline_ms = 0;
+  for (int r = 0; r < reps; ++r) {
+    const double ms = TimeMs([&] {
+      baseline_scheme.emplace(LocalScheme::Plan(*index, uncached).ValueOrDie());
+    });
+    baseline_ms = r == 0 ? ms : std::min(baseline_ms, ms);
+  }
+
+  std::vector<RunResult> runs;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SetParallelThreads(threads);
+    RunResult run;
+    run.threads = threads;
+    std::optional<QueryIndex> t_index;
+    run.index_ms = TimeMs([&] { t_index.emplace(g, *query, AllParams(g, 1)); });
+    std::optional<LocalScheme> scheme;
+    for (int r = 0; r < reps; ++r) {
+      CanonCache::Global().Clear();  // cold cache: hits below are intra-plan
+      const double ms = TimeMs(
+          [&] { scheme.emplace(LocalScheme::Plan(*t_index, opts).ValueOrDie()); });
+      run.plan_ms = r == 0 ? ms : std::min(run.plan_ms, ms);
+    }
+    run.cache = CanonCache::Global().stats();
+    run.identical = SamePlan(*baseline_scheme, *scheme);
+    runs.push_back(run);
+  }
+  SetParallelThreads(0);  // restore the env/hardware default
+
+  TextTable table(StrCat("Plan time, bounded-degree instance (baseline: serial "
+                         "uncached ", FmtDouble(baseline_ms, 2), " ms; |domain|=",
+                         index->num_params(), ", |W|=", index->num_active(),
+                         ", ntp=", baseline_scheme->NumTypes(), ")"));
+  table.SetHeader({"threads", "index ms", "plan ms", "speedup", "vs 1T cached",
+                   "hit rate", "identical"});
+  const double cached_serial_ms = runs.front().plan_ms;
+  for (const RunResult& run : runs) {
+    table.AddRow({StrCat(run.threads), FmtDouble(run.index_ms, 2),
+                  FmtDouble(run.plan_ms, 2), FmtDouble(baseline_ms / run.plan_ms, 2),
+                  FmtDouble(cached_serial_ms / run.plan_ms, 2),
+                  FmtDouble(run.cache.HitRate(), 3), run.identical ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::cout << "hardware threads visible: " << std::thread::hardware_concurrency()
+            << "; speedup is vs the serial uncached planner, 'vs 1T cached' "
+               "isolates the thread pool.\n";
+
+  bool all_identical = true;
+  for (const RunResult& run : runs) all_identical &= run.identical;
+  if (!all_identical) {
+    std::cerr << "FAIL: plans differ across thread counts\n";
+    return 1;
+  }
+
+  // Cache-alone section: serial typing on a high-repetition instance. Grid
+  // interiors share one neighborhood type per boundary distance, so nearly
+  // every tuple is a cache hit while rho = 4 neighborhoods (41 elements) make
+  // each avoided canonicalization expensive — the regime the memoization
+  // targets. Thread count is pinned to 1 so the entire win is the cache.
+  SetParallelThreads(1);
+  const size_t grid_w = 120, grid_h = 100;
+  const uint32_t grid_rho = 4;
+  Structure grid = GridGraph(grid_w, grid_h);
+  std::vector<Tuple> grid_domain;
+  grid_domain.reserve(grid.universe_size());
+  for (ElemId e = 0; e < grid.universe_size(); ++e) grid_domain.push_back({e});
+  double grid_uncached_ms = 0, grid_cached_ms = 0;
+  size_t grid_ntp = 0;
+  bool grid_identical = true;
+  for (int r = 0; r < std::min(reps, 2); ++r) {
+    std::vector<uint32_t> t_uncached, t_cached;
+    const double u = TimeMs([&] {
+      NeighborhoodTyper typer(grid, grid_rho, nullptr);
+      t_uncached = typer.TypeAll(grid_domain);
+      grid_ntp = typer.NumTypes();
+    });
+    CanonCache::Global().Clear();
+    const double c = TimeMs([&] {
+      NeighborhoodTyper typer(grid, grid_rho);
+      t_cached = typer.TypeAll(grid_domain);
+    });
+    grid_uncached_ms = r == 0 ? u : std::min(grid_uncached_ms, u);
+    grid_cached_ms = r == 0 ? c : std::min(grid_cached_ms, c);
+    grid_identical &= t_uncached == t_cached;
+  }
+  const CanonCache::Stats grid_stats = CanonCache::Global().stats();
+  SetParallelThreads(0);
+  std::cout << "cache-alone (serial) typing, " << grid_w << "x" << grid_h
+            << " grid, rho=" << grid_rho << ": uncached "
+            << FmtDouble(grid_uncached_ms, 2) << " ms, cached "
+            << FmtDouble(grid_cached_ms, 2) << " ms, speedup "
+            << FmtDouble(grid_uncached_ms / grid_cached_ms, 2) << "x, hit rate "
+            << FmtDouble(grid_stats.HitRate(), 4) << ", ntp " << grid_ntp
+            << ", types " << (grid_identical ? "identical" : "DIFFER") << "\n";
+  if (!grid_identical) {
+    std::cerr << "FAIL: cached typing differs from uncached typing\n";
+    return 1;
+  }
+
+  if (json_path) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("instance").BeginObject();
+    w.Key("n").UInt(n);
+    w.Key("k").UInt(k);
+    w.Key("rho").UInt(rho);
+    w.Key("num_params").UInt(index->num_params());
+    w.Key("num_active").UInt(index->num_active());
+    w.Key("ntp").UInt(baseline_scheme->NumTypes());
+    w.Key("candidate_pairs").UInt(baseline_scheme->CandidatePairs());
+    w.Key("bits").UInt(baseline_scheme->CapacityBits());
+    w.Key("distortion_bound").UInt(baseline_scheme->DistortionBound());
+    w.EndObject();
+    w.Key("hardware_threads").UInt(std::thread::hardware_concurrency());
+    w.Key("reps").Int(reps);
+    w.Key("baseline").BeginObject();
+    w.Key("description").String("serial, canonical-form cache disabled (pre-optimization planner)");
+    w.Key("index_build_ms").Double(baseline_index_ms);
+    w.Key("plan_ms").Double(baseline_ms);
+    w.EndObject();
+    w.Key("runs").BeginArray();
+    for (const RunResult& run : runs) {
+      w.BeginObject();
+      w.Key("threads").UInt(run.threads);
+      w.Key("index_build_ms").Double(run.index_ms);
+      w.Key("plan_ms").Double(run.plan_ms);
+      w.Key("speedup").Double(baseline_ms / run.plan_ms);
+      w.Key("speedup_vs_cached_serial").Double(cached_serial_ms / run.plan_ms);
+      w.Key("cache_hits").UInt(run.cache.hits);
+      w.Key("cache_misses").UInt(run.cache.misses);
+      w.Key("cache_hit_rate").Double(run.cache.HitRate());
+      w.Key("identical_to_baseline").Bool(run.identical);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("cache_only_speedup").Double(baseline_ms / cached_serial_ms);
+    w.Key("grid_typing").BeginObject();
+    w.Key("description").String("serial TypeAll on a grid (high-repetition types): cache-alone speedup");
+    w.Key("width").UInt(grid_w);
+    w.Key("height").UInt(grid_h);
+    w.Key("rho").UInt(grid_rho);
+    w.Key("ntp").UInt(grid_ntp);
+    w.Key("uncached_ms").Double(grid_uncached_ms);
+    w.Key("cached_ms").Double(grid_cached_ms);
+    w.Key("speedup").Double(grid_uncached_ms / grid_cached_ms);
+    w.Key("cache_hit_rate").Double(grid_stats.HitRate());
+    w.EndObject();
+    w.EndObject();
+    if (!UpdateBenchJsonSection(*json_path, "plan_scale", w.str())) {
+      std::cerr << "FAIL: cannot write " << *json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote section \"plan_scale\" to " << *json_path << "\n";
+  }
+  return 0;
+}

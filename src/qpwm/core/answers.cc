@@ -3,20 +3,30 @@
 #include <algorithm>
 
 #include "qpwm/util/check.h"
+#include "qpwm/util/parallel.h"
 
 namespace qpwm {
 
 QueryIndex::QueryIndex(const Structure& g, const ParametricQuery& query,
                        std::vector<Tuple> domain)
     : g_(&g), query_(&query), domain_(std::move(domain)) {
+  // Query evaluation — the dominant cost — runs over the whole domain in
+  // parallel (Evaluate is const and thread-safe, see query.h). Interning
+  // result tuples into dense active ids happens serially in domain order, so
+  // the assigned ids, rows and inverse index are bit-identical to the serial
+  // build for any thread count.
+  std::vector<std::vector<Tuple>> raw = ParallelMap<std::vector<Tuple>>(
+      domain_.size(), [&](size_t i) {
+        QPWM_CHECK_EQ(domain_[i].size(), query.ParamArity());
+        return query.Evaluate(g, domain_[i]);
+      });
+
   results_.resize(domain_.size());
   for (size_t i = 0; i < domain_.size(); ++i) {
     param_index_.emplace(domain_[i], static_cast<uint32_t>(i));
-    QPWM_CHECK_EQ(domain_[i].size(), query.ParamArity());
-    std::vector<Tuple> w = query.Evaluate(g, domain_[i]);
     auto& row = results_[i];
-    row.reserve(w.size());
-    for (Tuple& t : w) {
+    row.reserve(raw[i].size());
+    for (Tuple& t : raw[i]) {
       QPWM_CHECK_EQ(t.size(), query.ResultArity());
       auto [it, inserted] =
           active_index_.emplace(t, static_cast<uint32_t>(active_.size()));

@@ -4,9 +4,10 @@
 #include <string>
 
 #include "qpwm/core/pairs.h"
-#include "qpwm/structure/isomorphism.h"
+#include "qpwm/structure/canon_cache.h"
 #include "qpwm/structure/neighborhood.h"
 #include "qpwm/util/check.h"
+#include "qpwm/util/parallel.h"
 
 namespace qpwm {
 namespace {
@@ -15,12 +16,13 @@ std::set<std::string> TypeSet(const QueryIndex& index, uint32_t rho) {
   const Structure& g = index.structure();
   GaifmanGraph gaifman(g);
   IncidenceIndex incidence(g);
-  std::set<std::string> types;
-  for (size_t i = 0; i < index.num_params(); ++i) {
-    Neighborhood nb = ExtractNeighborhood(g, gaifman, incidence, index.param(i), rho);
-    types.insert(CanonicalForm(nb.local, nb.distinguished));
-  }
-  return types;
+  std::vector<std::string> canons = ParallelMap<std::string>(
+      index.num_params(), [&](size_t i) {
+        Neighborhood nb =
+            ExtractNeighborhood(g, gaifman, incidence, index.param(i), rho);
+        return CanonCache::Global().Canonical(nb.local, nb.distinguished);
+      });
+  return std::set<std::string>(canons.begin(), canons.end());
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "qpwm/logic/locality.h"
 #include "qpwm/structure/typemap.h"
 #include "qpwm/util/check.h"
+#include "qpwm/util/parallel.h"
 #include "qpwm/util/random.h"
 #include "qpwm/util/str.h"
 
@@ -38,23 +39,26 @@ std::vector<uint32_t> GreedySelect(const PairMarking& all, uint32_t budget) {
   std::vector<bool> alive(all.size(), true);
 
   // contributions[i] = list of params pair i contributes to (non-zero).
-  std::vector<std::vector<uint32_t>> contributions(all.size());
-  for (size_t i = 0; i < all.size(); ++i) {
-    const WeightPair& p = all.pairs()[i];
-    const auto& in_plus = index.ParamsContaining(p.plus);
-    const auto& in_minus = index.ParamsContaining(p.minus);
-    size_t a = 0, b = 0;
-    while (a < in_plus.size() || b < in_minus.size()) {
-      if (b == in_minus.size() || (a < in_plus.size() && in_plus[a] < in_minus[b])) {
-        contributions[i].push_back(in_plus[a++]);
-      } else if (a == in_plus.size() || in_minus[b] < in_plus[a]) {
-        contributions[i].push_back(in_minus[b++]);
-      } else {
-        ++a;
-        ++b;
-      }
-    }
-  }
+  // Each entry is independent, so the whole table builds in parallel.
+  std::vector<std::vector<uint32_t>> contributions =
+      ParallelMap<std::vector<uint32_t>>(all.size(), [&](size_t i) {
+        const WeightPair& p = all.pairs()[i];
+        const auto& in_plus = index.ParamsContaining(p.plus);
+        const auto& in_minus = index.ParamsContaining(p.minus);
+        std::vector<uint32_t> out;
+        size_t a = 0, b = 0;
+        while (a < in_plus.size() || b < in_minus.size()) {
+          if (b == in_minus.size() || (a < in_plus.size() && in_plus[a] < in_minus[b])) {
+            out.push_back(in_plus[a++]);
+          } else if (a == in_plus.size() || in_minus[b] < in_plus[a]) {
+            out.push_back(in_minus[b++]);
+          } else {
+            ++a;
+            ++b;
+          }
+        }
+        return out;
+      });
 
   for (;;) {
     // Worst parameter.
@@ -110,11 +114,12 @@ Result<LocalScheme> LocalScheme::Plan(const QueryIndex& index,
   const auto budget = static_cast<uint32_t>(std::ceil(1.0 / options.epsilon));
 
   // 1-2. Type parameters; canonical representatives come out of the typer.
-  NeighborhoodTyper typer(g, rho);
-  std::vector<uint32_t> param_type(index.num_params());
-  for (size_t i = 0; i < index.num_params(); ++i) {
-    param_type[i] = typer.TypeOf(index.param(i));
-  }
+  // TypeAll extracts and canonicalizes neighborhoods in parallel through the
+  // shared canonical-form cache; ids come back in first-seen order, exactly
+  // as the old serial TypeOf loop produced them.
+  NeighborhoodTyper typer(g, rho,
+                          options.canon_cache ? &CanonCache::Global() : nullptr);
+  std::vector<uint32_t> param_type = typer.TypeAll(index.domain());
   const size_t ntp = typer.NumTypes();
 
   // Representative parameter index per type (first of each type).
@@ -128,13 +133,17 @@ Result<LocalScheme> LocalScheme::Plan(const QueryIndex& index,
   std::vector<WeightPair> candidates;
   std::vector<uint32_t> leftovers;
   if (options.class_pairing) {
+    // cl(w) by inversion: walk each canonical parameter's result set once and
+    // append its type to the members' class vectors. Ascending t keeps every
+    // cl(w) sorted, matching the membership-test formulation exactly, at
+    // O(sum |W_rep|) instead of |W| * ntp membership tests.
+    std::vector<std::vector<uint32_t>> classes(index.num_active());
+    for (uint32_t t = 0; t < ntp; ++t) {
+      for (uint32_t w : index.ResultFor(rep_param[t])) classes[w].push_back(t);
+    }
     std::map<std::vector<uint32_t>, std::vector<uint32_t>> by_class;
     for (uint32_t w = 0; w < index.num_active(); ++w) {
-      std::vector<uint32_t> cl;
-      for (uint32_t t = 0; t < ntp; ++t) {
-        if (index.Contains(rep_param[t], w)) cl.push_back(t);
-      }
-      by_class[std::move(cl)].push_back(w);
+      by_class[std::move(classes[w])].push_back(w);
     }
     PairWithinGroups(by_class, pairing_rng, candidates, leftovers);
   } else {

@@ -55,6 +55,11 @@ struct LocalSchemeOptions {
   /// Pair leftover elements across classes (the [10] Prop. 4.3 fallback).
   bool fallback_pairing = true;
   PairEncoding encoding = PairEncoding::kOnOff;
+  /// Memoize neighborhood canonical forms through the process-wide
+  /// CanonCache. Off = every tuple canonicalizes from scratch (the
+  /// pre-optimization planner; kept as the perf-baseline ablation —
+  /// results are identical either way).
+  bool canon_cache = true;
 };
 
 /// Planned marker/detector pair for one (structure, query, domain) instance.

@@ -3,8 +3,19 @@
 #include <algorithm>
 
 #include "qpwm/util/check.h"
+#include "qpwm/util/parallel.h"
 
 namespace qpwm {
+namespace {
+
+// Below this many pairs the parallel dispatch costs more than it saves: the
+// per-pair work is two sorted-list merges over bounded-degree incidence
+// lists, so a dispatch (worker wakeup + join) only amortizes on large
+// markings. Measured on bench_plan_scale's instance; the selection loop calls
+// this once per subsample trial, so a low threshold multiplies the overhead.
+constexpr size_t kParallelCostThreshold = 8192;
+
+}  // namespace
 
 PairMarking::PairMarking(const QueryIndex& index, std::vector<WeightPair> pairs)
     : index_(&index), pairs_(std::move(pairs)) {
@@ -24,24 +35,47 @@ int PairMarking::Contribution(size_t pair_idx, size_t param_idx) const {
 }
 
 std::vector<uint32_t> PairMarking::CostPerParam() const {
-  std::vector<uint32_t> cost(index_->num_params(), 0);
   // Walk the inverse index instead of the (pair x param) product: each pair
   // only touches the parameters containing one of its two elements.
-  for (const WeightPair& p : pairs_) {
-    const auto& in_plus = index_->ParamsContaining(p.plus);
-    const auto& in_minus = index_->ParamsContaining(p.minus);
-    // Symmetric difference of the two sorted parameter lists.
-    size_t i = 0, j = 0;
-    while (i < in_plus.size() || j < in_minus.size()) {
-      if (j == in_minus.size() || (i < in_plus.size() && in_plus[i] < in_minus[j])) {
-        ++cost[in_plus[i++]];
-      } else if (i == in_plus.size() || in_minus[j] < in_plus[i]) {
-        ++cost[in_minus[j++]];
-      } else {  // Both contain this parameter: contributions cancel.
-        ++i;
-        ++j;
+  auto accumulate = [this](size_t begin, size_t end, std::vector<uint32_t>& cost) {
+    for (size_t pi = begin; pi < end; ++pi) {
+      const WeightPair& p = pairs_[pi];
+      const auto& in_plus = index_->ParamsContaining(p.plus);
+      const auto& in_minus = index_->ParamsContaining(p.minus);
+      // Symmetric difference of the two sorted parameter lists.
+      size_t i = 0, j = 0;
+      while (i < in_plus.size() || j < in_minus.size()) {
+        if (j == in_minus.size() || (i < in_plus.size() && in_plus[i] < in_minus[j])) {
+          ++cost[in_plus[i++]];
+        } else if (i == in_plus.size() || in_minus[j] < in_plus[i]) {
+          ++cost[in_minus[j++]];
+        } else {  // Both contain this parameter: contributions cancel.
+          ++i;
+          ++j;
+        }
       }
     }
+  };
+
+  const size_t num_params = index_->num_params();
+  if (pairs_.size() < kParallelCostThreshold || ParallelThreads() == 1) {
+    std::vector<uint32_t> cost(num_params, 0);
+    accumulate(0, pairs_.size(), cost);
+    return cost;
+  }
+
+  // Per-block partial counts, summed in block order. Integer addition is
+  // associative and commutative, so the totals are identical to the serial
+  // accumulation for any thread count or block layout.
+  std::vector<std::vector<uint32_t>> partial =
+      ParallelBlocks<std::vector<uint32_t>>(pairs_.size(), [&](size_t begin, size_t end) {
+        std::vector<uint32_t> cost(num_params, 0);
+        accumulate(begin, end, cost);
+        return cost;
+      });
+  std::vector<uint32_t> cost(num_params, 0);
+  for (const std::vector<uint32_t>& block : partial) {
+    for (size_t a = 0; a < num_params; ++a) cost[a] += block[a];
   }
   return cost;
 }

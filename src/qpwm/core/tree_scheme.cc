@@ -4,6 +4,7 @@
 
 #include "qpwm/tree/query.h"
 #include "qpwm/util/check.h"
+#include "qpwm/util/parallel.h"
 #include "qpwm/util/random.h"
 
 namespace qpwm {
@@ -77,10 +78,20 @@ Result<TreeScheme> TreeScheme::Plan(const BinaryTree& t,
     std::sort(candidates.begin(), candidates.end());
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
-    for (NodeId a : candidates) {
-      std::vector<bool> member(t.size(), false);
-      for (NodeId b : EvaluateWa(t, labels, base_count, dta, 1, a)) member[b] = true;
-      witness_pool.emplace_back(a, std::move(member));
+    // One full context-DP automaton run per candidate parameter — the
+    // dominant planning cost — computed in parallel; the pool keeps the
+    // candidates' sorted order, so witness probing below is deterministic.
+    std::vector<std::vector<bool>> memberships =
+        ParallelMap<std::vector<bool>>(candidates.size(), [&](size_t i) {
+          std::vector<bool> member(t.size(), false);
+          for (NodeId b : EvaluateWa(t, labels, base_count, dta, 1, candidates[i])) {
+            member[b] = true;
+          }
+          return member;
+        });
+    witness_pool.reserve(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      witness_pool.emplace_back(candidates[i], std::move(memberships[i]));
     }
   }
 

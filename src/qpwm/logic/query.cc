@@ -103,6 +103,10 @@ std::unique_ptr<AtomQuery> AtomQuery::Adjacency(std::string relation) {
 }
 
 const AtomQuery::Index& AtomQuery::GetIndex(const Structure& g) const {
+  // Concurrent Evaluate calls (parallel QueryIndex build) race on the lazy
+  // per-structure index; the first caller builds under the lock, the rest
+  // wait. unordered_map mapped references stay valid across later inserts.
+  std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = cache_.find(&g);
   if (it != cache_.end()) return it->second;
 
@@ -145,6 +149,7 @@ std::string AtomQuery::Name() const {
 }
 
 const GaifmanGraph& DistanceQuery::GetGaifman(const Structure& g) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = cache_.find(&g);
   if (it != cache_.end()) return *it->second;
   return *cache_.emplace(&g, std::make_unique<GaifmanGraph>(g)).first->second;

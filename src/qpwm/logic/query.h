@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -39,6 +40,12 @@ class ParametricQuery {
 
   /// W_a = psi(a_bar, G): the result s-tuples for this parameter. Order is
   /// unspecified; tuples are distinct.
+  ///
+  /// Thread-safety contract: QueryIndex evaluates the whole parameter domain
+  /// concurrently (util/parallel.h), so Evaluate must be safe to call from
+  /// several threads at once. The built-in implementations are (lazy
+  /// per-structure indexes are mutex-guarded); CallbackQuery users must
+  /// provide a thread-safe callback or run with QPWM_THREADS=1.
   virtual std::vector<Tuple> Evaluate(const Structure& g, const Tuple& params) const = 0;
 
   /// A locality rank rho if one is known (Definition 5). Gaifman's theorem
@@ -106,6 +113,7 @@ class AtomQuery : public ParametricQuery {
   std::vector<Arg> args_;
   uint32_t r_;
   uint32_t s_;
+  mutable std::mutex cache_mu_;  // guards cache_; mapped Index refs are stable
   mutable std::unordered_map<const Structure*, Index> cache_;
 };
 
@@ -125,6 +133,7 @@ class DistanceQuery : public ParametricQuery {
   const GaifmanGraph& GetGaifman(const Structure& g) const;
 
   uint32_t rho_;
+  mutable std::mutex cache_mu_;  // guards cache_
   mutable std::unordered_map<const Structure*, std::unique_ptr<GaifmanGraph>> cache_;
 };
 

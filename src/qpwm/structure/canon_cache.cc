@@ -1,0 +1,153 @@
+#include "qpwm/structure/canon_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "qpwm/structure/isomorphism.h"
+#include "qpwm/util/hash.h"
+
+namespace qpwm {
+namespace {
+
+constexpr int kRefineRounds = 2;
+
+void Push32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+// Bounded (two-round) color refinement with commutative multiset hashing.
+// Isomorphism-invariant per element; much cheaper than the stability-checked
+// refinement inside CanonicalForm (no per-element sorts, no partition ranks,
+// flat buffers only).
+void RefineColors(const Structure& s, const Tuple& dist,
+                  std::vector<uint64_t>& colors, std::vector<uint64_t>& scratch) {
+  const size_t n = s.universe_size();
+  colors.assign(n, 0x9E3779B97F4A7C15ULL);
+  for (size_t i = 0; i < dist.size(); ++i) {
+    colors[dist[i]] = HashCombine(colors[dist[i]], 0xD157 + i);
+  }
+  for (int round = 0; round < kRefineRounds; ++round) {
+    scratch.assign(colors.begin(), colors.end());
+    for (size_t r = 0; r < s.num_relations(); ++r) {
+      for (const Tuple& t : s.relation(r).tuples()) {
+        uint64_t h = HashCombine(0xABCD, r);
+        for (ElemId e : t) h = HashCombine(h, colors[e]);
+        for (size_t pos = 0; pos < t.size(); ++pos) {
+          // Additive accumulation keeps the per-element contribution a
+          // multiset invariant without sorting.
+          scratch[t[pos]] += HashCombine(h, pos + 1);
+        }
+      }
+    }
+    colors.swap(scratch);
+  }
+}
+
+}  // namespace
+
+std::string CanonCacheKey(const Structure& s, const Tuple& distinguished) {
+  const size_t n = s.universe_size();
+  std::vector<uint64_t> colors, scratch;
+  RefineColors(s, distinguished, colors, scratch);
+
+  // Relabel by (refined color, input id). When the colors are all distinct
+  // the input id never breaks a tie and the relabeling is canonical.
+  std::vector<ElemId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](ElemId a, ElemId b) {
+    return colors[a] != colors[b] ? colors[a] < colors[b] : a < b;
+  });
+  std::vector<uint32_t> rank(n);
+  for (size_t i = 0; i < n; ++i) rank[order[i]] = static_cast<uint32_t>(i);
+
+  size_t words = 2 + distinguished.size();
+  for (size_t r = 0; r < s.num_relations(); ++r) {
+    words += 2 + s.relation(r).size() * s.relation(r).arity();
+  }
+  std::string out;
+  out.reserve(words * 4);
+  Push32(out, static_cast<uint32_t>(n));
+  Push32(out, static_cast<uint32_t>(distinguished.size()));
+  for (ElemId e : distinguished) Push32(out, rank[e]);
+  std::vector<Tuple> remapped;
+  for (size_t r = 0; r < s.num_relations(); ++r) {
+    const auto& tuples = s.relation(r).tuples();
+    remapped.clear();
+    remapped.reserve(tuples.size());
+    for (const Tuple& t : tuples) {
+      Tuple m;
+      m.reserve(t.size());
+      for (ElemId e : t) m.push_back(rank[e]);
+      remapped.push_back(std::move(m));
+    }
+    std::sort(remapped.begin(), remapped.end());
+    Push32(out, static_cast<uint32_t>(r));
+    Push32(out, static_cast<uint32_t>(remapped.size()));
+    for (const Tuple& t : remapped) {
+      for (ElemId e : t) Push32(out, e);
+    }
+  }
+  return out;
+}
+
+uint64_t NeighborhoodFingerprint(const Structure& s, const Tuple& distinguished) {
+  return HashString(CanonCacheKey(s, distinguished));
+}
+
+CanonCache& CanonCache::Global() {
+  static CanonCache* cache = new CanonCache();  // shared with pool workers; leaked
+  return *cache;
+}
+
+std::string CanonCache::Canonical(const Structure& s, const Tuple& distinguished) {
+  std::string key = CanonCacheKey(s, distinguished);
+  Shard& shard = shards_[HashString(key) % kShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Canonicalize outside the lock: concurrent misses on the same key both
+  // compute (identical) results; emplace keeps the first.
+  std::string canon = CanonicalForm(s, distinguished);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.emplace(std::move(key), canon);
+  }
+  return canon;
+}
+
+CanonCache::Stats CanonCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void CanonCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+size_t CanonCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+}  // namespace qpwm

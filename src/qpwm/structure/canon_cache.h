@@ -1,0 +1,81 @@
+// Memoized canonical forms. Planning canonicalizes one rho-neighborhood per
+// parameter tuple, and on bounded-degree structures those neighborhoods are
+// tiny and highly repetitive (ntp distinct types over |domain| tuples, with
+// ntp << |domain|), so almost every CanonicalForm call recomputes a result
+// already seen. The cache keys canonicalization on a cheap *sound* cache key:
+// the structure re-serialized under a color-refinement relabeling.
+//
+//   * Sound: the key is a complete serialization of the relabeled structure,
+//     so equal keys imply isomorphic inputs and hence equal canonical forms —
+//     a hit can never return a wrong answer.
+//   * Effective: when refinement individualises every element (the common
+//     case for small distinguished neighborhoods), the relabeling is
+//     canonical, so isomorphic neighborhoods of *different* tuples collide on
+//     the same key and share one canonicalization. When refinement stalls,
+//     ties are broken by input labels; isomorphic inputs may then miss and
+//     recompute — slower, never wrong.
+//
+// Buckets are sharded under striped mutexes so concurrent typing (see
+// util/parallel.h) shares work; the expensive canonicalization itself runs
+// outside any lock.
+#ifndef QPWM_STRUCTURE_CANON_CACHE_H_
+#define QPWM_STRUCTURE_CANON_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "qpwm/structure/structure.h"
+
+namespace qpwm {
+
+/// The sound, refinement-relabeled cache key described above. Exposed for
+/// tests and micro-benchmarks (its cost is the per-hit overhead).
+std::string CanonCacheKey(const Structure& s, const Tuple& distinguished);
+
+/// 64-bit isomorphism-invariant-when-discrete fingerprint (hash of the cache
+/// key); used for shard routing and as a quick diagnostic.
+uint64_t NeighborhoodFingerprint(const Structure& s, const Tuple& distinguished);
+
+class CanonCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    double HitRate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  /// Process-wide cache shared by all typers/planners.
+  static CanonCache& Global();
+
+  /// CanonicalForm(s, distinguished), memoized. Thread-safe.
+  std::string Canonical(const Structure& s, const Tuple& distinguished);
+
+  Stats stats() const;
+
+  /// Drops every entry and resets the stats (benchmark hygiene).
+  void Clear();
+
+  size_t size() const;
+
+ private:
+  static constexpr size_t kShards = 64;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::string> map;
+  };
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_STRUCTURE_CANON_CACHE_H_

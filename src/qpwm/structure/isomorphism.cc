@@ -26,9 +26,13 @@ class Canonicalizer {
       : s_(s), dist_(dist), n_(s.universe_size()), incidence_(s) {}
 
   std::string Run() {
+    // One scratch slot per possible recursion depth; sized up-front so the
+    // outer vector is never reallocated while parent frames hold references
+    // into it (each individualization shrinks a cell, so depth <= n_).
+    depth_scratch_.resize(n_ + 1);
     std::vector<uint64_t> colors = InitialColors();
     Refine(colors);
-    Search(colors);
+    Search(colors, 0);
     QPWM_CHECK(best_.has_value());
     return std::move(*best_);
   }
@@ -45,8 +49,8 @@ class Canonicalizer {
   }
 
   // One-step color refinement signature of element e.
-  uint64_t Signature(ElemId e, const std::vector<uint64_t>& colors) const {
-    std::vector<uint64_t> contrib;
+  uint64_t Signature(ElemId e, const std::vector<uint64_t>& colors) {
+    contrib_.clear();
     for (const auto& entry : incidence_.Incident(e)) {
       const Tuple& t = s_.relation(entry.relation).tuples()[entry.tuple_index];
       for (size_t pos = 0; pos < t.size(); ++pos) {
@@ -54,22 +58,22 @@ class Canonicalizer {
         uint64_t h = HashCombine(0xABCD, entry.relation);
         h = HashCombine(h, pos);
         for (ElemId x : t) h = HashCombine(h, colors[x]);
-        contrib.push_back(h);
+        contrib_.push_back(h);
       }
     }
-    std::sort(contrib.begin(), contrib.end());
+    std::sort(contrib_.begin(), contrib_.end());
     uint64_t out = colors[e];
-    for (uint64_t c : contrib) out = HashCombine(out, c);
+    for (uint64_t c : contrib_) out = HashCombine(out, c);
     return out;
   }
 
   // Iterates color refinement until the induced partition is stable.
-  void Refine(std::vector<uint64_t>& colors) const {
+  void Refine(std::vector<uint64_t>& colors) {
     std::vector<uint32_t> prev_partition = PartitionRanks(colors);
     for (size_t round = 0; round < n_ + 1; ++round) {
-      std::vector<uint64_t> next(n_);
-      for (ElemId e = 0; e < n_; ++e) next[e] = Signature(e, colors);
-      colors = std::move(next);
+      refine_next_.resize(n_);
+      for (ElemId e = 0; e < n_; ++e) refine_next_[e] = Signature(e, colors);
+      colors.swap(refine_next_);
       std::vector<uint32_t> partition = PartitionRanks(colors);
       if (partition == prev_partition) break;
       prev_partition = std::move(partition);
@@ -78,14 +82,16 @@ class Canonicalizer {
 
   // Dense ranks of colors: partition[e] = index of colors[e] among sorted
   // distinct color values. Isomorphism-invariant.
-  std::vector<uint32_t> PartitionRanks(const std::vector<uint64_t>& colors) const {
-    std::vector<uint64_t> sorted = colors;
-    std::sort(sorted.begin(), sorted.end());
-    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<uint32_t> PartitionRanks(const std::vector<uint64_t>& colors) {
+    sorted_colors_.assign(colors.begin(), colors.end());
+    std::sort(sorted_colors_.begin(), sorted_colors_.end());
+    sorted_colors_.erase(std::unique(sorted_colors_.begin(), sorted_colors_.end()),
+                         sorted_colors_.end());
     std::vector<uint32_t> out(n_);
     for (ElemId e = 0; e < n_; ++e) {
       out[e] = static_cast<uint32_t>(
-          std::lower_bound(sorted.begin(), sorted.end(), colors[e]) - sorted.begin());
+          std::lower_bound(sorted_colors_.begin(), sorted_colors_.end(), colors[e]) -
+          sorted_colors_.begin());
     }
     return out;
   }
@@ -110,7 +116,7 @@ class Canonicalizer {
     return swapped_ok(a) && swapped_ok(b);
   }
 
-  void Search(const std::vector<uint64_t>& colors) {
+  void Search(const std::vector<uint64_t>& colors, size_t depth) {
     if (++nodes_ > kSearchBudget) return;  // Keep best-so-far.
 
     std::vector<uint32_t> partition = PartitionRanks(colors);
@@ -146,16 +152,25 @@ class Canonicalizer {
       if (twin_of_tried) continue;
       tried.push_back(e);
 
-      std::vector<uint64_t> next = colors;
+      // One scratch color vector per recursion depth, reused across every
+      // individualization candidate at that depth (no per-candidate heap
+      // allocation once warm).
+      std::vector<uint64_t>& next = depth_scratch_[depth];
+      next.assign(colors.begin(), colors.end());
       next[e] = HashCombine(next[e], kIndividualizeSalt);
       Refine(next);
-      Search(next);
+      Search(next, depth + 1);
     }
   }
 
   // Encoding of the structure under the ordering rank[e] = position of e.
   std::string Encode(const std::vector<uint32_t>& rank) const {
+    size_t words = 2 + dist_.size();
+    for (size_t r = 0; r < s_.num_relations(); ++r) {
+      words += 2 + s_.relation(r).size() * s_.relation(r).arity();
+    }
     std::string out;
+    out.reserve(words * 4);
     Push32(out, static_cast<uint32_t>(n_));
     Push32(out, static_cast<uint32_t>(dist_.size()));
     for (ElemId e : dist_) Push32(out, rank[e]);
@@ -185,6 +200,11 @@ class Canonicalizer {
   IncidenceIndex incidence_;
   std::optional<std::string> best_;
   size_t nodes_ = 0;
+  // Scratch buffers (hot loops; reused to avoid per-call allocations).
+  std::vector<uint64_t> contrib_;
+  std::vector<uint64_t> refine_next_;
+  std::vector<uint64_t> sorted_colors_;
+  std::vector<std::vector<uint64_t>> depth_scratch_;
 };
 
 }  // namespace

@@ -1,50 +1,66 @@
 #include "qpwm/structure/neighborhood.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace qpwm {
+namespace {
+
+// Local id of global element `x` in the sorted sphere, or the sphere size
+// when x lies outside.
+ElemId LocalId(const std::vector<ElemId>& sphere, ElemId x) {
+  auto it = std::lower_bound(sphere.begin(), sphere.end(), x);
+  if (it == sphere.end() || *it != x) return static_cast<ElemId>(sphere.size());
+  return static_cast<ElemId>(it - sphere.begin());
+}
+
+}  // namespace
 
 Neighborhood ExtractNeighborhood(const Structure& g, const GaifmanGraph& gg,
                                  const IncidenceIndex& idx, const Tuple& c,
                                  uint32_t rho) {
-  std::vector<ElemId> sphere = gg.Sphere(c, rho);
-
-  std::unordered_map<ElemId, ElemId> to_local;
-  to_local.reserve(sphere.size());
-  for (size_t i = 0; i < sphere.size(); ++i) {
-    to_local[sphere[i]] = static_cast<ElemId>(i);
-  }
+  std::vector<ElemId> sphere = gg.Sphere(c, rho);  // sorted ascending
+  const ElemId outside = static_cast<ElemId>(sphere.size());
 
   Neighborhood out{Structure(g.signature(), sphere.size()), {}, sphere};
 
-  // Collect tuples fully inside the sphere via the incidence lists of sphere
-  // members; dedupe by (relation, tuple index).
-  std::unordered_set<uint64_t> seen;
+  // Candidate tuples via the incidence lists of sphere members, deduplicated
+  // by (relation, tuple index) with a sort instead of a hash set — incidence
+  // lists over a bounded-degree sphere are tiny. Distinct indices mean
+  // distinct tuples (relations are deduplicated), so the per-relation lists
+  // below can be installed without re-hashing every tuple.
+  std::vector<uint64_t> keys;
   for (ElemId e : sphere) {
     for (const auto& entry : idx.Incident(e)) {
-      uint64_t key = (static_cast<uint64_t>(entry.relation) << 32) | entry.tuple_index;
-      if (!seen.insert(key).second) continue;
-      const Tuple& t = g.relation(entry.relation).tuples()[entry.tuple_index];
-      Tuple local_t;
-      local_t.reserve(t.size());
-      bool inside = true;
-      for (ElemId x : t) {
-        auto it = to_local.find(x);
-        if (it == to_local.end()) {
-          inside = false;
-          break;
-        }
-        local_t.push_back(it->second);
-      }
-      if (inside) out.local.AddTuple(entry.relation, std::move(local_t));
+      keys.push_back((static_cast<uint64_t>(entry.relation) << 32) | entry.tuple_index);
     }
   }
-  out.local.Finalize();
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  std::vector<std::vector<Tuple>> per_rel(g.num_relations());
+  for (uint64_t key : keys) {
+    const auto rel = static_cast<uint32_t>(key >> 32);
+    const Tuple& t = g.relation(rel).tuples()[static_cast<uint32_t>(key)];
+    Tuple local_t;
+    local_t.reserve(t.size());
+    bool inside = true;
+    for (ElemId x : t) {
+      const ElemId lx = LocalId(sphere, x);
+      if (lx == outside) {
+        inside = false;
+        break;
+      }
+      local_t.push_back(lx);
+    }
+    if (inside) per_rel[rel].push_back(std::move(local_t));
+  }
+  for (size_t r = 0; r < per_rel.size(); ++r) {
+    std::sort(per_rel[r].begin(), per_rel[r].end());  // Finalize order
+    out.local.mutable_relation(r).SetTuplesUnchecked(std::move(per_rel[r]));
+  }
 
   out.distinguished.reserve(c.size());
-  for (ElemId x : c) out.distinguished.push_back(to_local.at(x));
+  for (ElemId x : c) out.distinguished.push_back(LocalId(sphere, x));
   return out;
 }
 

@@ -6,6 +6,16 @@ namespace qpwm {
 
 void Relation::Finalize() { std::sort(tuples_.begin(), tuples_.end()); }
 
+void Relation::SetTuplesUnchecked(std::vector<Tuple> tuples) {
+  tuples_ = std::move(tuples);
+  set_.clear();
+}
+
+void Relation::RebuildSet() const {
+  set_.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) set_.insert(t);
+}
+
 Structure::Structure(Signature sig, size_t universe_size)
     : sig_(std::move(sig)), n_(universe_size) {
   relations_.reserve(sig_.size());

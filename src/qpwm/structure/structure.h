@@ -51,16 +51,29 @@ class Relation {
     if (set_.insert(t).second) tuples_.push_back(std::move(t));
   }
 
-  bool Contains(const Tuple& t) const { return set_.count(t) > 0; }
+  /// Replaces the tuple list wholesale. Caller guarantees the tuples are
+  /// distinct; the membership set is only built if Contains is ever called,
+  /// so bulk loads that never test membership (neighborhood extraction)
+  /// skip the per-tuple hashing entirely. The deferred build makes the first
+  /// Contains call non-thread-safe on a shared relation; qpwm only bulk-loads
+  /// thread-private local structures.
+  void SetTuplesUnchecked(std::vector<Tuple> tuples);
+
+  bool Contains(const Tuple& t) const {
+    if (set_.size() != tuples_.size()) RebuildSet();
+    return set_.count(t) > 0;
+  }
 
   /// Sorts the tuple list for deterministic iteration order.
   void Finalize();
 
  private:
+  void RebuildSet() const;
+
   std::string name_;
   uint32_t arity_ = 0;
   std::vector<Tuple> tuples_;
-  std::unordered_set<Tuple, TupleHash> set_;
+  mutable std::unordered_set<Tuple, TupleHash> set_;
 };
 
 /// A finite tau-structure. Element names are optional and only used for

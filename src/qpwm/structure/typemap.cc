@@ -2,19 +2,37 @@
 
 #include "qpwm/structure/isomorphism.h"
 #include "qpwm/structure/neighborhood.h"
+#include "qpwm/util/parallel.h"
 
 namespace qpwm {
 
-NeighborhoodTyper::NeighborhoodTyper(const Structure& g, uint32_t rho)
-    : g_(g), rho_(rho), gaifman_(g), incidence_(g) {}
+NeighborhoodTyper::NeighborhoodTyper(const Structure& g, uint32_t rho,
+                                     CanonCache* cache)
+    : g_(g), rho_(rho), gaifman_(g), incidence_(g), cache_(cache) {}
 
-uint32_t NeighborhoodTyper::TypeOf(const Tuple& c) {
+std::string NeighborhoodTyper::Canon(const Tuple& c) const {
   Neighborhood nb = ExtractNeighborhood(g_, gaifman_, incidence_, c, rho_);
-  std::string canon = CanonicalForm(nb.local, nb.distinguished);
+  if (cache_ != nullptr) return cache_->Canonical(nb.local, nb.distinguished);
+  return CanonicalForm(nb.local, nb.distinguished);
+}
+
+uint32_t NeighborhoodTyper::Intern(std::string canon, const Tuple& c) {
   auto [it, inserted] =
       canon_to_type_.emplace(std::move(canon), static_cast<uint32_t>(representatives_.size()));
   if (inserted) representatives_.push_back(c);
   return it->second;
+}
+
+uint32_t NeighborhoodTyper::TypeOf(const Tuple& c) { return Intern(Canon(c), c); }
+
+std::vector<uint32_t> NeighborhoodTyper::TypeAll(const std::vector<Tuple>& tuples) {
+  std::vector<std::string> canons = ParallelMap<std::string>(
+      tuples.size(), [&](size_t i) { return Canon(tuples[i]); });
+  std::vector<uint32_t> types(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    types[i] = Intern(std::move(canons[i]), tuples[i]);
+  }
+  return types;
 }
 
 }  // namespace qpwm

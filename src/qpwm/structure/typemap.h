@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "qpwm/structure/canon_cache.h"
 #include "qpwm/structure/gaifman.h"
 #include "qpwm/structure/structure.h"
 
@@ -19,10 +20,20 @@ namespace qpwm {
 /// seen of each type is kept as its canonical representative.
 class NeighborhoodTyper {
  public:
-  NeighborhoodTyper(const Structure& g, uint32_t rho);
+  /// Canonical forms are memoized through `cache` (nullptr = no caching,
+  /// every call canonicalizes from scratch). The default shares the
+  /// process-wide cache.
+  NeighborhoodTyper(const Structure& g, uint32_t rho,
+                    CanonCache* cache = &CanonCache::Global());
 
   /// Type id of tuple `c` (computes and memoizes the canonical form).
   uint32_t TypeOf(const Tuple& c);
+
+  /// Types a whole batch. Neighborhood extraction and canonicalization run
+  /// in parallel (see util/parallel.h); type ids are interned serially in
+  /// input order, so the result — ids, NumTypes(), representatives — is
+  /// bit-identical to calling TypeOf on each tuple in order.
+  std::vector<uint32_t> TypeAll(const std::vector<Tuple>& tuples);
 
   /// Number of distinct types seen so far — ntp(rho, G) once every tuple of
   /// the parameter domain has been typed.
@@ -35,10 +46,16 @@ class NeighborhoodTyper {
   const GaifmanGraph& gaifman() const { return gaifman_; }
 
  private:
+  /// Canonical form of the rho-neighborhood of `c`, through the cache.
+  std::string Canon(const Tuple& c) const;
+  /// Interns a canonical form, registering `c` as representative when new.
+  uint32_t Intern(std::string canon, const Tuple& c);
+
   const Structure& g_;
   uint32_t rho_;
   GaifmanGraph gaifman_;
   IncidenceIndex incidence_;
+  CanonCache* cache_;
   std::unordered_map<std::string, uint32_t> canon_to_type_;
   std::vector<Tuple> representatives_;
 };

@@ -1,0 +1,98 @@
+// Deterministic data-parallel helpers: a lazily-initialized thread pool and
+// ParallelFor / ParallelMap / ParallelBlocks over index ranges.
+//
+// Determinism contract: every helper partitions [0, n) the same way for a
+// given n and writes results into per-index (or per-block) slots, so the
+// output is bit-identical regardless of the configured thread count or how
+// the OS schedules workers. Bodies must only touch state owned by their own
+// index/block; reductions happen on the caller's thread in index order.
+//
+// The thread count comes from SetParallelThreads(), else the QPWM_THREADS
+// environment variable, else std::thread::hardware_concurrency(). A count of
+// 1 bypasses the pool entirely and runs inline on the caller (the serial
+// path planning used before this layer existed).
+#ifndef QPWM_UTIL_PARALLEL_H_
+#define QPWM_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace qpwm {
+
+/// Configured worker count (>= 1). Resolves QPWM_THREADS / hardware
+/// concurrency on first use.
+size_t ParallelThreads();
+
+/// Overrides the thread count (n = 0 restores the env/hardware default).
+/// Resizes the global pool; must not be called from inside a parallel body.
+void SetParallelThreads(size_t n);
+
+namespace internal {
+
+/// Runs body(chunk) for chunk in [0, num_chunks) on the pool workers plus
+/// the calling thread, claiming chunks from a shared counter. Rethrows the
+/// first exception any chunk threw. Serial when the pool has one thread.
+void RunChunked(size_t num_chunks, const std::function<void(size_t)>& body);
+
+/// Deterministic block partition of [0, n): block i covers
+/// [Bounds(i), Bounds(i+1)). Block count depends only on n and the
+/// configured thread count.
+struct BlockPartition {
+  size_t n = 0;
+  size_t blocks = 0;
+  explicit BlockPartition(size_t n_items);
+  size_t Bounds(size_t i) const { return n * i / blocks; }
+};
+
+}  // namespace internal
+
+/// Runs body(i) for every i in [0, n), in parallel. `body` must be safe to
+/// call concurrently for distinct i and must not touch shared mutable state.
+template <typename Fn>
+void ParallelFor(size_t n, Fn&& body) {
+  if (n == 0) return;
+  internal::BlockPartition part(n);
+  if (part.blocks <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  internal::RunChunked(part.blocks, [&](size_t b) {
+    const size_t end = part.Bounds(b + 1);
+    for (size_t i = part.Bounds(b); i < end; ++i) body(i);
+  });
+}
+
+/// Returns {fn(0), ..., fn(n-1)}, computed in parallel, stored by index —
+/// the result is identical to the serial evaluation order.
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  ParallelFor(n, [&](size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Block-parallel reduction input: runs fn(begin, end) over a deterministic
+/// partition of [0, n) and returns the per-block results in block order, so
+/// the caller can merge them deterministically. The partition depends only
+/// on n and the configured thread count; use only for merges that are
+/// invariant to the block structure (e.g. integer sums).
+template <typename T, typename Fn>
+std::vector<T> ParallelBlocks(size_t n, Fn&& fn) {
+  internal::BlockPartition part(n);
+  if (part.blocks <= 1) {
+    std::vector<T> out;
+    if (n > 0) out.push_back(fn(size_t{0}, n));
+    return out;
+  }
+  std::vector<T> out(part.blocks);
+  internal::RunChunked(part.blocks, [&](size_t b) {
+    out[b] = fn(part.Bounds(b), part.Bounds(b + 1));
+  });
+  return out;
+}
+
+}  // namespace qpwm
+
+#endif  // QPWM_UTIL_PARALLEL_H_
