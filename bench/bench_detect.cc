@@ -1,0 +1,358 @@
+// bench_detect — the detection-side perf baseline: batched answer serving,
+// dense weight views, and the parallel multi-suspect fan-out.
+//
+// Detection is the serving hot path once a scheme is deployed: the detector
+// replans once, then reads pair weights through query answers for every
+// suspect copy (Remark 2's fingerprint tracing runs this against up to 2^l
+// marked copies). The pre-optimization path paid one Answer() round trip per
+// pair element — an AnswerSet allocation plus a linear scan — and a hash
+// lookup per weight read. The optimized path answers each distinct witness
+// parameter once per run (AnswerAll), indexes the rows, and snapshots both
+// the owner's and the server's weights into DenseWeightViews.
+//
+// Instance: bounded-degree graph with a DistanceQuery ball (answer sets of
+// a few dozen rows — the regime where re-answering per pair hurts most).
+//
+// Reported speedups are against the *pre-optimization detector* — serial,
+// unbatched, sparse weight lookups. Detection output (marks, margins,
+// erasure counts) is verified bit-identical across every ablation and
+// thread count; the run fails if it is not.
+//
+// --json[=PATH] writes/merges the "detect_scale" section of
+// BENCH_detect.json so future PRs have a trajectory to beat.
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_json.h"
+#include "qpwm/core/adversarial.h"
+#include "qpwm/core/answers.h"
+#include "qpwm/core/local_scheme.h"
+#include "qpwm/logic/query.h"
+#include "qpwm/structure/generators.h"
+#include "qpwm/util/parallel.h"
+#include "qpwm/util/random.h"
+#include "qpwm/util/str.h"
+#include "qpwm/util/table.h"
+
+using namespace qpwm;
+
+namespace {
+
+double TimeMs(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+bool SameDetection(const AdversarialDetection& a, const AdversarialDetection& b) {
+  if (a.mark.size() != b.mark.size() || a.margins != b.margins ||
+      a.min_margin != b.min_margin || a.group_sizes != b.group_sizes ||
+      a.bit_erased != b.bit_erased || a.pairs_erased != b.pairs_erased ||
+      a.bits_recovered != b.bits_recovered || a.bits_erased != b.bits_erased) {
+    return false;
+  }
+  for (size_t i = 0; i < a.mark.size(); ++i) {
+    if (a.mark.Get(i) != b.mark.Get(i)) return false;
+  }
+  return true;
+}
+
+struct AblationResult {
+  bool dense = false;
+  bool batch = false;
+  double ms = 0;
+  bool identical = true;
+};
+
+struct FanoutResult {
+  size_t threads = 0;
+  double ms = 0;
+  bool identical = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Defaults picked for a serving-heavy regime: distance-4 balls on a
+  // degree-4 graph give large answer sets with ~7x witness sharing, the
+  // regime batching exists for (big answers re-served per pair element).
+  size_t n = 2000;
+  size_t k = 4;
+  uint32_t qrho = 4;
+  size_t num_suspects = 32;
+  size_t redundancy = 5;
+  int reps = 3;
+  double epsilon = 0.02;
+  std::optional<std::string> json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json_path = "BENCH_detect.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--n" && i + 1 < argc) {
+      n = std::stoul(argv[++i]);
+    } else if (arg == "--k" && i + 1 < argc) {
+      k = std::stoul(argv[++i]);
+    } else if (arg == "--qrho" && i + 1 < argc) {
+      qrho = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--suspects" && i + 1 < argc) {
+      num_suspects = std::stoul(argv[++i]);
+    } else if (arg == "--redundancy" && i + 1 < argc) {
+      redundancy = std::stoul(argv[++i]);
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    } else if (arg == "--epsilon" && i + 1 < argc) {
+      epsilon = std::stod(argv[++i]);
+    } else {
+      std::cerr << "usage: bench_detect [--json[=PATH]] [--n N] [--k K] "
+                   "[--qrho R] [--suspects S] [--redundancy R] [--reps R] "
+                   "[--epsilon E]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "=== bench_detect: batched, dense, parallel detection (n=" << n
+            << ", k=" << k << ", query=dist<=" << qrho
+            << ", suspects=" << num_suspects << ") ===\n";
+
+  // One planned scheme; the detection workload reads through it.
+  Rng rng(42);
+  Structure g = RandomBoundedDegreeGraph(n, k, 3 * n, false, rng);
+  DistanceQuery query(qrho);
+  SetParallelThreads(1);
+  QueryIndex index(g, query, AllParams(g, 1));
+  WeightMap weights = RandomWeights(g, 1000, 9999, rng);
+
+  LocalSchemeOptions opts;
+  opts.epsilon = epsilon;
+  opts.key = {42, 99};
+  opts.encoding = PairEncoding::kAntipodal;
+  LocalScheme scheme = LocalScheme::Plan(index, opts).ValueOrDie();
+  AdversarialScheme adv(scheme, redundancy);
+  if (adv.CapacityBits() == 0) {
+    std::cerr << "FAIL: planned scheme has zero capacity\n";
+    return 1;
+  }
+
+  // Witness sharing decides the batching win: every detection run performs
+  // 2 * pairs element reads, each through the first parameter containing the
+  // element, and the batched path answers each distinct witness once.
+  size_t witness_reads = 0;
+  std::unordered_set<uint32_t> distinct_witnesses;
+  for (const WeightPair& p : scheme.marking().pairs()) {
+    for (uint32_t w : {p.plus, p.minus}) {
+      const auto& witnesses = index.ParamsContaining(w);
+      if (witnesses.empty()) continue;
+      ++witness_reads;
+      distinct_witnesses.insert(witnesses[0]);
+    }
+  }
+  const double sharing =
+      distinct_witnesses.empty()
+          ? 0.0
+          : static_cast<double>(witness_reads) /
+                static_cast<double>(distinct_witnesses.size());
+  std::cout << "planned " << scheme.CapacityBits() << " pairs ("
+            << adv.CapacityBits() << " message bits): " << witness_reads
+            << " element reads via " << distinct_witnesses.size()
+            << " distinct witness params (sharing " << FmtDouble(sharing, 1)
+            << "x)\n";
+
+  // One marked copy per suspect, each carrying a distinct message — the
+  // fingerprinting scenario. Two servers per copy: the pre-optimization
+  // sparse one and the dense-view one.
+  std::vector<BitVec> messages;
+  std::vector<std::unique_ptr<HonestServer>> sparse_servers;
+  std::vector<std::unique_ptr<HonestServer>> dense_servers;
+  for (size_t s = 0; s < num_suspects; ++s) {
+    BitVec msg(adv.CapacityBits());
+    Rng msg_rng(1000 + s);
+    for (size_t i = 0; i < msg.size(); ++i) msg.Set(i, msg_rng.Coin());
+    WeightMap marked = adv.Embed(weights, msg);
+    sparse_servers.push_back(
+        std::make_unique<HonestServer>(index, marked, /*use_dense_view=*/false));
+    dense_servers.push_back(
+        std::make_unique<HonestServer>(index, std::move(marked)));
+    messages.push_back(std::move(msg));
+  }
+
+  const DetectOptions kBaselineOpts{/*batch_answers=*/false, /*dense_views=*/false};
+
+  // --- Single-suspect ablations (1 thread) ---------------------------------
+  const AdversarialDetection reference =
+      adv.Detect(weights, *sparse_servers[0], kBaselineOpts).ValueOrDie();
+  for (size_t i = 0; i < reference.mark.size(); ++i) {
+    if (reference.mark.Get(i) != messages[0].Get(i)) {
+      std::cerr << "FAIL: clean detection recovered a wrong bit\n";
+      return 1;
+    }
+  }
+
+  std::vector<AblationResult> ablations;
+  for (const auto& [dense, batch] :
+       std::vector<std::pair<bool, bool>>{{false, false}, {true, false},
+                                          {false, true}, {true, true}}) {
+    DetectOptions d;
+    d.batch_answers = batch;
+    d.dense_views = dense;
+    const AnswerServer& server =
+        dense ? *dense_servers[0] : *sparse_servers[0];
+    AblationResult r;
+    r.dense = dense;
+    r.batch = batch;
+    std::optional<AdversarialDetection> out;
+    for (int rep = 0; rep < reps; ++rep) {
+      const double ms =
+          TimeMs([&] { out = adv.Detect(weights, server, d).ValueOrDie(); });
+      r.ms = rep == 0 ? ms : std::min(r.ms, ms);
+    }
+    r.identical = SameDetection(reference, *out);
+    ablations.push_back(r);
+  }
+  const double single_baseline_ms = ablations.front().ms;
+  const double dense_batch_speedup = single_baseline_ms / ablations.back().ms;
+
+  TextTable single(StrCat("Single-suspect detection, ", scheme.CapacityBits(),
+                          " pairs -> ", adv.CapacityBits(),
+                          " bits (baseline: unbatched sparse ",
+                          FmtDouble(single_baseline_ms, 2), " ms)"));
+  single.SetHeader({"dense", "batch", "ms", "speedup", "identical"});
+  for (const AblationResult& r : ablations) {
+    single.AddRow({r.dense ? "on" : "off", r.batch ? "on" : "off",
+                   FmtDouble(r.ms, 2), FmtDouble(single_baseline_ms / r.ms, 2),
+                   r.identical ? "yes" : "NO"});
+  }
+  single.Print(std::cout);
+
+  // --- Multi-suspect fan-out ------------------------------------------------
+  // Baseline: the pre-optimization pipeline — a serial loop of unbatched,
+  // sparse detections, exactly what tracing a leak against `num_suspects`
+  // copies cost before this layer existed.
+  std::vector<const AnswerServer*> sparse_ptrs, dense_ptrs;
+  for (size_t s = 0; s < num_suspects; ++s) {
+    sparse_ptrs.push_back(sparse_servers[s].get());
+    dense_ptrs.push_back(dense_servers[s].get());
+  }
+  std::vector<AdversarialDetection> multi_reference;
+  double multi_baseline_ms = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double ms = TimeMs([&] {
+      multi_reference.clear();
+      for (const AnswerServer* s : sparse_ptrs) {
+        multi_reference.push_back(
+            adv.Detect(weights, *s, kBaselineOpts).ValueOrDie());
+      }
+    });
+    multi_baseline_ms = rep == 0 ? ms : std::min(multi_baseline_ms, ms);
+  }
+
+  std::vector<FanoutResult> fanout;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SetParallelThreads(threads);
+    FanoutResult r;
+    r.threads = threads;
+    std::vector<AdversarialDetection> out;
+    for (int rep = 0; rep < reps; ++rep) {
+      const double ms = TimeMs([&] { out = adv.DetectMany(weights, dense_ptrs); });
+      r.ms = rep == 0 ? ms : std::min(r.ms, ms);
+    }
+    r.identical = out.size() == multi_reference.size();
+    for (size_t s = 0; r.identical && s < out.size(); ++s) {
+      r.identical = SameDetection(multi_reference[s], out[s]);
+    }
+    fanout.push_back(r);
+  }
+  SetParallelThreads(0);  // restore the env/hardware default
+
+  TextTable multi(StrCat("Multi-suspect tracing, ", num_suspects,
+                         " marked copies (baseline: serial unbatched sparse ",
+                         FmtDouble(multi_baseline_ms, 2), " ms)"));
+  multi.SetHeader({"threads", "ms", "speedup", "suspects/s", "identical"});
+  for (const FanoutResult& r : fanout) {
+    multi.AddRow({StrCat(r.threads), FmtDouble(r.ms, 2),
+                  FmtDouble(multi_baseline_ms / r.ms, 2),
+                  FmtDouble(1000.0 * static_cast<double>(num_suspects) / r.ms, 1),
+                  r.identical ? "yes" : "NO"});
+  }
+  multi.Print(std::cout);
+  std::cout << "hardware threads visible: " << std::thread::hardware_concurrency()
+            << "; speedups are vs the pre-optimization serial detector "
+               "(unbatched answers, sparse weight lookups).\n";
+
+  bool all_identical = true;
+  for (const AblationResult& r : ablations) all_identical &= r.identical;
+  for (const FanoutResult& r : fanout) all_identical &= r.identical;
+  if (!all_identical) {
+    std::cerr << "FAIL: detection output differs across ablations/threads\n";
+    return 1;
+  }
+
+  if (json_path) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("instance").BeginObject();
+    w.Key("n").UInt(n);
+    w.Key("k").UInt(k);
+    w.Key("query_rho").UInt(qrho);
+    w.Key("num_params").UInt(index.num_params());
+    w.Key("num_active").UInt(index.num_active());
+    w.Key("pairs").UInt(scheme.CapacityBits());
+    w.Key("capacity_bits").UInt(adv.CapacityBits());
+    w.Key("redundancy").UInt(redundancy);
+    w.Key("suspects").UInt(num_suspects);
+    w.EndObject();
+    w.Key("hardware_threads").UInt(std::thread::hardware_concurrency());
+    w.Key("reps").Int(reps);
+    w.Key("single_suspect").BeginObject();
+    w.Key("baseline_description")
+        .String("serial detection, unbatched answers, sparse weight lookups");
+    w.Key("baseline_ms").Double(single_baseline_ms);
+    w.Key("ablations").BeginArray();
+    for (const AblationResult& r : ablations) {
+      w.BeginObject();
+      w.Key("dense_views").Bool(r.dense);
+      w.Key("batch_answers").Bool(r.batch);
+      w.Key("ms").Double(r.ms);
+      w.Key("speedup").Double(single_baseline_ms / r.ms);
+      w.Key("identical_to_baseline").Bool(r.identical);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("dense_batch_speedup").Double(dense_batch_speedup);
+    w.EndObject();
+    w.Key("multi_suspect").BeginObject();
+    w.Key("baseline_description")
+        .String("serial loop of pre-optimization detections over all suspects");
+    w.Key("baseline_ms").Double(multi_baseline_ms);
+    w.Key("runs").BeginArray();
+    for (const FanoutResult& r : fanout) {
+      w.BeginObject();
+      w.Key("threads").UInt(r.threads);
+      w.Key("ms").Double(r.ms);
+      w.Key("speedup").Double(multi_baseline_ms / r.ms);
+      w.Key("suspects_per_sec")
+          .Double(1000.0 * static_cast<double>(num_suspects) / r.ms);
+      w.Key("identical_to_baseline").Bool(r.identical);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    w.EndObject();
+    if (!UpdateBenchJsonSection(*json_path, "detect_scale", w.str())) {
+      std::cerr << "FAIL: cannot write " << *json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote section \"detect_scale\" to " << *json_path << "\n";
+  }
+  return 0;
+}

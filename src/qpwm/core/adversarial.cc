@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "qpwm/util/check.h"
+#include "qpwm/util/parallel.h"
 
 namespace qpwm {
 namespace {
@@ -16,8 +17,9 @@ class LocalCarrier : public PairCarrier {
     base_->marking().Apply(expanded_mark, weights, encoding);
   }
   std::vector<PairObservation> Observe(const WeightMap& original,
-                                       const AnswerServer& suspect) const override {
-    return base_->ObservePairs(original, suspect);
+                                       const AnswerServer& suspect,
+                                       const DetectOptions& options) const override {
+    return base_->ObservePairs(original, suspect, options);
   }
 
  private:
@@ -33,8 +35,9 @@ class TreeCarrier : public PairCarrier {
     base_->ApplyMark(expanded_mark, weights, encoding);
   }
   std::vector<PairObservation> Observe(const WeightMap& original,
-                                       const AnswerServer& suspect) const override {
-    return base_->ObservePairs(original, suspect);
+                                       const AnswerServer& suspect,
+                                       const DetectOptions& options) const override {
+    return base_->ObservePairs(original, suspect, options);
   }
 
  private:
@@ -73,9 +76,10 @@ WeightMap AdversarialScheme::Embed(const WeightMap& original,
 }
 
 Result<AdversarialDetection> AdversarialScheme::Detect(
-    const WeightMap& original, const AnswerServer& suspect) const {
+    const WeightMap& original, const AnswerServer& suspect,
+    const DetectOptions& options) const {
   const std::vector<PairObservation> observations =
-      carrier_->Observe(original, suspect);
+      carrier_->Observe(original, suspect, options);
 
   AdversarialDetection out;
   out.mark = BitVec(capacity_);
@@ -120,6 +124,20 @@ Result<AdversarialDetection> AdversarialScheme::Detect(
   }
   if (out.bits_recovered == 0) out.min_margin = 0.0;
   return out;
+}
+
+std::vector<AdversarialDetection> AdversarialScheme::DetectMany(
+    const WeightMap& original, const std::vector<const AnswerServer*>& suspects,
+    const DetectOptions& options) const {
+  for (const AnswerServer* s : suspects) QPWM_CHECK(s != nullptr);
+  // Each suspect's detection is independent; ParallelMap writes per-index
+  // slots, so the fan-out is bit-identical to the serial loop for any thread
+  // count. Detect never returns an error (erasures yield partial reports).
+  return ParallelMap<AdversarialDetection>(suspects.size(), [&](size_t i) {
+    auto detection = Detect(original, *suspects[i], options);
+    QPWM_CHECK(detection.ok());
+    return std::move(detection).value();
+  });
 }
 
 }  // namespace qpwm

@@ -64,7 +64,8 @@ class PairCarrier {
   virtual void Apply(const BitVec& expanded_mark, WeightMap& weights,
                      PairEncoding encoding) const = 0;
   virtual std::vector<PairObservation> Observe(const WeightMap& original,
-                                               const AnswerServer& suspect) const = 0;
+                                               const AnswerServer& suspect,
+                                               const DetectOptions& options) const = 0;
 };
 
 /// Adversarial wrapper around a planned base scheme.
@@ -83,9 +84,23 @@ class AdversarialScheme {
   /// its pair group with antipodal encoding.
   WeightMap Embed(const WeightMap& original, const BitVec& message) const;
 
-  /// Majority decoding from suspect answers.
+  /// Majority decoding from suspect answers. `options` selects the serving
+  /// fast paths (batched witness answers, dense weight views); the detection
+  /// output is bit-identical for every setting.
   Result<AdversarialDetection> Detect(const WeightMap& original,
-                                      const AnswerServer& suspect) const;
+                                      const AnswerServer& suspect,
+                                      const DetectOptions& options = {}) const;
+
+  /// Detects against many suspect copies at once — Remark 2's fingerprint
+  /// tracing, where a leak is matched against up to 2^l distinct marked
+  /// copies. Suspects are spread across the thread pool (QPWM_THREADS);
+  /// results are index-aligned with `suspects` and bit-identical to calling
+  /// Detect on each suspect serially, for any thread count. Null suspects
+  /// are rejected by QPWM_CHECK; detection itself never fails (partial
+  /// reports, not errors), so the results are returned by value.
+  std::vector<AdversarialDetection> DetectMany(
+      const WeightMap& original, const std::vector<const AnswerServer*>& suspects,
+      const DetectOptions& options = {}) const;
 
  private:
   explicit AdversarialScheme(std::unique_ptr<PairCarrier> carrier, size_t redundancy);

@@ -42,6 +42,12 @@ QueryIndex::QueryIndex(const Structure& g, const ParametricQuery& query,
       containing_[w].push_back(static_cast<uint32_t>(i));
     }
   }
+  if (query.ResultArity() == 1) {
+    active_of_elem_.assign(g.universe_size(), -1);
+    for (size_t w = 0; w < active_.size(); ++w) {
+      active_of_elem_[active_[w][0]] = static_cast<int32_t>(w);
+    }
+  }
 }
 
 Result<size_t> QueryIndex::FindParam(const Tuple& params) const {
@@ -76,12 +82,57 @@ AnswerSet QueryIndex::AnswersFor(size_t param_idx, const WeightMap& weights) con
   return out;
 }
 
+Weight QueryIndex::SumWeights(size_t param_idx, const DenseWeightView& view) const {
+  Weight sum = 0;
+  for (uint32_t w : results_[param_idx]) sum += view.at(w);
+  return sum;
+}
+
+AnswerSet QueryIndex::AnswersFor(size_t param_idx, const DenseWeightView& view) const {
+  AnswerSet out;
+  out.reserve(results_[param_idx].size());
+  for (uint32_t w : results_[param_idx]) {
+    out.push_back({active_[w], view.at(w)});
+  }
+  return out;
+}
+
+DenseWeightView::DenseWeightView(const QueryIndex& index, const WeightMap& weights) {
+  dense_.reserve(index.num_active());
+  for (size_t w = 0; w < index.num_active(); ++w) {
+    dense_.push_back(weights.Get(index.active_element(w)));
+  }
+}
+
+std::vector<AnswerSet> BatchAnswerServer::AnswerBatch(
+    const std::vector<Tuple>& params) const {
+  std::vector<AnswerSet> out;
+  out.reserve(params.size());
+  for (const Tuple& p : params) out.push_back(Answer(p));
+  return out;
+}
+
+std::vector<AnswerSet> AnswerAll(const AnswerServer& server,
+                                 const std::vector<Tuple>& params) {
+  if (const auto* batch = dynamic_cast<const BatchAnswerServer*>(&server)) {
+    return batch->AnswerBatch(params);
+  }
+  std::vector<AnswerSet> out;
+  out.reserve(params.size());
+  for (const Tuple& p : params) out.push_back(server.Answer(p));
+  return out;
+}
+
 AnswerSet HonestServer::Answer(const Tuple& params) const {
   // A real server would evaluate the query; ours serves from the shared
   // index, which is observationally identical and keeps benches fast.
   auto idx = index_->FindParam(params);
-  if (idx.ok()) return index_->AnswersFor(idx.value(), weights_);
-  // Parameter outside the registered domain: evaluate directly.
+  if (idx.ok()) {
+    return view_.has_value() ? index_->AnswersFor(idx.value(), *view_)
+                             : index_->AnswersFor(idx.value(), weights_);
+  }
+  // Parameter outside the registered domain: evaluate directly (the sparse
+  // path — the dense view only covers the index's active elements).
   AnswerSet out;
   for (Tuple& t : index_->query().Evaluate(index_->structure(), params)) {
     Weight w = weights_.Get(t);

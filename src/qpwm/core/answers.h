@@ -7,6 +7,7 @@
 #define QPWM_CORE_ANSWERS_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +26,21 @@ struct AnswerRow {
 
 /// A_a for one parameter.
 using AnswerSet = std::vector<AnswerRow>;
+
+/// Detection fast-path knobs. Both default on; detection output (marks,
+/// margins, erasure counts) is bit-identical for every combination — the
+/// switches exist as measured ablations (bench_detect) and to reproduce the
+/// pre-optimization serving path as a baseline.
+struct DetectOptions {
+  /// Answer each distinct witness parameter once per detection run and share
+  /// the answer across every pair that reads through it (one AnswerAll
+  /// round-trip instead of two Answer() calls per pair).
+  bool batch_answers = true;
+  /// Snapshot the owner's weights into a DenseWeightView aligned with the
+  /// QueryIndex active ids (O(1) indexed reads instead of per-tuple
+  /// WeightMap lookups).
+  bool dense_views = true;
+};
 
 /// Precomputed query results over a parameter domain.
 ///
@@ -52,6 +68,17 @@ class QueryIndex {
   /// Dense index of an s-tuple among the active elements.
   Result<size_t> FindActive(const Tuple& t) const;
 
+  /// Result-arity-1 fast path: active id of element `e`, or -1 when `e` is
+  /// inactive or out of the universe. Only available when the query's result
+  /// arity is 1 (see has_unary_actives()); batched detection uses it to map
+  /// answer rows back to active ids with one array read instead of a tuple
+  /// hash.
+  int32_t ActiveIdOfElem(ElemId e) const {
+    if (e >= active_of_elem_.size()) return -1;
+    return active_of_elem_[e];
+  }
+  bool has_unary_actives() const { return !active_of_elem_.empty(); }
+
   /// W_a as sorted active-element indices.
   const std::vector<uint32_t>& ResultFor(size_t param_idx) const {
     return results_[param_idx];
@@ -71,6 +98,10 @@ class QueryIndex {
   /// A_a under `weights`.
   AnswerSet AnswersFor(size_t param_idx, const WeightMap& weights) const;
 
+  /// Dense-view fast paths: identical results, O(1) weight reads.
+  Weight SumWeights(size_t param_idx, const class DenseWeightView& view) const;
+  AnswerSet AnswersFor(size_t param_idx, const class DenseWeightView& view) const;
+
  private:
   const Structure* g_;
   const ParametricQuery* query_;
@@ -78,8 +109,27 @@ class QueryIndex {
   std::unordered_map<Tuple, uint32_t, TupleHash> param_index_;
   std::vector<Tuple> active_;
   std::unordered_map<Tuple, uint32_t, TupleHash> active_index_;
+  std::vector<int32_t> active_of_elem_;  // result arity 1 only; -1 = inactive
   std::vector<std::vector<uint32_t>> results_;     // param -> active indices (sorted)
   std::vector<std::vector<uint32_t>> containing_;  // active -> params (sorted)
+};
+
+/// Flat snapshot of a WeightMap over a QueryIndex's active elements: slot w
+/// holds the weight of active_element(w). Detection reads the same few
+/// thousand weights over and over; the view turns every read into an O(1)
+/// vector index instead of a per-tuple hash lookup. Tuples outside the index
+/// (inserted rows, out-of-domain parameters) stay on the sparse WeightMap
+/// path — the view only ever covers the active set.
+class DenseWeightView {
+ public:
+  DenseWeightView(const QueryIndex& index, const WeightMap& weights);
+
+  /// Weight of active element `w` (a QueryIndex active id).
+  Weight at(size_t w) const { return dense_[w]; }
+  size_t size() const { return dense_.size(); }
+
+ private:
+  std::vector<Weight> dense_;
 };
 
 /// A suspect data server: answers parametric queries, nothing else.
@@ -90,21 +140,53 @@ class AnswerServer {
   virtual AnswerSet Answer(const Tuple& params) const = 0;
 };
 
+/// A server that can answer many parameters in one round trip. Detection
+/// batches all distinct witness parameters of a run into a single call, so
+/// servers that can amortize work across parameters (or a remote server that
+/// would otherwise pay one network round trip per Answer) get to.
+class BatchAnswerServer : public AnswerServer {
+ public:
+  /// Returns {Answer(params[0]), ..., Answer(params[n-1])}. The default
+  /// loops over Answer(); overrides must return the exact same answers.
+  virtual std::vector<AnswerSet> AnswerBatch(const std::vector<Tuple>& params) const;
+};
+
+/// Answers every parameter through the batch interface when the server
+/// implements it, else one Answer() call per parameter. Result order matches
+/// `params` either way.
+std::vector<AnswerSet> AnswerAll(const AnswerServer& server,
+                                 const std::vector<Tuple>& params);
+
 /// A server honestly serving a (possibly watermarked / attacked) weight map
 /// over the owner's structure.
-class HonestServer : public AnswerServer {
+class HonestServer : public BatchAnswerServer {
  public:
-  HonestServer(const QueryIndex& index, WeightMap weights)
-      : index_(&index), weights_(std::move(weights)) {}
+  /// `use_dense_view` snapshots the weights into a DenseWeightView so
+  /// in-domain answers are served with O(1) weight reads; pass false to get
+  /// the pre-optimization sparse serving path (the bench ablation).
+  HonestServer(const QueryIndex& index, WeightMap weights,
+               bool use_dense_view = true)
+      : index_(&index), weights_(std::move(weights)) {
+    if (use_dense_view) view_.emplace(index, weights_);
+  }
 
   AnswerSet Answer(const Tuple& params) const override;
 
   const WeightMap& weights() const { return weights_; }
-  WeightMap& mutable_weights() { return weights_; }
+  /// Mutable access invalidates the dense view (the snapshot would go stale);
+  /// call RefreshView() after mutating to restore the fast path.
+  WeightMap& mutable_weights() {
+    view_.reset();
+    return weights_;
+  }
+  /// Rebuilds the dense snapshot from the current weights.
+  void RefreshView() { view_.emplace(*index_, weights_); }
+  bool has_dense_view() const { return view_.has_value(); }
 
  private:
   const QueryIndex* index_;
   WeightMap weights_;
+  std::optional<DenseWeightView> view_;
 };
 
 }  // namespace qpwm

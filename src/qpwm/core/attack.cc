@@ -70,16 +70,31 @@ Result<WeightMap> AveragingCollusionAttack(
   return out;
 }
 
-AnswerSet TamperedAnswerServer::Answer(const Tuple& params) const {
-  AnswerSet out;
-  for (const AnswerRow& row : base_->Answer(params)) {
-    if (erased_.count(row.element) == 0) out.push_back(row);
+void TamperedAnswerServer::Tamper(const Tuple& params, AnswerSet& rows) const {
+  if (!erased_.empty()) {
+    rows.erase(std::remove_if(rows.begin(), rows.end(),
+                              [&](const AnswerRow& row) {
+                                return erased_.count(row.element) != 0;
+                              }),
+               rows.end());
   }
   auto it = inserted_at_.find(params);
   if (it != inserted_at_.end()) {
-    out.insert(out.end(), it->second.begin(), it->second.end());
+    rows.insert(rows.end(), it->second.begin(), it->second.end());
   }
-  out.insert(out.end(), inserted_everywhere_.begin(), inserted_everywhere_.end());
+  rows.insert(rows.end(), inserted_everywhere_.begin(), inserted_everywhere_.end());
+}
+
+AnswerSet TamperedAnswerServer::Answer(const Tuple& params) const {
+  AnswerSet out = base_->Answer(params);
+  Tamper(params, out);
+  return out;
+}
+
+std::vector<AnswerSet> TamperedAnswerServer::AnswerBatch(
+    const std::vector<Tuple>& params) const {
+  std::vector<AnswerSet> out = AnswerAll(*base_, params);
+  for (size_t i = 0; i < params.size(); ++i) Tamper(params[i], out[i]);
   return out;
 }
 

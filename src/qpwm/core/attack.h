@@ -60,8 +60,10 @@ Result<WeightMap> AveragingCollusionAttack(const std::vector<const WeightMap*>& 
 /// elements vanish from every answer, inserted rows are appended to the
 /// answers the attacker planted them in. The paper's indirect-access threat
 /// model is preserved — detection still only sees answers. The base server
-/// must outlive the wrapper.
-class TamperedAnswerServer : public AnswerServer {
+/// must outlive the wrapper. Batch requests are forwarded to the base as a
+/// batch (AnswerAll) and tampered per answer, so a batching base keeps its
+/// amortization under attack.
+class TamperedAnswerServer : public BatchAnswerServer {
  public:
   explicit TamperedAnswerServer(const AnswerServer& base) : base_(&base) {}
 
@@ -81,8 +83,12 @@ class TamperedAnswerServer : public AnswerServer {
   size_t num_erased() const { return erased_.size(); }
 
   AnswerSet Answer(const Tuple& params) const override;
+  std::vector<AnswerSet> AnswerBatch(const std::vector<Tuple>& params) const override;
 
  private:
+  /// Applies erasures and insertions for `params` to base rows, in place.
+  void Tamper(const Tuple& params, AnswerSet& rows) const;
+
   const AnswerServer* base_;
   std::unordered_set<Tuple, TupleHash> erased_;
   std::unordered_map<Tuple, AnswerSet, TupleHash> inserted_at_;

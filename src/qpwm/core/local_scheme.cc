@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <numeric>
+#include <unordered_map>
 
 #include "qpwm/logic/locality.h"
 #include "qpwm/structure/typemap.h"
@@ -224,36 +225,123 @@ WeightMap LocalScheme::Embed(const WeightMap& original, const BitVec& mark) cons
 }
 
 std::vector<PairObservation> LocalScheme::ObservePairs(
-    const WeightMap& original, const AnswerServer& suspect) const {
+    const WeightMap& original, const AnswerServer& suspect,
+    const DetectOptions& options) const {
   const QueryIndex& index = marking_->index();
   std::vector<PairObservation> observations;
   observations.reserve(marking_->size());
 
-  // Reads the suspect weight of active element `w` through a witness query.
-  // Missing from the witness answer (deleted tuple, shipped subset) or
-  // witness-less (inactive — cannot happen for planned pairs, checked
-  // defensively) reads as an erasure.
-  auto read_weight = [&](uint32_t w) -> std::optional<Weight> {
-    const auto& witnesses = index.ParamsContaining(w);
-    if (witnesses.empty()) return std::nullopt;
-    const Tuple& param = index.param(witnesses[0]);
-    const Tuple& elem = index.active_element(w);
-    for (const AnswerRow& row : suspect.Answer(param)) {
-      if (row.element == elem) return row.weight;
-    }
-    return std::nullopt;
+  // Original weights of the pair elements: dense snapshot (one O(1) read per
+  // element) or the per-tuple WeightMap path. Same values either way.
+  std::optional<DenseWeightView> original_view;
+  if (options.dense_views) original_view.emplace(index, original);
+  auto original_weight = [&](uint32_t w) -> Weight {
+    return original_view ? original_view->at(w)
+                         : original.Get(index.active_element(w));
   };
 
-  for (size_t i = 0; i < marking_->size(); ++i) {
+  const size_t num_pairs = marking_->size();
+
+  if (!options.batch_answers) {
+    // Pre-optimization serving path: one Answer() round trip per pair element
+    // (an AnswerSet materialization plus a linear scan). Missing from the
+    // witness answer (deleted tuple, shipped subset) or witness-less
+    // (inactive — cannot happen for planned pairs, checked defensively)
+    // reads as an erasure.
+    auto read_weight = [&](uint32_t w) -> std::optional<Weight> {
+      const auto& witnesses = index.ParamsContaining(w);
+      if (witnesses.empty()) return std::nullopt;
+      const Tuple& elem = index.active_element(w);
+      const Tuple& param = index.param(witnesses[0]);
+      for (const AnswerRow& row : suspect.Answer(param)) {
+        if (row.element == elem) return row.weight;
+      }
+      return std::nullopt;
+    };
+    for (size_t i = 0; i < num_pairs; ++i) {
+      const WeightPair& p = marking_->pairs()[i];
+      std::optional<Weight> plus = read_weight(p.plus);
+      std::optional<Weight> minus = read_weight(p.minus);
+      PairObservation obs;
+      if (!plus.has_value() || !minus.has_value()) {
+        obs.erased = true;
+      } else {
+        const Weight d_plus = *plus - original_weight(p.plus);
+        const Weight d_minus = *minus - original_weight(p.minus);
+        obs.delta = d_plus - d_minus;
+      }
+      observations.push_back(obs);
+    }
+    return observations;
+  }
+
+  // Batched serving: group the 2 * num_pairs element reads by their witness
+  // parameter, answer each distinct witness once (a single AnswerAll round
+  // trip — pairs cluster around low-id witnesses, so distinct witnesses are
+  // far fewer than reads), then resolve each witness's reads through an
+  // epoch-stamped flat table keyed by active id. No per-row allocation and
+  // O(1) per read, unlike a per-witness hash map of answer rows.
+  std::vector<Weight> read_weight(2 * num_pairs, 0);
+  std::vector<char> read_found(2 * num_pairs, 0);
+  std::vector<Tuple> witness_params;
+  std::unordered_map<uint32_t, uint32_t> slot_of_param;  // param idx -> slot
+  // Per witness slot: pending reads as (read index, active id).
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> reads;
+  for (size_t i = 0; i < num_pairs; ++i) {
     const WeightPair& p = marking_->pairs()[i];
-    std::optional<Weight> plus = read_weight(p.plus);
-    std::optional<Weight> minus = read_weight(p.minus);
+    const uint32_t elems[2] = {p.plus, p.minus};
+    for (int side = 0; side < 2; ++side) {
+      const auto& witnesses = index.ParamsContaining(elems[side]);
+      if (witnesses.empty()) continue;  // stays unfound -> erased
+      auto [it, inserted] = slot_of_param.emplace(
+          witnesses[0], static_cast<uint32_t>(witness_params.size()));
+      if (inserted) {
+        witness_params.push_back(index.param(witnesses[0]));
+        reads.emplace_back();
+      }
+      reads[it->second].push_back(
+          {static_cast<uint32_t>(2 * i + side), elems[side]});
+    }
+  }
+
+  const std::vector<AnswerSet> answers = AnswerAll(suspect, witness_params);
+  const bool unary = index.has_unary_actives();
+  std::vector<uint32_t> stamp(index.num_active(), 0);
+  std::vector<Weight> row_weight(index.num_active(), 0);
+  for (size_t s = 0; s < answers.size(); ++s) {
+    const uint32_t epoch = static_cast<uint32_t>(s) + 1;
+    for (const AnswerRow& row : answers[s]) {
+      // Rows outside the active set (inserted fresh tuples) can never match a
+      // pair element; the first row per element wins, exactly like the
+      // unbatched scan. Unary results resolve to active ids with one array
+      // read; general arities pay the tuple hash.
+      int64_t w = -1;
+      if (unary) {
+        if (row.element.size() == 1) w = index.ActiveIdOfElem(row.element[0]);
+      } else {
+        auto found = index.FindActive(row.element);
+        if (found.ok()) w = static_cast<int64_t>(found.value());
+      }
+      if (w < 0 || stamp[w] == epoch) continue;
+      stamp[w] = epoch;
+      row_weight[w] = row.weight;
+    }
+    for (const auto& [slot, w] : reads[s]) {
+      if (stamp[w] == epoch) {
+        read_weight[slot] = row_weight[w];
+        read_found[slot] = 1;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < num_pairs; ++i) {
+    const WeightPair& p = marking_->pairs()[i];
     PairObservation obs;
-    if (!plus.has_value() || !minus.has_value()) {
+    if (!read_found[2 * i] || !read_found[2 * i + 1]) {
       obs.erased = true;
     } else {
-      const Weight d_plus = *plus - original.Get(index.active_element(p.plus));
-      const Weight d_minus = *minus - original.Get(index.active_element(p.minus));
+      const Weight d_plus = read_weight[2 * i] - original_weight(p.plus);
+      const Weight d_minus = read_weight[2 * i + 1] - original_weight(p.minus);
       obs.delta = d_plus - d_minus;
     }
     observations.push_back(obs);

@@ -113,8 +113,15 @@ class LocalScheme {
   /// suspect's answers comes back flagged `erased` instead of failing the
   /// read. The adversarial wrapper feeds these into majority decoding so
   /// detection degrades gracefully under deletion/subset attacks.
+  ///
+  /// With `options.batch_answers` every distinct witness parameter is
+  /// answered once (one AnswerAll round trip) and shared across all pairs
+  /// that read through it; with `options.dense_views` the original weights
+  /// are snapshot into a DenseWeightView. Observations are bit-identical for
+  /// every setting.
   std::vector<PairObservation> ObservePairs(const WeightMap& original,
-                                            const AnswerServer& suspect) const;
+                                            const AnswerServer& suspect,
+                                            const DetectOptions& options = {}) const;
 
  private:
   LocalScheme(std::unique_ptr<PairMarking> marking, LocalSchemeOptions options)

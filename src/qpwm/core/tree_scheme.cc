@@ -1,6 +1,7 @@
 #include "qpwm/core/tree_scheme.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "qpwm/tree/query.h"
 #include "qpwm/util/check.h"
@@ -152,21 +153,67 @@ void TreeScheme::ApplyMark(const BitVec& mark, WeightMap& weights,
 }
 
 std::vector<PairObservation> TreeScheme::ObservePairs(
-    const WeightMap& original, const AnswerServer& suspect) const {
+    const WeightMap& original, const AnswerServer& suspect,
+    const DetectOptions& options) const {
   std::vector<PairObservation> observations;
   observations.reserve(pairs_.size());
+
+  // Batched path: answer each distinct witness once (pairs frequently share
+  // witnesses — the root answers for every region it covers) and resolve the
+  // unary rows through an epoch-stamped flat table keyed by node id — no
+  // per-row allocation. Plain assignment keeps the *last* row per node,
+  // matching the unbatched scan below, which overwrites on every match.
+  std::vector<AnswerSet> batched_answers;
+  std::unordered_map<Tuple, uint32_t, TupleHash> batch_slot;
+  std::vector<Weight> row_weight;
+  std::vector<uint32_t> stamp;
+  if (options.batch_answers) {
+    std::vector<Tuple> witness_params;
+    for (const DetectablePair& pair : pairs_) {
+      auto [it, inserted] = batch_slot.emplace(
+          pair.witness, static_cast<uint32_t>(witness_params.size()));
+      if (inserted) witness_params.push_back(pair.witness);
+    }
+    batched_answers = AnswerAll(suspect, witness_params);
+    row_weight.resize(t_->size(), 0);
+    stamp.resize(t_->size(), 0);
+  }
+  uint32_t current_epoch = 0;  // witness slot whose rows are staged, + 1
+
   for (const DetectablePair& pair : pairs_) {
-    AnswerSet answers = suspect.Answer(pair.witness);
     Weight w_plus = 0, w_minus = 0;
     bool saw_plus = false, saw_minus = false;
-    for (const AnswerRow& row : answers) {
-      if (row.element.size() == 1 && row.element[0] == pair.b_plus) {
-        w_plus = row.weight;
+    if (options.batch_answers) {
+      const uint32_t slot = batch_slot.at(pair.witness);
+      if (current_epoch != slot + 1) {
+        current_epoch = slot + 1;
+        for (const AnswerRow& row : batched_answers[slot]) {
+          // Rows beyond the tree (inserted fresh nodes) can never match a
+          // pair node.
+          if (row.element.size() != 1 || row.element[0] >= t_->size()) continue;
+          row_weight[row.element[0]] = row.weight;
+          stamp[row.element[0]] = current_epoch;
+        }
+      }
+      if (stamp[pair.b_plus] == current_epoch) {
+        w_plus = row_weight[pair.b_plus];
         saw_plus = true;
       }
-      if (row.element.size() == 1 && row.element[0] == pair.b_minus) {
-        w_minus = row.weight;
+      if (stamp[pair.b_minus] == current_epoch) {
+        w_minus = row_weight[pair.b_minus];
         saw_minus = true;
+      }
+    } else {
+      AnswerSet answers = suspect.Answer(pair.witness);
+      for (const AnswerRow& row : answers) {
+        if (row.element.size() == 1 && row.element[0] == pair.b_plus) {
+          w_plus = row.weight;
+          saw_plus = true;
+        }
+        if (row.element.size() == 1 && row.element[0] == pair.b_minus) {
+          w_minus = row.weight;
+          saw_minus = true;
+        }
       }
     }
     PairObservation obs;

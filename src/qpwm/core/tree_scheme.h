@@ -105,8 +105,15 @@ class TreeScheme {
   /// Erasure-aware per-pair reading: a pair node missing from its witness
   /// answer (dropped subtree, shipped fragment) is flagged `erased` instead
   /// of failing; the adversarial wrapper abstains on such votes.
+  ///
+  /// With `options.batch_answers` every distinct witness parameter is
+  /// answered once (one AnswerAll round trip) and shared across the pairs
+  /// that read through it; observations are bit-identical either way.
+  /// (`options.dense_views` is a no-op here: tree weights are unary, already
+  /// dense storage.)
   std::vector<PairObservation> ObservePairs(const WeightMap& original,
-                                            const AnswerServer& suspect) const;
+                                            const AnswerServer& suspect,
+                                            const DetectOptions& options = {}) const;
 
  private:
   struct DetectablePair {

@@ -94,7 +94,13 @@ Result<bool> Evaluator::Eval(const Formula& f, Environment& env) const {
     case FormulaKind::kForallSet: {
       const bool is_exists = f.kind == FormulaKind::kExistsSet;
       const size_t n = g_.universe_size();
-      QPWM_CHECK_LE(n, 24u);  // Naive subset enumeration guardrail.
+      // Naive subset enumeration guardrail: 2^n environments. A recoverable
+      // error, not a process abort — callers feed user-sized structures here.
+      if (n > 24) {
+        return Status::InvalidArgument(
+            StrCat("set quantifier over a universe of ", n,
+                   " elements exceeds the naive-enumeration limit of 24"));
+      }
       auto saved = env.sets.find(f.set_var);
       bool had = saved != env.sets.end();
       std::vector<bool> old;

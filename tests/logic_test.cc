@@ -187,6 +187,18 @@ TEST(EvaluatorTest, ErrorsOnUnboundVariable) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(EvaluatorTest, SetQuantifierOverLargeUniverseIsRecoverable) {
+  // Naive subset enumeration is capped at 2^24 environments; beyond that the
+  // evaluator must return InvalidArgument, not abort the process.
+  Structure s = CycleGraph(30, false);
+  Evaluator ev(s);
+  Environment env;
+  env.elems["x"] = 0;
+  auto r = ev.Eval(*MustParseFormula("existsset X (x in X)"), env);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
 // --- Locality -------------------------------------------------------------------
 
 TEST(LocalityTest, GaifmanBoundGrowth) {

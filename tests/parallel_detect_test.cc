@@ -1,0 +1,324 @@
+// Determinism contract of the detection serving layer: observations and
+// detections are bit-identical whether answers are served batched or one call
+// at a time, through dense weight views or sparse WeightMap lookups, and for
+// any thread count of the multi-suspect fan-out. Also covers the dense-view
+// staleness rules on HonestServer and the batched TamperedAnswerServer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "qpwm/core/adversarial.h"
+#include "qpwm/core/answers.h"
+#include "qpwm/core/attack.h"
+#include "qpwm/core/local_scheme.h"
+#include "qpwm/core/tree_scheme.h"
+#include "qpwm/logic/parser.h"
+#include "qpwm/logic/query.h"
+#include "qpwm/structure/generators.h"
+#include "qpwm/tree/mso.h"
+#include "qpwm/tree/query.h"
+#include "qpwm/util/parallel.h"
+#include "qpwm/util/random.h"
+
+namespace qpwm {
+namespace {
+
+// Restores the configured thread count even when a test fails mid-way.
+class ThreadGuard {
+ public:
+  ThreadGuard() = default;
+  ~ThreadGuard() { SetParallelThreads(0); }
+};
+
+// A planned local-scheme workload shared by the detection tests.
+struct LocalWorkload {
+  Structure g;
+  std::unique_ptr<ParametricQuery> query;
+  std::optional<QueryIndex> index;
+  std::optional<WeightMap> weights;
+  std::optional<LocalScheme> scheme;
+
+  static LocalWorkload Build(uint64_t seed, size_t n = 400) {
+    LocalWorkload wl;
+    Rng rng(seed);
+    wl.g = RandomBoundedDegreeGraph(n, 3, 3 * n, false, rng);
+    wl.query = AtomQuery::Adjacency("E");
+    wl.index.emplace(wl.g, *wl.query, AllParams(wl.g, 1));
+    wl.weights.emplace(RandomWeights(wl.g, 1000, 9999, rng));
+    LocalSchemeOptions opts;
+    opts.epsilon = 0.25;
+    opts.key = {seed, seed + 1};
+    opts.encoding = PairEncoding::kAntipodal;
+    wl.scheme.emplace(LocalScheme::Plan(*wl.index, opts).ValueOrDie());
+    return wl;
+  }
+};
+
+void ExpectSameAnswers(const AnswerSet& a, const AnswerSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].element, b[i].element) << "row " << i;
+    EXPECT_EQ(a[i].weight, b[i].weight) << "row " << i;
+  }
+}
+
+void ExpectSameObservations(const std::vector<PairObservation>& a,
+                            const std::vector<PairObservation>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].erased, b[i].erased) << "pair " << i;
+    if (!a[i].erased && !b[i].erased) {
+      EXPECT_EQ(a[i].delta, b[i].delta) << "pair " << i;
+    }
+  }
+}
+
+void ExpectSameDetections(const AdversarialDetection& a,
+                          const AdversarialDetection& b) {
+  ASSERT_EQ(a.mark.size(), b.mark.size());
+  for (size_t i = 0; i < a.mark.size(); ++i) {
+    EXPECT_EQ(a.mark.Get(i), b.mark.Get(i)) << "bit " << i;
+  }
+  EXPECT_EQ(a.margins, b.margins);
+  EXPECT_EQ(a.min_margin, b.min_margin);
+  EXPECT_EQ(a.group_sizes, b.group_sizes);
+  EXPECT_EQ(a.bit_erased, b.bit_erased);
+  EXPECT_EQ(a.pairs_erased, b.pairs_erased);
+  EXPECT_EQ(a.bits_recovered, b.bits_recovered);
+  EXPECT_EQ(a.bits_erased, b.bits_erased);
+}
+
+const std::vector<DetectOptions> kAllOptionCombos = {
+    {/*batch_answers=*/false, /*dense_views=*/false},
+    {/*batch_answers=*/false, /*dense_views=*/true},
+    {/*batch_answers=*/true, /*dense_views=*/false},
+    {/*batch_answers=*/true, /*dense_views=*/true},
+};
+
+// --- Dense weight views ----------------------------------------------------
+
+TEST(DenseViewTest, MatchesSparseReads) {
+  LocalWorkload wl = LocalWorkload::Build(11);
+  const QueryIndex& index = *wl.index;
+  const WeightMap& weights = *wl.weights;
+  DenseWeightView view(index, weights);
+  ASSERT_EQ(view.size(), index.num_active());
+  for (size_t w = 0; w < index.num_active(); ++w) {
+    ASSERT_EQ(view.at(w), weights.Get(index.active_element(w)));
+  }
+  for (size_t a = 0; a < index.num_params(); ++a) {
+    ASSERT_EQ(index.SumWeights(a, view), index.SumWeights(a, weights));
+    ExpectSameAnswers(index.AnswersFor(a, view), index.AnswersFor(a, weights));
+  }
+}
+
+TEST(DenseViewTest, HonestServerDenseAgreesWithSparseIncludingOutOfDomain) {
+  Rng rng(12);
+  Structure g = RandomBoundedDegreeGraph(200, 3, 600, false, rng);
+  auto query = AtomQuery::Adjacency("E");
+  // Register only part of the domain so some parameters are served through
+  // the direct-evaluation fallback rather than the index (and its view).
+  std::vector<Tuple> domain = AllParams(g, 1);
+  std::vector<Tuple> held_out(domain.end() - 20, domain.end());
+  domain.resize(domain.size() - 20);
+  QueryIndex index(g, *query, domain);
+  WeightMap weights = RandomWeights(g, 1000, 9999, rng);
+
+  HonestServer dense(index, weights, /*use_dense_view=*/true);
+  HonestServer sparse(index, weights, /*use_dense_view=*/false);
+  ASSERT_TRUE(dense.has_dense_view());
+  ASSERT_FALSE(sparse.has_dense_view());
+  for (const Tuple& p : domain) {
+    ExpectSameAnswers(dense.Answer(p), sparse.Answer(p));
+  }
+  for (const Tuple& p : held_out) {
+    ASSERT_FALSE(index.FindParam(p).ok());
+    ExpectSameAnswers(dense.Answer(p), sparse.Answer(p));
+  }
+}
+
+TEST(DenseViewTest, MutationInvalidatesViewAndRefreshRestoresIt) {
+  LocalWorkload wl = LocalWorkload::Build(13, 100);
+  const QueryIndex& index = *wl.index;
+  HonestServer server(index, *wl.weights);
+  ASSERT_TRUE(server.has_dense_view());
+  ASSERT_GT(index.num_active(), 0u);
+
+  // Mutate the weight of some active element: the snapshot must be dropped
+  // (a stale view would serve the old weight).
+  const Tuple target = index.active_element(0);
+  const Weight bumped = wl.weights->Get(target) + 17;
+  server.mutable_weights().Set(target, bumped);
+  EXPECT_FALSE(server.has_dense_view());
+
+  const Tuple witness = index.param(index.ParamsContaining(0)[0]);
+  auto find_weight = [&](const AnswerSet& rows) -> std::optional<Weight> {
+    for (const AnswerRow& row : rows) {
+      if (row.element == target) return row.weight;
+    }
+    return std::nullopt;
+  };
+  ASSERT_EQ(find_weight(server.Answer(witness)), bumped);
+
+  server.RefreshView();
+  EXPECT_TRUE(server.has_dense_view());
+  ASSERT_EQ(find_weight(server.Answer(witness)), bumped);
+}
+
+// --- Batched answer serving ------------------------------------------------
+
+TEST(BatchDetectTest, TamperedBatchMatchesPerCallAnswers) {
+  LocalWorkload wl = LocalWorkload::Build(21, 200);
+  const QueryIndex& index = *wl.index;
+  HonestServer base(index, *wl.weights);
+  TamperedAnswerServer server(base);
+  Rng rng(210);
+  for (const Tuple& t : SubsetDeletionAttack(index, 0.3, rng)) server.Erase(t);
+  TupleInsertionAttack(server, index, base.weights(), index.num_active() / 4, rng);
+  ASSERT_GT(server.num_erased(), 0u);
+
+  const std::vector<Tuple>& params = index.domain();
+  std::vector<AnswerSet> batch = server.AnswerBatch(params);
+  ASSERT_EQ(batch.size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    ExpectSameAnswers(batch[i], server.Answer(params[i]));
+  }
+}
+
+TEST(BatchDetectTest, LocalObservationsIdenticalAcrossOptions) {
+  LocalWorkload wl = LocalWorkload::Build(22);
+  const LocalScheme& scheme = *wl.scheme;
+  ASSERT_GT(scheme.CapacityBits(), 0u);
+
+  BitVec mark(scheme.CapacityBits());
+  Rng rng(220);
+  for (size_t i = 0; i < mark.size(); ++i) mark.Set(i, rng.Coin());
+  WeightMap marked = scheme.Embed(*wl.weights, mark);
+
+  HonestServer base(*wl.index, std::move(marked));
+  TamperedAnswerServer server(base);
+  for (const Tuple& t : SubsetDeletionAttack(*wl.index, 0.3, rng)) server.Erase(t);
+  TupleInsertionAttack(server, *wl.index, base.weights(),
+                       wl.index->num_active() / 4, rng);
+
+  const std::vector<PairObservation> reference =
+      scheme.ObservePairs(*wl.weights, server, kAllOptionCombos[0]);
+  size_t erased = 0;
+  for (const PairObservation& obs : reference) erased += obs.erased;
+  ASSERT_GT(erased, 0u) << "attack too weak to exercise the erasure path";
+  ASSERT_LT(erased, reference.size()) << "attack erased every pair";
+
+  for (const DetectOptions& options : kAllOptionCombos) {
+    ExpectSameObservations(reference,
+                           scheme.ObservePairs(*wl.weights, server, options));
+  }
+}
+
+TEST(BatchDetectTest, AdversarialDetectionIdenticalAcrossOptions) {
+  LocalWorkload wl = LocalWorkload::Build(23);
+  AdversarialScheme adv(*wl.scheme, 5);
+  ASSERT_GT(adv.CapacityBits(), 0u);
+
+  BitVec msg(adv.CapacityBits());
+  Rng rng(230);
+  for (size_t i = 0; i < msg.size(); ++i) msg.Set(i, rng.Coin());
+  WeightMap marked = adv.Embed(*wl.weights, msg);
+
+  HonestServer base(*wl.index, std::move(marked));
+  TamperedAnswerServer server(base);
+  for (const Tuple& t : SubsetDeletionAttack(*wl.index, 0.3, rng)) server.Erase(t);
+
+  const AdversarialDetection reference =
+      adv.Detect(*wl.weights, server, kAllOptionCombos[0]).ValueOrDie();
+  EXPECT_GT(reference.pairs_erased, 0u);
+  for (const DetectOptions& options : kAllOptionCombos) {
+    ExpectSameDetections(reference,
+                         adv.Detect(*wl.weights, server, options).ValueOrDie());
+  }
+}
+
+TEST(BatchDetectTest, TreeObservationsIdenticalAcrossOptions) {
+  Alphabet sigma;
+  sigma.Intern("a");
+  sigma.Intern("b");
+  sigma.Intern("c");
+  Dta query = CompileMso(*MustParseFormula("LEQ(u, v) & P_b(v)"), sigma, {"u", "v"})
+                  .ValueOrDie()
+                  .dta;
+  Rng rng(24);
+  BinaryTree t = RandomBinaryTree(400, 3, rng);
+  TreeSchemeOptions opts;
+  opts.key = {0xAB, 0xCD};
+  opts.encoding = PairEncoding::kAntipodal;
+  TreeScheme scheme = TreeScheme::Plan(t, t.labels(), 3, query, 1, opts).ValueOrDie();
+  ASSERT_GT(scheme.CapacityBits(), 0u);
+
+  WeightMap weights(1, t.size());
+  for (NodeId v = 0; v < t.size(); ++v) weights.SetElem(v, 100 + v % 800);
+  BitVec mark(scheme.CapacityBits());
+  for (size_t i = 0; i < mark.size(); ++i) mark.Set(i, rng.Coin());
+  HonestTreeServer server(t, t.labels(), 3, query, 1, scheme.Embed(weights, mark));
+
+  const std::vector<PairObservation> reference =
+      scheme.ObservePairs(weights, server, kAllOptionCombos[0]);
+  for (const DetectOptions& options : kAllOptionCombos) {
+    ExpectSameObservations(reference,
+                           scheme.ObservePairs(weights, server, options));
+  }
+}
+
+// --- Parallel multi-suspect fan-out ----------------------------------------
+
+TEST(ParallelDetectTest, DetectManyIdenticalAcrossThreads) {
+  ThreadGuard guard;
+  LocalWorkload wl = LocalWorkload::Build(31);
+  AdversarialScheme adv(*wl.scheme, 5);
+  ASSERT_GT(adv.CapacityBits(), 0u);
+
+  // A mixed lineup: distinct messages per suspect, half of them structurally
+  // attacked, to make sure per-suspect state never bleeds across the pool.
+  constexpr size_t kSuspects = 6;
+  std::vector<std::unique_ptr<HonestServer>> bases;
+  std::vector<std::unique_ptr<TamperedAnswerServer>> tampered;
+  std::vector<const AnswerServer*> suspects;
+  for (size_t s = 0; s < kSuspects; ++s) {
+    Rng rng(310 + s);
+    BitVec msg(adv.CapacityBits());
+    for (size_t i = 0; i < msg.size(); ++i) msg.Set(i, rng.Coin());
+    bases.push_back(
+        std::make_unique<HonestServer>(*wl.index, adv.Embed(*wl.weights, msg)));
+    if (s % 2 == 0) {
+      suspects.push_back(bases.back().get());
+      continue;
+    }
+    tampered.push_back(std::make_unique<TamperedAnswerServer>(*bases.back()));
+    for (const Tuple& t : SubsetDeletionAttack(*wl.index, 0.25, rng)) {
+      tampered.back()->Erase(t);
+    }
+    suspects.push_back(tampered.back().get());
+  }
+
+  SetParallelThreads(1);
+  std::vector<AdversarialDetection> reference;
+  for (const AnswerServer* s : suspects) {
+    reference.push_back(adv.Detect(*wl.weights, *s).ValueOrDie());
+  }
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SetParallelThreads(threads);
+    for (const DetectOptions& options : kAllOptionCombos) {
+      std::vector<AdversarialDetection> out =
+          adv.DetectMany(*wl.weights, suspects, options);
+      ASSERT_EQ(out.size(), reference.size());
+      for (size_t s = 0; s < out.size(); ++s) {
+        ExpectSameDetections(reference[s], out[s]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qpwm

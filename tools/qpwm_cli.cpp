@@ -190,7 +190,10 @@ int ReportDetection(const Args& args, const AdversarialDetection& d) {
 
 struct CsvSetup {
   Database db;
-  RelationalInstance instance;
+  // Heap-allocated: the QueryIndex (and through it the scheme) holds a
+  // pointer to instance->structure, which must survive the move of this
+  // struct out of SetupCsv.
+  std::unique_ptr<RelationalInstance> instance;
   std::unique_ptr<ConjunctiveQuery> query;
   std::unique_ptr<QueryIndex> index;
   std::unique_ptr<LocalScheme> scheme;
@@ -214,7 +217,8 @@ Result<CsvSetup> SetupCsv(const Args& args, const std::string& csv_path) {
   setup.db.AddTable(std::move(table).value());
   auto instance = ToWeightedStructure(setup.db);
   if (!instance.ok()) return instance.status();
-  setup.instance = std::move(instance).value();
+  setup.instance =
+      std::make_unique<RelationalInstance>(std::move(instance).value());
 
   auto query_text = args.Get("query");
   if (!query_text.ok()) return query_text.status();
@@ -235,12 +239,12 @@ Result<CsvSetup> SetupCsv(const Args& args, const std::string& csv_path) {
     for (size_t r = 0; r < t->num_rows(); ++r) {
       const std::string& value = t->KeyAt(r, col.value());
       if (!seen.insert(value).second) continue;
-      domain.push_back(Tuple{setup.instance.structure.FindElement(value).ValueOrDie()});
+      domain.push_back(Tuple{setup.instance->structure.FindElement(value).ValueOrDie()});
     }
   } else {
-    domain = AllParams(setup.instance.structure, setup.query->ParamArity());
+    domain = AllParams(setup.instance->structure, setup.query->ParamArity());
   }
-  setup.index = std::make_unique<QueryIndex>(setup.instance.structure, *setup.query,
+  setup.index = std::make_unique<QueryIndex>(setup.instance->structure, *setup.query,
                                              std::move(domain));
 
   LocalSchemeOptions opts;
@@ -281,8 +285,8 @@ int MarkCsv(const Args& args) {
     std::cerr << mark.status() << "\n";
     return kExitError;
   }
-  WeightMap marked = adv.Embed(s.instance.weights, mark.value());
-  auto marked_db = ApplyWeightsToDatabase(s.db, s.instance, marked);
+  WeightMap marked = adv.Embed(s.instance->weights, mark.value());
+  auto marked_db = ApplyWeightsToDatabase(s.db, *s.instance, marked);
   if (!marked_db.ok()) {
     std::cerr << marked_db.status() << "\n";
     return kExitError;
@@ -342,7 +346,7 @@ int DetectCsv(const Args& args) {
   // Align the suspect's elements back onto the original universe by key;
   // rows the attacker deleted become erasures, not failures.
   AlignedSuspect aligned =
-      AlignSuspectInstance(s.instance, suspect_instance.value());
+      AlignSuspectInstance(*s.instance, suspect_instance.value());
   std::cout << "alignment: " << aligned.matched << " matched, "
             << aligned.missing << " deleted, " << aligned.extra
             << " inserted element(s)\n";
@@ -353,7 +357,7 @@ int DetectCsv(const Args& args) {
   }
 
   AdversarialScheme adv(*s.scheme, redundancy.value());
-  auto detection = adv.Detect(s.instance.weights, server);
+  auto detection = adv.Detect(s.instance->weights, server);
   if (!detection.ok()) {
     std::cerr << detection.status() << "\n";
     return kExitError;
@@ -365,7 +369,10 @@ int DetectCsv(const Args& args) {
 
 struct XmlSetup {
   XmlDocument doc;
-  EncodedXml encoded;
+  // Heap-allocated: the planned TreeScheme holds pointers to encoded->tree
+  // and its label vector, which must survive the move of this struct out of
+  // SetupXml.
+  std::unique_ptr<EncodedXml> encoded;
   std::unique_ptr<XPathQuery> query;
   std::unique_ptr<TrackedDta> automaton;
   std::unique_ptr<TreeScheme> scheme;
@@ -385,14 +392,14 @@ Result<XmlSetup> SetupXml(const Args& args, const std::string& xml_path) {
   for (const std::string& tag : Split(tags_text.value(), ',')) tags.insert(tag);
   auto encoded = EncodeXml(setup.doc, tags);
   if (!encoded.ok()) return encoded.status();
-  setup.encoded = std::move(encoded).value();
+  setup.encoded = std::make_unique<EncodedXml>(std::move(encoded).value());
 
   auto xpath_text = args.Get("xpath");
   if (!xpath_text.ok()) return xpath_text.status();
   auto query = XPathQuery::Parse(xpath_text.value());
   if (!query.ok()) return query.status();
   setup.query = std::make_unique<XPathQuery>(std::move(query).value());
-  auto automaton = setup.query->Compile(setup.encoded);
+  auto automaton = setup.query->Compile(*setup.encoded);
   if (!automaton.ok()) return automaton.status();
   setup.automaton = std::make_unique<TrackedDta>(std::move(automaton).value());
 
@@ -400,8 +407,8 @@ Result<XmlSetup> SetupXml(const Args& args, const std::string& xml_path) {
   auto key = ParseKey(args.GetOr("key", "c0ffee:7ea"));
   if (!key.ok()) return key.status();
   opts.key = key.value();
-  auto scheme = TreeScheme::Plan(setup.encoded.tree, setup.encoded.tree.labels(),
-                                 static_cast<uint32_t>(setup.encoded.sigma.size()),
+  auto scheme = TreeScheme::Plan(setup.encoded->tree, setup.encoded->tree.labels(),
+                                 static_cast<uint32_t>(setup.encoded->sigma.size()),
                                  setup.automaton->dta,
                                  setup.query->has_param() ? 1 : 0, opts);
   if (!scheme.ok()) return scheme.status();
@@ -436,8 +443,8 @@ int MarkXml(const Args& args) {
     std::cerr << mark.status() << "\n";
     return kExitError;
   }
-  WeightMap marked = adv.Embed(s.encoded.weights, mark.value());
-  XmlDocument out_doc = ApplyWeights(s.doc, s.encoded, marked);
+  WeightMap marked = adv.Embed(s.encoded->weights, mark.value());
+  XmlDocument out_doc = ApplyWeights(s.doc, *s.encoded, marked);
   Status written =
       WriteFile(args.GetOr("out", in.value() + ".marked"), SerializeXml(out_doc));
   if (!written.ok()) {
@@ -488,7 +495,7 @@ int DetectXml(const Args& args) {
 
   // Align the suspect's weight records back onto the original tree by record
   // signature; dropped subtrees become erasures, not failures.
-  auto aligned = AlignSuspectWeights(s.doc, s.encoded, suspect_doc.value(), tags);
+  auto aligned = AlignSuspectWeights(s.doc, *s.encoded, suspect_doc.value(), tags);
   if (!aligned.ok()) {
     std::cerr << aligned.status() << "\n";
     return kExitError;
@@ -496,8 +503,8 @@ int DetectXml(const Args& args) {
   std::cout << "alignment: " << aligned.value().matched << " matched, "
             << aligned.value().missing << " deleted, " << aligned.value().extra
             << " inserted record(s)\n";
-  HonestTreeServer base(s.encoded.tree, s.encoded.tree.labels(),
-                        static_cast<uint32_t>(s.encoded.sigma.size()),
+  HonestTreeServer base(s.encoded->tree, s.encoded->tree.labels(),
+                        static_cast<uint32_t>(s.encoded->sigma.size()),
                         s.automaton->dta, s.query->has_param() ? 1 : 0,
                         aligned.value().weights);
   TamperedAnswerServer server(base);
@@ -506,7 +513,7 @@ int DetectXml(const Args& args) {
   }
 
   AdversarialScheme adv(*s.scheme, redundancy.value());
-  auto detection = adv.Detect(s.encoded.weights, server);
+  auto detection = adv.Detect(s.encoded->weights, server);
   if (!detection.ok()) {
     std::cerr << detection.status() << "\n";
     return kExitError;

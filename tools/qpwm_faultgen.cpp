@@ -6,11 +6,18 @@
 // trials where the full mark was recovered, where every recovered bit was
 // correct, and the mean erasure / margin statistics.
 //
+// The workload (graph, query index, planned scheme) is built once from the
+// campaign seed and shared read-only by every trial — planning is the
+// expensive part and is identical across trials anyway. Trials within an
+// attack level run in parallel on the shared thread pool with deterministic
+// per-trial seeds, so the report is bit-identical for any QPWM_THREADS.
+//
 // Flags (all optional):
 //   --elements N     universe size of the random workload      (default 400)
 //   --redundancy R   pairs per message bit                     (default 5)
 //   --trials T       seeded trials per attack level            (default 20)
 //   --seed S         campaign base seed                        (default 1)
+//   --threads N      worker threads (0 = QPWM_THREADS/hardware) (default 0)
 //   --out F          JSON report path                          (default stdout)
 //
 // Exit codes follow the CLI contract: 0 = campaign ran, 2 = usage/I/O error.
@@ -18,6 +25,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -27,6 +35,7 @@
 #include "qpwm/core/local_scheme.h"
 #include "qpwm/logic/query.h"
 #include "qpwm/structure/generators.h"
+#include "qpwm/util/parallel.h"
 #include "qpwm/util/random.h"
 #include "qpwm/util/str.h"
 
@@ -39,12 +48,43 @@ struct Options {
   size_t redundancy = 5;
   size_t trials = 20;
   uint64_t seed = 1;
-  std::string out;  // empty = stdout
+  size_t threads = 0;  // 0 = env/hardware default
+  std::string out;     // empty = stdout
+};
+
+// The planned scheme every trial detects against. Built once per campaign;
+// all members are immutable after Build and safe to share across trials.
+struct Workload {
+  Structure g;
+  std::unique_ptr<ParametricQuery> query;
+  std::optional<QueryIndex> index;
+  std::optional<WeightMap> weights;
+  std::optional<LocalScheme> scheme;
+  std::optional<AdversarialScheme> adv;
+
+  static std::unique_ptr<Workload> Build(const Options& opt) {
+    auto wl = std::make_unique<Workload>();
+    Rng rng(opt.seed);
+    wl->g = RandomBoundedDegreeGraph(opt.elements, 3, 3 * opt.elements, false, rng);
+    wl->query = AtomQuery::Adjacency("E");
+    wl->index.emplace(wl->g, *wl->query, AllParams(wl->g, 1));
+    wl->weights.emplace(RandomWeights(wl->g, 1000, 9999, rng));
+
+    LocalSchemeOptions scheme_opts;
+    scheme_opts.epsilon = 0.25;
+    scheme_opts.key = {opt.seed, opt.seed + 1};
+    scheme_opts.encoding = PairEncoding::kAntipodal;
+    auto scheme = LocalScheme::Plan(*wl->index, scheme_opts);
+    QPWM_CHECK(scheme.ok());
+    wl->scheme.emplace(std::move(scheme).value());
+    wl->adv.emplace(*wl->scheme, opt.redundancy);
+    return wl;
+  }
 };
 
 struct TrialOutcome {
-  bool full_mark = false;       // complete() and mark == message
-  bool recovered_correct = false;  // every non-erased bit matches
+  bool full_mark = false;           // complete() and mark == message
+  bool recovered_correct = false;   // every non-erased bit matches
   size_t bits_erased = 0;
   size_t pairs_erased = 0;
   double min_margin = 0;
@@ -61,40 +101,28 @@ struct LevelSummary {
   double mean_min_margin = 0;
 };
 
-// One seeded trial: fresh workload, random message, structural attack through
-// a TamperedAnswerServer, erasure-aware detection.
-TrialOutcome RunTrial(const Options& opt, double deletion_frac,
+// One seeded trial against the shared workload: random message, structural
+// attack through a TamperedAnswerServer, erasure-aware detection.
+TrialOutcome RunTrial(const Workload& wl, double deletion_frac,
                       double insertion_frac, uint64_t seed) {
   Rng rng(seed);
-  Structure g = RandomBoundedDegreeGraph(opt.elements, 3, 3 * opt.elements,
-                                         false, rng);
-  auto query = AtomQuery::Adjacency("E");
-  QueryIndex index(g, *query, AllParams(g, 1));
-  WeightMap weights = RandomWeights(g, 1000, 9999, rng);
-
-  LocalSchemeOptions scheme_opts;
-  scheme_opts.epsilon = 0.25;
-  scheme_opts.key = {seed, seed + 1};
-  scheme_opts.encoding = PairEncoding::kAntipodal;
-  auto scheme = LocalScheme::Plan(index, scheme_opts);
-  QPWM_CHECK(scheme.ok());
-  AdversarialScheme adv(scheme.value(), opt.redundancy);
+  const AdversarialScheme& adv = *wl.adv;
   if (adv.CapacityBits() == 0) return {};
 
   BitVec msg(adv.CapacityBits());
   for (size_t i = 0; i < msg.size(); ++i) msg.Set(i, rng.Coin());
-  WeightMap marked = adv.Embed(weights, msg);
+  WeightMap marked = adv.Embed(*wl.weights, msg);
 
-  HonestServer base(index, marked);
+  HonestServer base(*wl.index, std::move(marked));
   TamperedAnswerServer server(base);
-  for (const Tuple& t : SubsetDeletionAttack(index, deletion_frac, rng)) {
+  for (const Tuple& t : SubsetDeletionAttack(*wl.index, deletion_frac, rng)) {
     server.Erase(t);
   }
-  const size_t insertions =
-      static_cast<size_t>(insertion_frac * static_cast<double>(index.num_active()));
-  TupleInsertionAttack(server, index, marked, insertions, rng);
+  const size_t insertions = static_cast<size_t>(
+      insertion_frac * static_cast<double>(wl.index->num_active()));
+  TupleInsertionAttack(server, *wl.index, base.weights(), insertions, rng);
 
-  auto detection = adv.Detect(weights, server);
+  auto detection = adv.Detect(*wl.weights, server);
   QPWM_CHECK(detection.ok());  // never fails: partial results, not errors
   const AdversarialDetection& d = detection.value();
 
@@ -112,15 +140,22 @@ TrialOutcome RunTrial(const Options& opt, double deletion_frac,
   return out;
 }
 
-LevelSummary RunLevel(const Options& opt, double deletion_frac,
-                      double insertion_frac, uint64_t level_tag) {
+LevelSummary RunLevel(const Options& opt, const Workload& wl,
+                      double deletion_frac, double insertion_frac,
+                      uint64_t level_tag) {
   LevelSummary s;
   s.deletion_frac = deletion_frac;
   s.insertion_frac = insertion_frac;
   s.trials = opt.trials;
-  for (size_t t = 0; t < opt.trials; ++t) {
-    TrialOutcome o = RunTrial(opt, deletion_frac, insertion_frac,
-                              opt.seed + level_tag * 1000003 + t);
+  // Trials are independent given their seeds; ParallelMap stores outcomes by
+  // trial index and the reduction below runs serially in that order, so the
+  // summary is bit-identical for any thread count.
+  std::vector<TrialOutcome> outcomes =
+      ParallelMap<TrialOutcome>(opt.trials, [&](size_t t) {
+        return RunTrial(wl, deletion_frac, insertion_frac,
+                        opt.seed + level_tag * 1000003 + t);
+      });
+  for (const TrialOutcome& o : outcomes) {
     s.full_mark += o.full_mark;
     s.recovered_correct += o.recovered_correct;
     s.mean_bits_erased += static_cast<double>(o.bits_erased);
@@ -150,19 +185,24 @@ void AppendLevelJson(std::ostringstream& json, const LevelSummary& s,
 }
 
 int Run(const Options& opt) {
+  std::cerr << "planning workload (" << opt.elements << " elements, "
+            << ParallelThreads() << " threads)\n";
+  std::unique_ptr<Workload> wl = Workload::Build(opt);
+
   std::ostringstream json;
   json << "{\n";
   json << "  \"workload\": {\"elements\": " << opt.elements
        << ", \"redundancy\": " << opt.redundancy
        << ", \"trials\": " << opt.trials << ", \"seed\": " << opt.seed
-       << "},\n";
+       << ", \"capacity_bits\": " << wl->adv->CapacityBits() << "},\n";
 
   // Campaign 1: deletion sweep 0..90%.
   std::cerr << "deletion sweep";
   json << "  \"deletion_sweep\": [\n";
   for (int i = 0; i <= 9; ++i) {
     std::cerr << " " << i * 10 << "%" << std::flush;
-    AppendLevelJson(json, RunLevel(opt, i * 0.1, 0.0, static_cast<uint64_t>(i)),
+    AppendLevelJson(json,
+                    RunLevel(opt, *wl, i * 0.1, 0.0, static_cast<uint64_t>(i)),
                     i == 9);
   }
   json << "  ],\n";
@@ -173,9 +213,9 @@ int Run(const Options& opt) {
   json << "  \"insertion_sweep\": [\n";
   for (int i = 0; i <= 4; ++i) {
     std::cerr << " " << i * 25 << "%" << std::flush;
-    AppendLevelJson(json,
-                    RunLevel(opt, 0.0, i * 0.25, 100 + static_cast<uint64_t>(i)),
-                    i == 4);
+    AppendLevelJson(
+        json, RunLevel(opt, *wl, 0.0, i * 0.25, 100 + static_cast<uint64_t>(i)),
+        i == 4);
   }
   json << "  ],\n";
   std::cerr << "\n";
@@ -187,7 +227,7 @@ int Run(const Options& opt) {
   for (size_t i = 0; i < 4; ++i) {
     std::cerr << " " << mixes[i][0] << "/" << mixes[i][1] << std::flush;
     AppendLevelJson(json,
-                    RunLevel(opt, mixes[i][0], mixes[i][1],
+                    RunLevel(opt, *wl, mixes[i][0], mixes[i][1],
                              200 + static_cast<uint64_t>(i)),
                     i == 3);
   }
@@ -208,38 +248,63 @@ int Run(const Options& opt) {
   return 0;
 }
 
+int Usage(int code) {
+  std::cerr << "usage: qpwm_faultgen [--elements N] [--redundancy R]\n"
+               "       [--trials T] [--seed S] [--threads N] [--out report.json]\n";
+  return code;
+}
+
+// Strict unsigned parse: the whole value must be a decimal number.
+bool ParseU64(const std::string& value, uint64_t& out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoull(value.c_str(), &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0' && value[0] != '-';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
+  // Flags come in "--name value" pairs; a flag without a value, an unknown
+  // flag, or a non-numeric value is a usage error (exit 2), never UB.
   for (int i = 1; i < argc; i += 2) {
-    std::string flag = argv[i];
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") return Usage(0);
     if (i + 1 >= argc) {
-      std::cerr << flag << " requires a value\n"
-                << "usage: qpwm_faultgen [--elements N] [--redundancy R]\n"
-                   "       [--trials T] [--seed S] [--out report.json]\n";
-      return 2;
+      std::cerr << flag << " requires a value\n";
+      return Usage(2);
     }
-    std::string value = argv[i + 1];
-    if (flag == "--elements") {
-      opt.elements = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (flag == "--redundancy") {
-      opt.redundancy = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (flag == "--trials") {
-      opt.trials = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (flag == "--seed") {
-      opt.seed = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (flag == "--out") {
+    const std::string value = argv[i + 1];
+    uint64_t parsed = 0;
+    if (flag == "--out") {
       opt.out = value;
+      continue;
+    }
+    if (!ParseU64(value, parsed)) {
+      std::cerr << flag << " needs an unsigned integer, got '" << value << "'\n";
+      return Usage(2);
+    }
+    if (flag == "--elements") {
+      opt.elements = parsed;
+    } else if (flag == "--redundancy") {
+      opt.redundancy = parsed;
+    } else if (flag == "--trials") {
+      opt.trials = parsed;
+    } else if (flag == "--seed") {
+      opt.seed = parsed;
+    } else if (flag == "--threads") {
+      opt.threads = parsed;
     } else {
-      std::cerr << "usage: qpwm_faultgen [--elements N] [--redundancy R]\n"
-                   "       [--trials T] [--seed S] [--out report.json]\n";
-      return 2;
+      std::cerr << "unknown flag " << flag << "\n";
+      return Usage(2);
     }
   }
   if (opt.elements == 0 || opt.redundancy == 0 || opt.trials == 0) {
     std::cerr << "--elements, --redundancy and --trials must be positive\n";
     return 2;
   }
+  SetParallelThreads(opt.threads);
   return Run(opt);
 }
