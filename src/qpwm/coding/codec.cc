@@ -1,0 +1,296 @@
+#include "qpwm/coding/codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qpwm/util/check.h"
+#include "qpwm/util/str.h"
+
+namespace qpwm {
+
+BitVec MessageCodec::Encode(const BitVec& payload) const {
+  const size_t k = PayloadPerBlock();
+  QPWM_CHECK_EQ(payload.size() % k, 0u);
+  const size_t blocks = payload.size() / k;
+  BitVec code(blocks * BlockLength());
+  for (size_t b = 0; b < blocks; ++b) {
+    EncodeBlock(payload, b * k, code, b * BlockLength());
+  }
+  return code;
+}
+
+DecodedMessage MessageCodec::Decode(const std::vector<SoftBit>& code) const {
+  const size_t n = BlockLength();
+  QPWM_CHECK_EQ(code.size() % n, 0u);
+  const size_t blocks = code.size() / n;
+  const size_t payload_bits = blocks * PayloadPerBlock();
+  DecodedMessage out;
+  out.payload = BitVec(payload_bits);
+  out.confidences.resize(payload_bits, 0.0);
+  out.bit_erased.resize(payload_bits, false);
+  for (size_t b = 0; b < blocks; ++b) {
+    DecodeBlock(code.data() + b * n, b * PayloadPerBlock(), out);
+  }
+  for (size_t j = 0; j < payload_bits; ++j) {
+    if (out.bit_erased[j]) {
+      ++out.bits_erased;
+    } else {
+      ++out.bits_recovered;
+    }
+  }
+  return out;
+}
+
+// --- Identity ---------------------------------------------------------------
+
+void IdentityCodec::EncodeBlock(const BitVec& payload, size_t k0, BitVec& code,
+                                size_t n0) const {
+  code.Set(n0, payload.Get(k0));
+}
+
+void IdentityCodec::DecodeBlock(const SoftBit* code, size_t k0,
+                                DecodedMessage& out) const {
+  if (code[0].erased) {
+    out.bit_erased[k0] = true;
+    out.payload.Set(k0, false);
+    return;
+  }
+  // Hard decision matches the channel layer exactly: ties decode as 1
+  // (votes_one >= votes_zero) with confidence 0.
+  out.payload.Set(k0, code[0].value >= 0);
+  out.confidences[k0] = std::abs(code[0].value);
+}
+
+// --- Repetition -------------------------------------------------------------
+
+RepetitionCodec::RepetitionCodec(size_t r) : r_(r) { QPWM_CHECK_GE(r, 1u); }
+
+std::string RepetitionCodec::Name() const { return StrCat("repetition:", r_); }
+
+void RepetitionCodec::EncodeBlock(const BitVec& payload, size_t k0, BitVec& code,
+                                  size_t n0) const {
+  for (size_t j = 0; j < r_; ++j) code.Set(n0 + j, payload.Get(k0));
+}
+
+void RepetitionCodec::DecodeBlock(const SoftBit* code, size_t k0,
+                                  DecodedMessage& out) const {
+  double sum = 0;
+  size_t surviving = 0;
+  for (size_t j = 0; j < r_; ++j) {
+    if (code[j].erased) continue;
+    ++surviving;
+    sum += code[j].value;
+  }
+  if (surviving == 0) {
+    out.bit_erased[k0] = true;
+    out.payload.Set(k0, false);
+    return;
+  }
+  out.payload.Set(k0, sum >= 0);
+  out.confidences[k0] = std::abs(sum) / static_cast<double>(surviving);
+  // Surviving copies outvoted by the weighted sum were corrected.
+  for (size_t j = 0; j < r_; ++j) {
+    if (code[j].erased) {
+      ++out.filled;
+    } else if ((code[j].value >= 0) != (sum >= 0)) {
+      ++out.corrected;
+    }
+  }
+}
+
+// --- Codebook (soft maximum-correlation) ------------------------------------
+
+namespace {
+
+size_t Popcount(uint32_t x) {
+  size_t c = 0;
+  for (; x; x &= x - 1) ++c;
+  return c;
+}
+
+}  // namespace
+
+CodebookCodec::CodebookCodec(size_t n, size_t k, std::vector<uint32_t> codewords)
+    : n_(n), k_(k), codewords_(std::move(codewords)) {
+  QPWM_CHECK_EQ(codewords_.size(), size_t{1} << k_);
+  QPWM_CHECK(n_ <= 32);
+  min_distance_ = n_;
+  for (size_t a = 0; a < codewords_.size(); ++a) {
+    for (size_t b = a + 1; b < codewords_.size(); ++b) {
+      min_distance_ = std::min(min_distance_, Popcount(codewords_[a] ^ codewords_[b]));
+    }
+  }
+}
+
+void CodebookCodec::EncodeBlock(const BitVec& payload, size_t k0, BitVec& code,
+                                size_t n0) const {
+  uint32_t m = 0;
+  for (size_t i = 0; i < k_; ++i) {
+    if (payload.Get(k0 + i)) m |= uint32_t{1} << i;
+  }
+  const uint32_t cw = codewords_[m];
+  for (size_t j = 0; j < n_; ++j) code.Set(n0 + j, (cw >> j) & 1);
+}
+
+void CodebookCodec::DecodeBlock(const SoftBit* code, size_t k0,
+                                DecodedMessage& out) const {
+  size_t surviving = 0;
+  for (size_t j = 0; j < n_; ++j) surviving += !code[j].erased;
+  if (surviving == 0) {
+    for (size_t i = 0; i < k_; ++i) {
+      out.bit_erased[k0 + i] = true;
+      out.payload.Set(k0 + i, false);
+    }
+    out.filled += n_;
+    return;
+  }
+
+  // Correlate every codeword against the soft symbols; erased positions
+  // contribute nothing. Ties break toward the smaller payload value, which
+  // is deterministic across platforms and thread counts.
+  std::vector<double> scores(codewords_.size());
+  double best = -1e300;
+  uint32_t best_m = 0;
+  for (uint32_t m = 0; m < codewords_.size(); ++m) {
+    const uint32_t cw = codewords_[m];
+    double s = 0;
+    for (size_t j = 0; j < n_; ++j) {
+      if (code[j].erased) continue;
+      s += ((cw >> j) & 1) ? code[j].value : -code[j].value;
+    }
+    scores[m] = s;
+    if (s > best) {
+      best = s;
+      best_m = m;
+    }
+  }
+
+  const uint32_t chosen = codewords_[best_m];
+  for (size_t i = 0; i < k_; ++i) {
+    // Confidence of payload bit i: gap to the best codeword deciding it the
+    // other way, normalized so a unanimous full block scores 1.
+    double best_other = -1e300;
+    for (uint32_t m = 0; m < codewords_.size(); ++m) {
+      if (((m >> i) & 1) != ((best_m >> i) & 1)) {
+        best_other = std::max(best_other, scores[m]);
+      }
+    }
+    out.payload.Set(k0 + i, (best_m >> i) & 1);
+    out.confidences[k0 + i] =
+        std::max(0.0, (best - best_other) / (2.0 * static_cast<double>(n_)));
+  }
+  for (size_t j = 0; j < n_; ++j) {
+    if (code[j].erased) {
+      ++out.filled;
+    } else if ((code[j].value >= 0) != (((chosen >> j) & 1) != 0)) {
+      ++out.corrected;
+    }
+  }
+}
+
+// --- Hamming(7,4) -----------------------------------------------------------
+
+namespace {
+
+std::vector<uint32_t> HammingCodebook() {
+  std::vector<uint32_t> cws(16);
+  for (uint32_t m = 0; m < 16; ++m) {
+    const uint32_t d0 = m & 1, d1 = (m >> 1) & 1, d2 = (m >> 2) & 1,
+                   d3 = (m >> 3) & 1;
+    // Systematic layout [d0 d1 d2 d3 p0 p1 p2].
+    const uint32_t p0 = d0 ^ d1 ^ d3;
+    const uint32_t p1 = d0 ^ d2 ^ d3;
+    const uint32_t p2 = d1 ^ d2 ^ d3;
+    cws[m] = d0 | (d1 << 1) | (d2 << 2) | (d3 << 3) | (p0 << 4) | (p1 << 5) |
+             (p2 << 6);
+  }
+  return cws;
+}
+
+std::vector<uint32_t> ReedMullerCodebook(uint32_t m) {
+  const size_t n = size_t{1} << m;
+  std::vector<uint32_t> cws(size_t{2} << m);
+  for (uint32_t msg = 0; msg < cws.size(); ++msg) {
+    uint32_t cw = 0;
+    for (size_t p = 0; p < n; ++p) {
+      // Bit at position p: a0 xor <a, bits of p> (affine function).
+      uint32_t bit = msg & 1;
+      for (uint32_t i = 0; i < m; ++i) {
+        bit ^= ((msg >> (i + 1)) & 1) & ((p >> i) & 1);
+      }
+      cw |= (bit & 1) << p;
+    }
+    cws[msg] = cw;
+  }
+  return cws;
+}
+
+}  // namespace
+
+HammingCodec::HammingCodec() : CodebookCodec(7, 4, HammingCodebook()) {}
+
+ReedMullerCodec::ReedMullerCodec(uint32_t m)
+    : CodebookCodec(size_t{1} << m, m + 1, ReedMullerCodebook(m)), m_(m) {}
+
+std::string ReedMullerCodec::Name() const { return StrCat("rm:", m_); }
+
+// --- Factory ----------------------------------------------------------------
+
+const char* KnownCodecSpecs() {
+  return "identity, repetition[:R], hamming, rm[:M] (2 <= M <= 5)";
+}
+
+Result<std::unique_ptr<MessageCodec>> MakeCodec(const std::string& spec) {
+  std::string name = spec;
+  std::string param;
+  const size_t colon = spec.find(':');
+  if (colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    param = spec.substr(colon + 1);
+  }
+  auto parse_param = [&](uint64_t fallback) -> Result<uint64_t> {
+    if (param.empty()) return fallback;
+    uint64_t v = 0;
+    for (char c : param) {
+      if (c < '0' || c > '9' || v > 1000) {
+        return Status::InvalidArgument("bad codec parameter '" + param + "'");
+      }
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    return v;
+  };
+  if (name == "identity") {
+    if (!param.empty()) {
+      return Status::InvalidArgument("identity codec takes no parameter");
+    }
+    return std::unique_ptr<MessageCodec>(std::make_unique<IdentityCodec>());
+  }
+  if (name == "repetition") {
+    auto r = parse_param(3);
+    if (!r.ok()) return r.status();
+    if (r.value() < 1 || r.value() > 64) {
+      return Status::InvalidArgument("repetition factor must be in 1..64");
+    }
+    return std::unique_ptr<MessageCodec>(
+        std::make_unique<RepetitionCodec>(r.value()));
+  }
+  if (name == "hamming") {
+    if (!param.empty()) {
+      return Status::InvalidArgument("hamming codec takes no parameter");
+    }
+    return std::unique_ptr<MessageCodec>(std::make_unique<HammingCodec>());
+  }
+  if (name == "rm") {
+    auto m = parse_param(4);
+    if (!m.ok()) return m.status();
+    if (m.value() < 2 || m.value() > 5) {
+      return Status::InvalidArgument("rm order must be in 2..5");
+    }
+    return std::unique_ptr<MessageCodec>(
+        std::make_unique<ReedMullerCodec>(static_cast<uint32_t>(m.value())));
+  }
+  return Status::InvalidArgument("unknown codec '" + spec + "'; known: " +
+                                 std::string(KnownCodecSpecs()));
+}
+
+}  // namespace qpwm

@@ -1,0 +1,202 @@
+// Error-correcting message codecs layered over the raw watermark channel.
+//
+// The adversarial wrapper (Khanna-Zane majority groups) yields one *channel
+// bit* per pair group, together with soft information: how decisively the
+// group voted (the margin) and whether it survived at all (erasure). Naive
+// repetition spends the whole redundancy budget on a single failure mode —
+// a structural attack that wipes a group still kills its bit. A codec turns
+// the l channel bits into k < l payload bits with cross-bit redundancy, so
+// wiped or flipped channel bits are *corrected* from the surviving ones.
+//
+// All decoders here are soft-decision: they consume per-bit signed
+// confidences (scaled vote differences) plus erasure flags, never just hard
+// bits. Erased positions contribute zero correlation — exactly the "abstain,
+// don't fabricate" semantics of the channel layer, lifted to the code.
+//
+// Codecs are block codes described by (BlockLength, PayloadPerBlock); the
+// channel is split into floor(l / BlockLength) blocks and trailing channel
+// bits stay unused (they carry fixed zeros). The identity codec makes the
+// coded path collapse to the raw channel bit-for-bit.
+#ifndef QPWM_CODING_CODEC_H_
+#define QPWM_CODING_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qpwm/util/bitvec.h"
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+/// Soft channel symbol for one codeword bit. `value` is a signed confidence
+/// in [-1, 1]: the sign is the hard decision (positive = bit 1), the
+/// magnitude is the scaled vote difference of the group that carried the
+/// bit. An erased symbol carries no information (its value is ignored).
+struct SoftBit {
+  double value = 0;
+  bool erased = false;
+};
+
+/// Decoder output: the payload plus per-bit soft accounting.
+struct DecodedMessage {
+  BitVec payload;
+  /// Per payload bit, in [0, 1]: normalized score gap between the chosen
+  /// value and the best codeword deciding the bit the other way. 0 = tie
+  /// (untrusted), matching the channel layer's margin-0 semantics.
+  std::vector<double> confidences;
+  /// Per payload bit: true iff its whole block was erased — the bit is
+  /// reported as 0 but carries no information.
+  std::vector<bool> bit_erased;
+  /// Surviving channel bits whose hard decision the decoder overrode.
+  size_t corrected = 0;
+  /// Erased channel bits the decoder filled in from code redundancy.
+  size_t filled = 0;
+  /// Payload bits with/without information.
+  size_t bits_recovered = 0;
+  size_t bits_erased = 0;
+
+  bool complete() const { return bits_erased == 0; }
+};
+
+/// A block code over the watermark channel. Implementations must be
+/// deterministic and stateless after construction (decoding runs inside the
+/// multi-suspect parallel fan-out).
+class MessageCodec {
+ public:
+  virtual ~MessageCodec() = default;
+
+  /// Stable name, echoed into campaign reports ("identity", "hamming", ...).
+  virtual std::string Name() const = 0;
+  /// Channel bits per block (n of the block code).
+  virtual size_t BlockLength() const = 0;
+  /// Payload bits per block (k of the block code).
+  virtual size_t PayloadPerBlock() const = 0;
+  /// Minimum Hamming distance of the block code (1 for identity); the
+  /// decoder corrects floor((d-1)/2) errors or d-1 erasures per block.
+  virtual size_t MinDistance() const = 0;
+
+  /// Encodes payload bits [k0, k0 + PayloadPerBlock()) of `payload` into
+  /// code bits [n0, n0 + BlockLength()) of `code`.
+  virtual void EncodeBlock(const BitVec& payload, size_t k0, BitVec& code,
+                           size_t n0) const = 0;
+
+  /// Decodes one block from `code` (BlockLength() soft symbols), writing
+  /// payload bits [k0, k0 + PayloadPerBlock()) and their soft accounting
+  /// into `out`.
+  virtual void DecodeBlock(const SoftBit* code, size_t k0,
+                           DecodedMessage& out) const = 0;
+
+  // --- Derived whole-message helpers (non-virtual) --------------------------
+
+  /// Blocks that fit a channel of `channel_bits` raw bits.
+  size_t NumBlocks(size_t channel_bits) const {
+    return channel_bits / BlockLength();
+  }
+  /// Payload capacity over `channel_bits` raw bits.
+  size_t PayloadBits(size_t channel_bits) const {
+    return NumBlocks(channel_bits) * PayloadPerBlock();
+  }
+  /// Channel bits actually carrying code symbols (<= channel_bits).
+  size_t UsedBits(size_t channel_bits) const {
+    return NumBlocks(channel_bits) * BlockLength();
+  }
+
+  /// Encodes a whole payload (size a multiple of PayloadPerBlock()) into a
+  /// codeword of payload.size() / k * n bits, block by block.
+  BitVec Encode(const BitVec& payload) const;
+
+  /// Decodes a whole codeword (code.size() a multiple of BlockLength()).
+  DecodedMessage Decode(const std::vector<SoftBit>& code) const;
+};
+
+/// Uncoded pass-through: one channel bit per payload bit. The coded path
+/// with this codec is bit-identical to the raw channel.
+class IdentityCodec : public MessageCodec {
+ public:
+  std::string Name() const override { return "identity"; }
+  size_t BlockLength() const override { return 1; }
+  size_t PayloadPerBlock() const override { return 1; }
+  size_t MinDistance() const override { return 1; }
+  void EncodeBlock(const BitVec& payload, size_t k0, BitVec& code,
+                   size_t n0) const override;
+  void DecodeBlock(const SoftBit* code, size_t k0,
+                   DecodedMessage& out) const override;
+};
+
+/// Repetition at the codec level: r channel bits per payload bit, decoded by
+/// a confidence-weighted (not merely counted) majority. The baseline the ECC
+/// codecs are measured against.
+class RepetitionCodec : public MessageCodec {
+ public:
+  explicit RepetitionCodec(size_t r);
+  std::string Name() const override;
+  size_t BlockLength() const override { return r_; }
+  size_t PayloadPerBlock() const override { return 1; }
+  size_t MinDistance() const override { return r_; }
+  void EncodeBlock(const BitVec& payload, size_t k0, BitVec& code,
+                   size_t n0) const override;
+  void DecodeBlock(const SoftBit* code, size_t k0,
+                   DecodedMessage& out) const override;
+
+ private:
+  size_t r_;
+};
+
+/// Soft-decision maximum-correlation decoder over an explicit codebook —
+/// the shared engine behind the small algebraic codes. Exhaustive over 2^k
+/// codewords, exact for any erasure/noise pattern.
+class CodebookCodec : public MessageCodec {
+ public:
+  size_t BlockLength() const override { return n_; }
+  size_t PayloadPerBlock() const override { return k_; }
+  size_t MinDistance() const override { return min_distance_; }
+  void EncodeBlock(const BitVec& payload, size_t k0, BitVec& code,
+                   size_t n0) const override;
+  void DecodeBlock(const SoftBit* code, size_t k0,
+                   DecodedMessage& out) const override;
+
+ protected:
+  /// `codewords[m]` = codeword for payload value m (bit i of m = payload bit
+  /// i of the block), as an n-bit mask (bit j = code position j).
+  CodebookCodec(size_t n, size_t k, std::vector<uint32_t> codewords);
+
+ private:
+  size_t n_;
+  size_t k_;
+  size_t min_distance_;
+  std::vector<uint32_t> codewords_;
+};
+
+/// Systematic Hamming(7,4): distance 3, corrects 1 error or 2 erasures per
+/// block at rate 4/7.
+class HammingCodec : public CodebookCodec {
+ public:
+  HammingCodec();
+  std::string Name() const override { return "hamming"; }
+};
+
+/// First-order Reed-Muller RM(1,m): length 2^m, m+1 payload bits, distance
+/// 2^(m-1) — corrects 2^(m-2)-1 errors or 2^(m-1)-1 erasures per block.
+/// Default m = 4: a (16, 5, 8) code that survives a 7-bit hole in a block.
+class ReedMullerCodec : public CodebookCodec {
+ public:
+  explicit ReedMullerCodec(uint32_t m = 4);
+  std::string Name() const override;
+
+ private:
+  uint32_t m_;
+};
+
+/// Parses a codec spec: "identity", "repetition[:R]" (default R = 3),
+/// "hamming", "rm[:M]" (default M = 4, 2 <= M <= 5). Unknown names and bad
+/// parameters are kInvalidArgument listing the known specs.
+Result<std::unique_ptr<MessageCodec>> MakeCodec(const std::string& spec);
+
+/// The spec grammar, for usage/help text.
+const char* KnownCodecSpecs();
+
+}  // namespace qpwm
+
+#endif  // QPWM_CODING_CODEC_H_

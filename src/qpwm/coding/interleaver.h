@@ -1,0 +1,59 @@
+// Block interleaver between codeword order and channel (pair-group) order.
+//
+// Structural attacks are *bursty*: a dropped subtree, a shipped table slice,
+// or a deleted page takes out a contiguous run of pair groups at once. If
+// codewords occupied contiguous group ranges, one burst would concentrate
+// all its erasures in a single codeword and exceed its correction radius.
+// The interleaver stripes codewords across the channel — codeword c, symbol
+// j lands in group j * depth + c — so a burst of length L costs every
+// codeword at most ceil(L / depth) symbols, which is what the per-block
+// correction radius is sized for.
+//
+// Depth 1 (or a single codeword) degenerates to the identity permutation,
+// which keeps the uncoded path's channel layout untouched.
+#ifndef QPWM_CODING_INTERLEAVER_H_
+#define QPWM_CODING_INTERLEAVER_H_
+
+#include <cstddef>
+
+#include "qpwm/util/check.h"
+
+namespace qpwm {
+
+/// Bijection between codeword-order symbol indices and channel slots for
+/// `depth` codewords of `block_len` symbols each.
+class BlockInterleaver {
+ public:
+  BlockInterleaver(size_t depth, size_t block_len)
+      : depth_(depth), block_len_(block_len) {
+    QPWM_CHECK_GE(depth, 1u);
+    QPWM_CHECK_GE(block_len, 1u);
+  }
+
+  size_t size() const { return depth_ * block_len_; }
+
+  /// Channel slot of codeword-order index i (= codeword i / block_len,
+  /// symbol i % block_len).
+  size_t Spread(size_t i) const {
+    QPWM_CHECK(i < size());
+    const size_t codeword = i / block_len_;
+    const size_t symbol = i % block_len_;
+    return symbol * depth_ + codeword;
+  }
+
+  /// Codeword-order index served by channel slot s (inverse of Spread).
+  size_t Gather(size_t slot) const {
+    QPWM_CHECK(slot < size());
+    const size_t symbol = slot / depth_;
+    const size_t codeword = slot % depth_;
+    return codeword * block_len_ + symbol;
+  }
+
+ private:
+  size_t depth_;
+  size_t block_len_;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_CODING_INTERLEAVER_H_

@@ -1,0 +1,74 @@
+#include "qpwm/coding/verdict.h"
+
+#include <cmath>
+
+#include "qpwm/util/str.h"
+#include "qpwm/util/table.h"
+
+namespace qpwm {
+
+const char* VerdictKindName(VerdictKind kind) {
+  switch (kind) {
+    case VerdictKind::kMatch:
+      return "MATCH";
+    case VerdictKind::kNoMark:
+      return "NO MARK";
+    case VerdictKind::kPartial:
+      return "PARTIAL";
+  }
+  return "?";
+}
+
+DetectionVerdict JudgeDetection(int64_t vote_weight, uint64_t votes_cast,
+                                size_t payload_bits, size_t payload_erased,
+                                size_t channel_agreements,
+                                size_t channel_disagreements,
+                                size_t channel_erasures,
+                                const VerdictOptions& options) {
+  DetectionVerdict v;
+  v.vote_weight = vote_weight;
+  v.votes_cast = votes_cast;
+  v.channel_agreements = channel_agreements;
+  v.channel_disagreements = channel_disagreements;
+  v.channel_erasures = channel_erasures;
+  v.payload_bits = payload_bits;
+  v.payload_erased = payload_erased;
+  v.fp_threshold = options.fp_threshold;
+
+  // log10 bound: k*log10(2) - u^2 / (2N ln 10). Negative vote weight is no
+  // evidence at all (the data leans *against* the decoded payload).
+  if (votes_cast == 0 || vote_weight <= 0) {
+    v.log10_fp_bound = 0.0;
+    v.fp_bound = 1.0;
+  } else {
+    const double u = static_cast<double>(vote_weight);
+    const double n = static_cast<double>(votes_cast);
+    v.log10_fp_bound = static_cast<double>(payload_bits) * std::log10(2.0) -
+                       (u * u) / (2.0 * n) / std::log(10.0);
+    if (v.log10_fp_bound > 0) v.log10_fp_bound = 0.0;
+    v.fp_bound = std::pow(10.0, v.log10_fp_bound);  // may underflow; use log10
+  }
+
+  const bool confident = v.fp_bound <= options.fp_threshold;
+  if (payload_erased == 0 && confident) {
+    v.kind = VerdictKind::kMatch;
+  } else if (payload_erased > 0 || channel_erasures > 0) {
+    // Structural damage: the honest answer is "too damaged", whether or not
+    // the surviving evidence happens to clear the threshold.
+    v.kind = VerdictKind::kPartial;
+  } else {
+    v.kind = VerdictKind::kNoMark;
+  }
+  return v;
+}
+
+std::string VerdictToString(const DetectionVerdict& v) {
+  return StrCat(VerdictKindName(v.kind), " (fp <= 1e", FmtDouble(v.log10_fp_bound, 1),
+                ", vote weight ", v.vote_weight, "/", v.votes_cast,
+                ", channel ", v.channel_agreements, " agree / ",
+                v.channel_disagreements, " disagree / ", v.channel_erasures,
+                " erased, payload ", v.payload_bits - v.payload_erased, "/",
+                v.payload_bits, " recovered)");
+}
+
+}  // namespace qpwm

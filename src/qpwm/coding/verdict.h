@@ -1,0 +1,89 @@
+// Detection verdicts with a stated false-positive bound.
+//
+// The exit codes the CLI hands to scripts (0 match / 1 no mark / 3 partial)
+// were previously backed by ad-hoc margin thresholds. The verdict makes the
+// confidence explicit: it bounds the probability that an *unrelated* suspect
+// (whose pair deltas are independent fair coins under the limited-knowledge
+// assumption — the same model Fact 1's false-positive argument uses) would
+// produce channel evidence at least as strong as what was observed, for any
+// of the 2^k payloads the decoder could have emitted.
+//
+// Test statistic: U = sum over surviving, non-abstaining pair votes of the
+// vote's sign times the re-encoded codeword's bit sign — the total vote mass
+// the channel put behind the decoded payload. Under the null hypothesis the
+// votes are independent Rademacher variables, so Hoeffding gives
+// P(U >= u) <= exp(-u^2 / 2N), and a union bound over the 2^k payloads the
+// decoder adaptively chooses from yields
+//
+//     fp_bound = min(1, 2^k * exp(-u^2 / 2N)).
+//
+// Abstaining (delta-0) pairs and erased pairs contribute to neither u nor N:
+// they carry no coin flip. The bound is distribution-free and needs no tuning
+// knobs beyond the match threshold.
+#ifndef QPWM_CODING_VERDICT_H_
+#define QPWM_CODING_VERDICT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qpwm {
+
+/// How a detection run should be reported to the caller. Values mirror the
+/// CLI exit codes.
+enum class VerdictKind {
+  kMatch = 0,    // payload complete and the false-positive bound is below
+                 // the threshold: claim the mark with stated confidence
+  kNoMark = 1,   // the data is intact enough to answer, and the evidence is
+                 // statistically indistinguishable from an unmarked source
+  kPartial = 3,  // erasures or weak evidence: too damaged to decide
+};
+
+const char* VerdictKindName(VerdictKind kind);
+
+struct VerdictOptions {
+  /// A match is only claimed when fp_bound <= fp_threshold.
+  double fp_threshold = 1e-6;
+};
+
+/// Confidence-carrying summary of one coded detection.
+struct DetectionVerdict {
+  VerdictKind kind = VerdictKind::kPartial;
+  /// Hoeffding + union bound described above; 1 when there is no evidence.
+  double fp_bound = 1.0;
+  /// log10(fp_bound) computed in log space, so extreme confidences are not
+  /// flushed to 0 by double underflow (fp_bound saturates at ~1e-308).
+  double log10_fp_bound = 0.0;
+  /// u: net vote mass behind the decoded payload's codeword.
+  int64_t vote_weight = 0;
+  /// N: pair votes actually cast on used groups (erasures/abstains excluded).
+  uint64_t votes_cast = 0;
+  /// Channel-bit agreement with the re-encoded codeword, over used groups.
+  size_t channel_agreements = 0;
+  size_t channel_disagreements = 0;
+  size_t channel_erasures = 0;
+  /// Payload accounting echoed from the decoder.
+  size_t payload_bits = 0;
+  size_t payload_erased = 0;
+  /// The threshold the kind was judged against.
+  double fp_threshold = 0;
+
+  int ExitCode() const { return static_cast<int>(kind); }
+};
+
+/// Computes the bound and classifies. `vote_weight` / `votes_cast` are the
+/// u / N of the statistic; the channel_* counters are carried through for
+/// reporting only.
+DetectionVerdict JudgeDetection(int64_t vote_weight, uint64_t votes_cast,
+                                size_t payload_bits, size_t payload_erased,
+                                size_t channel_agreements,
+                                size_t channel_disagreements,
+                                size_t channel_erasures,
+                                const VerdictOptions& options = {});
+
+/// One-line human rendering ("MATCH (fp <= 1e-12.3, ...)").
+std::string VerdictToString(const DetectionVerdict& v);
+
+}  // namespace qpwm
+
+#endif  // QPWM_CODING_VERDICT_H_

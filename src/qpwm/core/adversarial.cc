@@ -84,6 +84,8 @@ Result<AdversarialDetection> AdversarialScheme::Detect(
   AdversarialDetection out;
   out.mark = BitVec(capacity_);
   out.margins.resize(capacity_);
+  out.vote_diffs.resize(capacity_);
+  out.votes_cast.resize(capacity_);
   out.group_sizes.resize(capacity_);
   out.bit_erased.resize(capacity_);
   out.min_margin = capacity_ == 0 ? 0.0 : 1.0;
@@ -109,6 +111,8 @@ Result<AdversarialDetection> AdversarialScheme::Detect(
       // pair is still present, so it stays in the margin denominator).
     }
     out.group_sizes[j] = surviving;
+    out.vote_diffs[j] = votes_one - votes_zero;
+    out.votes_cast[j] = static_cast<uint32_t>(votes_one + votes_zero);
     if (surviving == 0) {
       out.bit_erased[j] = true;
       ++out.bits_erased;

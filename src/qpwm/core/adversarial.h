@@ -36,6 +36,14 @@ struct AdversarialDetection {
   /// group size, in [0, 1]. A margin of 0 means a tie (that bit is
   /// untrusted); erased bits report margin 0.
   std::vector<double> margins;
+  /// Signed raw vote difference per bit (votes for 1 minus votes for 0) —
+  /// the exact integer soft information behind `margins`, consumed by the
+  /// coding layer's soft-decision decoders.
+  std::vector<int32_t> vote_diffs;
+  /// Pair votes actually cast per bit: surviving pairs minus delta-0
+  /// abstentions. The coding layer's false-positive bound counts these as
+  /// the coin flips of its null model.
+  std::vector<uint32_t> votes_cast;
   /// Smallest margin over recovered bits — the detection confidence.
   /// 0 when every bit was erased.
   double min_margin = 0;

@@ -47,8 +47,12 @@ WeightMap GuessingPairAttack(const WeightMap& marked, const QueryIndex& index,
   return out;
 }
 
-Result<WeightMap> AveragingCollusionAttack(
-    const std::vector<const WeightMap*>& copies) {
+namespace {
+
+// Shared precondition of every collusion attack: at least one copy, all over
+// the same weight domain (copies of different subsets must not be silently
+// averaged into garbage).
+Status CheckCollusionCopies(const std::vector<const WeightMap*>& copies) {
   if (copies.empty()) {
     return Status::InvalidArgument("collusion needs at least one copy");
   }
@@ -58,6 +62,14 @@ Result<WeightMap> AveragingCollusionAttack(
           "collusion copies cover different weight domains");
     }
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<WeightMap> AveragingCollusionAttack(
+    const std::vector<const WeightMap*>& copies) {
+  QPWM_RETURN_NOT_OK(CheckCollusionCopies(copies));
   WeightMap out = *copies[0];
   out.ForEach([&](const Tuple& t, Weight) {
     Weight sum = 0;
@@ -66,6 +78,37 @@ Result<WeightMap> AveragingCollusionAttack(
     // Round half toward the first copy's value.
     Weight rounded = sum >= 0 ? (2 * sum + n) / (2 * n) : -((-2 * sum + n) / (2 * n));
     out.Set(t, rounded);
+  });
+  return out;
+}
+
+Result<WeightMap> MedianCollusionAttack(
+    const std::vector<const WeightMap*>& copies) {
+  QPWM_RETURN_NOT_OK(CheckCollusionCopies(copies));
+  WeightMap out = *copies[0];
+  std::vector<Weight> values(copies.size());
+  out.ForEach([&](const Tuple& t, Weight) {
+    for (size_t i = 0; i < copies.size(); ++i) values[i] = copies[i]->Get(t);
+    std::sort(values.begin(), values.end());
+    // Lower median: deterministic for even counts.
+    out.Set(t, values[(values.size() - 1) / 2]);
+  });
+  return out;
+}
+
+Result<WeightMap> MinMaxCollusionAttack(const std::vector<const WeightMap*>& copies,
+                                        Rng& rng) {
+  QPWM_RETURN_NOT_OK(CheckCollusionCopies(copies));
+  WeightMap out = *copies[0];
+  out.ForEach([&](const Tuple& t, Weight) {
+    Weight lo = copies[0]->Get(t);
+    Weight hi = lo;
+    for (size_t i = 1; i < copies.size(); ++i) {
+      const Weight w = copies[i]->Get(t);
+      lo = std::min(lo, w);
+      hi = std::max(hi, w);
+    }
+    out.Set(t, rng.Coin() ? hi : lo);
   });
   return out;
 }
@@ -140,6 +183,73 @@ void TupleInsertionAttack(TamperedAnswerServer& server, const QueryIndex& index,
     AnswerRow row{std::move(fresh), rng.Uniform(lo, hi)};
     server.InsertAt(index.param(rng.Below(index.num_params())), std::move(row));
   }
+}
+
+std::vector<Tuple> PairRegionDeletionAttack(const QueryIndex& index,
+                                            const std::vector<WeightPair>& pairs,
+                                            size_t redundancy, double region_frac,
+                                            Rng& rng) {
+  QPWM_CHECK_GE(redundancy, 1u);
+  std::vector<Tuple> out;
+  const size_t groups = pairs.size() / redundancy;
+  if (groups == 0 || region_frac <= 0) return out;
+  const size_t burst = std::min(
+      groups, static_cast<size_t>(region_frac * static_cast<double>(groups) + 0.5));
+  if (burst == 0) return out;
+  const size_t start = static_cast<size_t>(rng.Below(groups - burst + 1));
+  std::unordered_set<uint32_t> doomed;
+  for (size_t g = start; g < start + burst; ++g) {
+    for (size_t k = 0; k < redundancy; ++k) {
+      const WeightPair& pair = pairs[g * redundancy + k];
+      doomed.insert(pair.plus);
+      doomed.insert(pair.minus);
+    }
+  }
+  out.reserve(doomed.size());
+  for (uint32_t w : doomed) out.push_back(index.active_element(w));
+  // Deterministic output order regardless of hash-set iteration.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ComposedSuspect ApplyComposedAttack(const QueryIndex& index,
+                                    const std::vector<WeightPair>& pairs,
+                                    size_t redundancy, const WeightMap& marked,
+                                    const ComposedAttackSpec& spec) {
+  Rng rng(spec.seed);
+  ComposedSuspect out;
+  out.seed = spec.seed;
+
+  // Value tier: noise, jitter, rounding — in spec order, each optional.
+  WeightMap weights = marked;
+  if (spec.noise > 0) weights = UniformNoiseAttack(weights, spec.noise, rng);
+  if (spec.jitter_prob > 0) weights = JitterAttack(weights, spec.jitter_prob, rng);
+  if (spec.rounding > 0) weights = RoundingAttack(weights, spec.rounding);
+
+  out.base = std::make_unique<HonestServer>(index, std::move(weights));
+  out.server = std::make_unique<TamperedAnswerServer>(*out.base);
+
+  // Structural tier: burst first (it models one correlated loss event),
+  // then independent deletion, then insertion.
+  if (spec.region_frac > 0) {
+    for (const Tuple& t :
+         PairRegionDeletionAttack(index, pairs, redundancy, spec.region_frac, rng)) {
+      out.server->Erase(t);
+    }
+  }
+  if (spec.deletion_frac > 0) {
+    for (const Tuple& t : SubsetDeletionAttack(index, spec.deletion_frac, rng)) {
+      out.server->Erase(t);
+    }
+  }
+  out.elements_erased = out.server->num_erased();
+  if (spec.insertion_frac > 0) {
+    out.rows_inserted = static_cast<size_t>(
+        spec.insertion_frac * static_cast<double>(index.num_active()));
+    TupleInsertionAttack(*out.server, index, out.base->weights(),
+                         out.rows_inserted, rng);
+  }
+  return out;
 }
 
 }  // namespace qpwm

@@ -14,16 +14,23 @@
 #ifndef QPWM_CORE_ATTACK_H_
 #define QPWM_CORE_ATTACK_H_
 
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "qpwm/core/answers.h"
+#include "qpwm/core/pairs.h"
 #include "qpwm/structure/weighted.h"
 #include "qpwm/util/random.h"
 #include "qpwm/util/status.h"
 
 namespace qpwm {
+
+/// Default RNG seed for attacks that are not given one explicitly. Attacks
+/// must never draw from ambient entropy: a campaign report that records the
+/// spec (including this seed) replays the identical attack.
+inline constexpr uint64_t kDefaultAttackSeed = 1;
 
 // --- Tier 1: weight tampering ----------------------------------------------
 
@@ -53,6 +60,20 @@ WeightMap GuessingPairAttack(const WeightMap& marked, const QueryIndex& index,
 /// weight domain; mismatched domains (e.g. copies of different subsets) are
 /// rejected with kInvalidArgument instead of silently averaging garbage.
 Result<WeightMap> AveragingCollusionAttack(const std::vector<const WeightMap*>& copies);
+
+/// Collusion by per-weight median (lower median on even counts): with three
+/// or more copies the median kills any pair delta that only one copy
+/// carries, a strictly stronger wash-out than averaging for odd counts.
+/// Same domain contract as AveragingCollusionAttack.
+Result<WeightMap> MedianCollusionAttack(const std::vector<const WeightMap*>& copies);
+
+/// Collusion by per-weight extremes: each weight is replaced by the minimum
+/// or maximum across copies, chosen by a coin from `rng`. Models colluders
+/// who prefer plausible-looking outliers over smoothing; the marked deltas
+/// survive with probability 1/2 per pair side instead of being averaged
+/// away. Same domain contract as AveragingCollusionAttack.
+Result<WeightMap> MinMaxCollusionAttack(const std::vector<const WeightMap*>& copies,
+                                        Rng& rng);
 
 // --- Tier 2: structural attacks --------------------------------------------
 
@@ -112,6 +133,68 @@ std::vector<Tuple> SubsetDeletionAttack(const QueryIndex& index, double drop_fra
 /// universe so they mimic genuinely new rows (new keys).
 void TupleInsertionAttack(TamperedAnswerServer& server, const QueryIndex& index,
                           const WeightMap& marked, size_t count, Rng& rng);
+
+/// Burst deletion: wipes the elements carrying a contiguous run of pair
+/// groups. Groups are `redundancy` consecutive pairs of `pairs` (the channel
+/// layout of AdversarialScheme); the run covers `region_frac` of all groups
+/// at a start position drawn from `rng`. Models correlated structural loss —
+/// a dropped subtree, a shipped table slice, a lost page — which takes out
+/// neighboring mark carriers together instead of sampling them
+/// independently. This is the burst pattern codeword interleaving is sized
+/// against. Returns the element tuples to feed into
+/// TamperedAnswerServer::Erase.
+std::vector<Tuple> PairRegionDeletionAttack(const QueryIndex& index,
+                                            const std::vector<WeightPair>& pairs,
+                                            size_t redundancy, double region_frac,
+                                            Rng& rng);
+
+// --- Composed adversaries ----------------------------------------------------
+
+/// One stacked adversary: every tier-1 value attack and tier-2 structural
+/// attack this header defines, applied in a fixed order from a single
+/// recorded seed. A field left at its default disables that stage.
+struct ComposedAttackSpec {
+  /// UniformNoiseAttack range (+-noise per weight); 0 = off.
+  Weight noise = 0;
+  /// JitterAttack flip probability; 0 = off.
+  double jitter_prob = 0;
+  /// RoundingAttack granularity; 0 = off (1 is the identity rounding).
+  Weight rounding = 0;
+  /// Independent per-element deletion probability (SubsetDeletionAttack).
+  double deletion_frac = 0;
+  /// Contiguous pair-group burst deletion (PairRegionDeletionAttack).
+  double region_frac = 0;
+  /// Spurious insertions as a fraction of the active set (TupleInsertionAttack).
+  double insertion_frac = 0;
+  /// Explicit RNG seed; recorded in campaign reports so every trial replays
+  /// from the report alone.
+  uint64_t seed = kDefaultAttackSeed;
+};
+
+/// The serving stack a composed attack produces: an owned honest server over
+/// the value-tampered weights, wrapped in the structural tamperer. `server`
+/// is the suspect detection should read from.
+struct ComposedSuspect {
+  std::unique_ptr<HonestServer> base;
+  std::unique_ptr<TamperedAnswerServer> server;
+  /// Elements structurally erased (region + independent deletion, deduped).
+  size_t elements_erased = 0;
+  /// Spurious rows planted.
+  size_t rows_inserted = 0;
+  /// The seed the stack was driven by (== spec.seed; recorded for reports).
+  uint64_t seed = kDefaultAttackSeed;
+};
+
+/// Applies the full stack to `marked`: noise, jitter, rounding (value tier,
+/// in that order), then region deletion, independent deletion, insertion
+/// (structural tier). All stages draw from one Rng seeded with `spec.seed`,
+/// so equal specs produce byte-identical suspects. `pairs` is the channel
+/// pair layout region deletion targets; pass an empty vector when
+/// `spec.region_frac` is 0.
+ComposedSuspect ApplyComposedAttack(const QueryIndex& index,
+                                    const std::vector<WeightPair>& pairs,
+                                    size_t redundancy, const WeightMap& marked,
+                                    const ComposedAttackSpec& spec);
 
 }  // namespace qpwm
 

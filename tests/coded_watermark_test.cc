@@ -1,0 +1,278 @@
+// End-to-end tests for the coded watermark channel: codec + interleaver +
+// soft-decision decoding threaded through AdversarialScheme, including the
+// acceptance property (interleaved ECC recovers where the uncoded channel
+// reports erased bits) and the identity-codec bit-compatibility guarantee.
+#include <gtest/gtest.h>
+
+#include "qpwm/coding/coded_watermark.h"
+#include "qpwm/coding/codec.h"
+#include "qpwm/core/adversarial.h"
+#include "qpwm/core/attack.h"
+#include "qpwm/core/local_scheme.h"
+#include "qpwm/core/tree_scheme.h"
+#include "qpwm/logic/parser.h"
+#include "qpwm/logic/query.h"
+#include "qpwm/structure/generators.h"
+#include "qpwm/tree/mso.h"
+#include "qpwm/util/parallel.h"
+#include "qpwm/util/random.h"
+
+namespace qpwm {
+namespace {
+
+struct Fixture {
+  Structure g;
+  std::unique_ptr<AtomQuery> query;
+  std::unique_ptr<QueryIndex> index;
+  WeightMap weights;
+  std::unique_ptr<LocalScheme> scheme;
+
+  explicit Fixture(size_t n, uint64_t seed) : weights(1, 0) {
+    Rng rng(seed);
+    g = RandomBoundedDegreeGraph(n, 3, 3 * n, false, rng);
+    query = AtomQuery::Adjacency("E");
+    index = std::make_unique<QueryIndex>(g, *query, AllParams(g, 1));
+    weights = RandomWeights(g, 1000, 9999, rng);
+    LocalSchemeOptions opts;
+    opts.epsilon = 0.25;
+    opts.key = {seed, seed + 1};
+    opts.encoding = PairEncoding::kAntipodal;
+    scheme = std::make_unique<LocalScheme>(
+        LocalScheme::Plan(*index, opts).ValueOrDie());
+  }
+};
+
+BitVec RandomPayload(size_t bits, uint64_t seed) {
+  Rng rng(seed);
+  BitVec payload(bits);
+  for (size_t i = 0; i < bits; ++i) payload.Set(i, rng.Coin());
+  return payload;
+}
+
+TEST(CodedWatermarkTest, CleanDetectIsMatchWithTinyBound) {
+  Fixture s(600, 3);
+  AdversarialScheme adv(*s.scheme, 5);
+  auto codec = MakeCodec("hamming").ValueOrDie();
+  CodedWatermark wm(adv, *codec);
+  ASSERT_GT(wm.PayloadBits(), 0u);
+
+  BitVec payload = RandomPayload(wm.PayloadBits(), 30);
+  WeightMap marked = wm.Embed(s.weights, payload);
+  HonestServer server(*s.index, marked);
+  CodedDetection d = wm.Detect(s.weights, server).ValueOrDie();
+
+  EXPECT_EQ(d.message.payload, payload);
+  EXPECT_TRUE(d.message.complete());
+  EXPECT_EQ(d.message.corrected, 0u);
+  EXPECT_EQ(d.verdict.kind, VerdictKind::kMatch);
+  EXPECT_LE(d.verdict.fp_bound, 1e-6);
+  EXPECT_EQ(d.verdict.ExitCode(), 0);
+  EXPECT_EQ(d.verdict.channel_disagreements, 0u);
+}
+
+TEST(CodedWatermarkTest, HonestUnmarkedSuspectIsNoMark) {
+  Fixture s(400, 5);
+  AdversarialScheme adv(*s.scheme, 5);
+  auto codec = MakeCodec("hamming").ValueOrDie();
+  CodedWatermark wm(adv, *codec);
+  ASSERT_GT(wm.PayloadBits(), 0u);
+
+  // The suspect serves the untouched original: every pair delta is 0, no
+  // votes are cast, and the bound must stay at 1 (no evidence at all).
+  HonestServer server(*s.index, s.weights);
+  CodedDetection d = wm.Detect(s.weights, server).ValueOrDie();
+  EXPECT_EQ(d.verdict.kind, VerdictKind::kNoMark);
+  EXPECT_EQ(d.verdict.fp_bound, 1.0);
+  EXPECT_EQ(d.verdict.votes_cast, 0u);
+}
+
+TEST(CodedWatermarkTest, IdentityCodecIsBitIdenticalToRawChannel) {
+  Fixture s(400, 7);
+  AdversarialScheme adv(*s.scheme, 5);
+  IdentityCodec codec;
+  CodedWatermark wm(adv, codec);
+  ASSERT_EQ(wm.PayloadBits(), adv.CapacityBits());
+  ASSERT_EQ(wm.UsedChannelBits(), adv.CapacityBits());
+
+  BitVec msg = RandomPayload(adv.CapacityBits(), 70);
+  EXPECT_EQ(wm.ChannelWord(msg), msg);
+
+  // Identical embeddings...
+  WeightMap via_codec = wm.Embed(s.weights, msg);
+  WeightMap via_raw = adv.Embed(s.weights, msg);
+  bool same = true;
+  via_raw.ForEach([&](const Tuple& t, Weight w) {
+    same &= via_codec.Get(t) == w;
+  });
+  EXPECT_TRUE(same);
+
+  // ...and an identical channel report, including under structural damage.
+  HonestServer base(*s.index, via_raw);
+  TamperedAnswerServer server(base);
+  Rng rng(71);
+  for (const Tuple& t : SubsetDeletionAttack(*s.index, 0.4, rng)) {
+    server.Erase(t);
+  }
+  AdversarialDetection raw = adv.Detect(s.weights, server).ValueOrDie();
+  CodedDetection coded = wm.Detect(s.weights, server).ValueOrDie();
+  EXPECT_EQ(coded.channel.mark, raw.mark);
+  EXPECT_EQ(coded.channel.margins, raw.margins);
+  EXPECT_EQ(coded.channel.vote_diffs, raw.vote_diffs);
+  EXPECT_EQ(coded.channel.votes_cast, raw.votes_cast);
+  EXPECT_EQ(coded.channel.bit_erased, raw.bit_erased);
+  EXPECT_EQ(coded.channel.pairs_erased, raw.pairs_erased);
+  // The decoded "payload" is the channel mark itself, erasure for erasure.
+  EXPECT_EQ(coded.message.payload, raw.mark);
+  EXPECT_EQ(coded.message.bits_erased, raw.bits_erased);
+  EXPECT_EQ(coded.message.corrected, 0u);
+}
+
+// The acceptance property: a burst that leaves the uncoded channel with
+// erased message bits is fully absorbed by the interleaved ECC codecs.
+TEST(CodedWatermarkTest, BurstDeletionIdentityErasesButEccRecovers) {
+  Fixture s(600, 11);
+  AdversarialScheme adv(*s.scheme, 5);
+  ASSERT_GT(adv.CapacityBits(), 20u);
+
+  ComposedAttackSpec spec;
+  spec.region_frac = 0.2;
+  spec.seed = 110;
+
+  size_t identity_erased = 0;
+  for (const char* cs : {"identity", "hamming", "rm:4"}) {
+    auto codec = MakeCodec(cs).ValueOrDie();
+    CodedWatermark wm(adv, *codec);
+    ASSERT_GT(wm.PayloadBits(), 0u) << cs;
+    BitVec payload = RandomPayload(wm.PayloadBits(), 111);
+    WeightMap marked = wm.Embed(s.weights, payload);
+    ComposedSuspect suspect = ApplyComposedAttack(
+        *s.index, s.scheme->marking().pairs(), adv.Redundancy(), marked, spec);
+    CodedDetection d = wm.Detect(s.weights, *suspect.server).ValueOrDie();
+    EXPECT_GT(d.channel.bits_erased, 0u) << cs;  // the burst really landed
+    if (std::string(cs) == "identity") {
+      identity_erased = d.message.bits_erased;
+    } else {
+      EXPECT_TRUE(d.message.complete()) << cs;
+      EXPECT_EQ(d.message.payload, payload) << cs;
+      EXPECT_GT(d.message.filled, 0u) << cs;
+    }
+  }
+  EXPECT_GT(identity_erased, 0u);
+}
+
+TEST(CodedWatermarkTest, InterleavingIsLoadBearingUnderBursts) {
+  // Same codec, same burst; only the interleaver differs. The contiguous
+  // layout concentrates the burst in few codewords and loses payload bits,
+  // the interleaved layout spreads it below every block's radius.
+  Fixture s(600, 13);
+  AdversarialScheme adv(*s.scheme, 5);
+  auto codec = MakeCodec("hamming").ValueOrDie();
+  ASSERT_GT(codec->PayloadBits(adv.CapacityBits()), 0u);
+
+  ComposedAttackSpec spec;
+  spec.region_frac = 0.25;
+  spec.seed = 130;
+
+  CodedOptions flat;
+  flat.interleave = false;
+  size_t flat_bad = 0;
+  for (int interleave = 0; interleave < 2; ++interleave) {
+    CodedWatermark wm(adv, *codec, interleave ? CodedOptions{} : flat);
+    BitVec payload = RandomPayload(wm.PayloadBits(), 131);
+    WeightMap marked = wm.Embed(s.weights, payload);
+    ComposedSuspect suspect = ApplyComposedAttack(
+        *s.index, s.scheme->marking().pairs(), adv.Redundancy(), marked, spec);
+    CodedDetection d = wm.Detect(s.weights, *suspect.server).ValueOrDie();
+    size_t bad = d.message.bits_erased;
+    for (size_t i = 0; i < d.message.payload.size(); ++i) {
+      if (!d.message.bit_erased[i] &&
+          d.message.payload.Get(i) != payload.Get(i)) {
+        ++bad;
+      }
+    }
+    if (interleave) {
+      EXPECT_EQ(bad, 0u);
+      EXPECT_EQ(d.message.payload, payload);
+    } else {
+      flat_bad = bad;
+    }
+  }
+  EXPECT_GT(flat_bad, 0u);
+}
+
+TEST(CodedWatermarkTest, DetectManyMatchesSerialForAnyThreadCount) {
+  Fixture s(400, 17);
+  AdversarialScheme adv(*s.scheme, 5);
+  auto codec = MakeCodec("rm:4").ValueOrDie();
+  CodedWatermark wm(adv, *codec);
+  ASSERT_GT(wm.PayloadBits(), 0u);
+
+  BitVec payload = RandomPayload(wm.PayloadBits(), 170);
+  WeightMap marked = wm.Embed(s.weights, payload);
+  HonestServer intact(*s.index, marked);
+  HonestServer unmarked(*s.index, s.weights);
+  ComposedAttackSpec spec;
+  spec.region_frac = 0.15;
+  spec.deletion_frac = 0.1;
+  spec.seed = 171;
+  ComposedSuspect attacked = ApplyComposedAttack(
+      *s.index, s.scheme->marking().pairs(), adv.Redundancy(), marked, spec);
+  std::vector<const AnswerServer*> suspects = {&intact, &unmarked,
+                                               attacked.server.get()};
+
+  std::vector<CodedDetection> serial;
+  for (const AnswerServer* suspect : suspects) {
+    serial.push_back(wm.Detect(s.weights, *suspect).ValueOrDie());
+  }
+  for (size_t threads : {1u, 4u}) {
+    SetParallelThreads(threads);
+    std::vector<CodedDetection> batch = wm.DetectMany(s.weights, suspects);
+    ASSERT_EQ(batch.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(batch[i].message.payload, serial[i].message.payload);
+      EXPECT_EQ(batch[i].message.bits_erased, serial[i].message.bits_erased);
+      EXPECT_EQ(batch[i].verdict.kind, serial[i].verdict.kind);
+      EXPECT_EQ(batch[i].verdict.fp_bound, serial[i].verdict.fp_bound);
+      EXPECT_EQ(batch[i].verdict.vote_weight, serial[i].verdict.vote_weight);
+      EXPECT_EQ(batch[i].channel.vote_diffs, serial[i].channel.vote_diffs);
+    }
+  }
+  SetParallelThreads(0);
+  EXPECT_EQ(serial[0].verdict.kind, VerdictKind::kMatch);
+  EXPECT_EQ(serial[1].verdict.kind, VerdictKind::kNoMark);
+}
+
+TEST(CodedWatermarkTest, TreeSchemeCodedRoundTrip) {
+  // The coded layer is channel-agnostic: same codec over the tree scheme.
+  Alphabet sigma;
+  sigma.Intern("a");
+  sigma.Intern("b");
+  sigma.Intern("c");
+  Dta query = CompileMso(*MustParseFormula("LEQ(u, v) & P_b(v)"), sigma,
+                         {"u", "v"})
+                  .ValueOrDie()
+                  .dta;
+  Rng rng(19);
+  BinaryTree t = RandomBinaryTree(1500, 3, rng);
+  WeightMap w(1, t.size());
+  for (NodeId v = 0; v < t.size(); ++v) w.SetElem(v, rng.Uniform(100, 999));
+
+  TreeSchemeOptions opts;
+  opts.key = {19, 20};
+  opts.encoding = PairEncoding::kAntipodal;
+  auto base = TreeScheme::Plan(t, t.labels(), 3, query, 1, opts).ValueOrDie();
+  AdversarialScheme adv(base, 5);
+  auto codec = MakeCodec("hamming").ValueOrDie();
+  CodedWatermark wm(adv, *codec);
+  if (wm.PayloadBits() == 0) GTEST_SKIP();
+
+  BitVec payload = RandomPayload(wm.PayloadBits(), 190);
+  WeightMap marked = wm.Embed(w, payload);
+  HonestTreeServer server(t, t.labels(), 3, query, 1, marked);
+  CodedDetection d = wm.Detect(w, server).ValueOrDie();
+  EXPECT_EQ(d.message.payload, payload);
+  EXPECT_TRUE(d.message.complete());
+}
+
+}  // namespace
+}  // namespace qpwm

@@ -1,0 +1,277 @@
+// Unit tests for the message codecs, the interleaver, and the verdict bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "qpwm/coding/codec.h"
+#include "qpwm/coding/interleaver.h"
+#include "qpwm/coding/verdict.h"
+#include "qpwm/util/random.h"
+
+namespace qpwm {
+namespace {
+
+// Clean soft word for a codeword: full-confidence symbols.
+std::vector<SoftBit> CleanWord(const BitVec& code) {
+  std::vector<SoftBit> soft(code.size());
+  for (size_t i = 0; i < code.size(); ++i) {
+    soft[i].value = code.Get(i) ? 1.0 : -1.0;
+  }
+  return soft;
+}
+
+BitVec RandomPayload(size_t bits, uint64_t seed) {
+  Rng rng(seed);
+  BitVec payload(bits);
+  for (size_t i = 0; i < bits; ++i) payload.Set(i, rng.Coin());
+  return payload;
+}
+
+// Every codec must round-trip a clean channel exactly, with no corrections.
+TEST(CodecTest, CleanRoundTripAllCodecs) {
+  for (const char* spec : {"identity", "repetition:3", "repetition:5",
+                           "hamming", "rm:2", "rm:3", "rm:4", "rm:5"}) {
+    auto codec = MakeCodec(spec).ValueOrDie();
+    const size_t blocks = 3;
+    BitVec payload =
+        RandomPayload(blocks * codec->PayloadPerBlock(), 7);
+    BitVec code = codec->Encode(payload);
+    EXPECT_EQ(code.size(), blocks * codec->BlockLength()) << spec;
+    DecodedMessage d = codec->Decode(CleanWord(code));
+    EXPECT_EQ(d.payload, payload) << spec;
+    EXPECT_TRUE(d.complete()) << spec;
+    EXPECT_EQ(d.corrected, 0u) << spec;
+    EXPECT_EQ(d.filled, 0u) << spec;
+    EXPECT_EQ(d.bits_recovered, payload.size()) << spec;
+    for (double c : d.confidences) EXPECT_GT(c, 0.0) << spec;
+  }
+}
+
+TEST(CodecTest, MinDistances) {
+  EXPECT_EQ(MakeCodec("identity").ValueOrDie()->MinDistance(), 1u);
+  EXPECT_EQ(MakeCodec("repetition:3").ValueOrDie()->MinDistance(), 3u);
+  EXPECT_EQ(MakeCodec("hamming").ValueOrDie()->MinDistance(), 3u);
+  EXPECT_EQ(MakeCodec("rm:4").ValueOrDie()->MinDistance(), 8u);
+  EXPECT_EQ(MakeCodec("rm:4").ValueOrDie()->BlockLength(), 16u);
+  EXPECT_EQ(MakeCodec("rm:4").ValueOrDie()->PayloadPerBlock(), 5u);
+}
+
+TEST(CodecTest, HammingCorrectsOneErrorPerBlock) {
+  auto codec = MakeCodec("hamming").ValueOrDie();
+  BitVec payload = RandomPayload(4, 11);
+  BitVec code = codec->Encode(payload);
+  for (size_t flip = 0; flip < 7; ++flip) {
+    std::vector<SoftBit> soft = CleanWord(code);
+    soft[flip].value = -soft[flip].value;
+    DecodedMessage d = codec->Decode(soft);
+    EXPECT_EQ(d.payload, payload) << "flipped position " << flip;
+    EXPECT_EQ(d.corrected, 1u);
+  }
+}
+
+TEST(CodecTest, HammingFillsTwoErasuresPerBlock) {
+  auto codec = MakeCodec("hamming").ValueOrDie();
+  BitVec payload = RandomPayload(4, 13);
+  BitVec code = codec->Encode(payload);
+  for (size_t a = 0; a < 7; ++a) {
+    for (size_t b = a + 1; b < 7; ++b) {
+      std::vector<SoftBit> soft = CleanWord(code);
+      soft[a].erased = true;
+      soft[b].erased = true;
+      DecodedMessage d = codec->Decode(soft);
+      EXPECT_EQ(d.payload, payload) << "erased " << a << "," << b;
+      EXPECT_TRUE(d.complete());
+      EXPECT_EQ(d.filled, 2u);
+    }
+  }
+}
+
+TEST(CodecTest, ReedMullerCorrectsThreeErrorsAndSevenErasures) {
+  auto codec = MakeCodec("rm:4").ValueOrDie();  // (16, 5, 8)
+  BitVec payload = RandomPayload(5, 17);
+  BitVec code = codec->Encode(payload);
+
+  // 3 errors < d/2 = 4: always corrected.
+  std::vector<SoftBit> soft = CleanWord(code);
+  for (size_t i : {1u, 6u, 12u}) soft[i].value = -soft[i].value;
+  DecodedMessage d = codec->Decode(soft);
+  EXPECT_EQ(d.payload, payload);
+  EXPECT_EQ(d.corrected, 3u);
+
+  // 7 erasures = d - 1: always filled.
+  soft = CleanWord(code);
+  for (size_t i = 0; i < 7; ++i) soft[2 * i].erased = true;
+  d = codec->Decode(soft);
+  EXPECT_EQ(d.payload, payload);
+  EXPECT_TRUE(d.complete());
+  EXPECT_EQ(d.filled, 7u);
+}
+
+TEST(CodecTest, SoftDecisionOutweighsLowConfidenceFlips) {
+  // Four hard-decision flips would defeat RM(1,4)'s radius, but at tiny
+  // confidence they lose to the twelve full-confidence agreeing symbols —
+  // the case hard-decision decoding gets wrong by construction.
+  auto codec = MakeCodec("rm:4").ValueOrDie();
+  BitVec payload = RandomPayload(5, 19);
+  BitVec code = codec->Encode(payload);
+  std::vector<SoftBit> soft = CleanWord(code);
+  for (size_t i : {0u, 3u, 8u, 13u}) soft[i].value *= -0.05;
+  DecodedMessage d = codec->Decode(soft);
+  EXPECT_EQ(d.payload, payload);
+}
+
+TEST(CodecTest, FullyErasedBlockReportsErasedBits) {
+  auto codec = MakeCodec("hamming").ValueOrDie();
+  BitVec payload = RandomPayload(8, 23);  // two blocks
+  BitVec code = codec->Encode(payload);
+  std::vector<SoftBit> soft = CleanWord(code);
+  for (size_t i = 0; i < 7; ++i) soft[i].erased = true;  // first block gone
+  DecodedMessage d = codec->Decode(soft);
+  EXPECT_EQ(d.bits_erased, 4u);
+  EXPECT_EQ(d.bits_recovered, 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(d.bit_erased[i]);
+    EXPECT_EQ(d.confidences[i], 0.0);
+  }
+  for (size_t i = 4; i < 8; ++i) {
+    EXPECT_FALSE(d.bit_erased[i]);
+    EXPECT_EQ(d.payload.Get(i), payload.Get(i));
+  }
+}
+
+TEST(CodecTest, RepetitionWeighsConfidenceNotJustCount) {
+  // Two low-confidence wrong copies vs one full-confidence right copy: a
+  // counted majority decodes wrong, the weighted vote decodes right.
+  auto codec = MakeCodec("repetition:3").ValueOrDie();
+  BitVec payload(1);
+  payload.Set(0, true);
+  BitVec code = codec->Encode(payload);
+  std::vector<SoftBit> soft = CleanWord(code);
+  soft[0].value = -0.1;
+  soft[1].value = -0.1;
+  soft[2].value = 1.0;
+  DecodedMessage d = codec->Decode(soft);
+  EXPECT_TRUE(d.payload.Get(0));
+  EXPECT_EQ(d.corrected, 2u);
+}
+
+TEST(CodecTest, MakeCodecRejectsBadSpecs) {
+  for (const char* bad : {"", "turbo", "repetition:0", "repetition:65",
+                          "repetition:x", "rm:1", "rm:6", "rm:abc",
+                          "hamming:7"}) {
+    auto codec = MakeCodec(bad);
+    EXPECT_FALSE(codec.ok()) << bad;
+    EXPECT_EQ(codec.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  EXPECT_EQ(MakeCodec("repetition").ValueOrDie()->BlockLength(), 3u);
+  EXPECT_EQ(MakeCodec("rm").ValueOrDie()->BlockLength(), 16u);
+}
+
+// --- Interleaver ------------------------------------------------------------
+
+TEST(InterleaverTest, SpreadGatherBijection) {
+  for (size_t depth : {1u, 2u, 5u}) {
+    for (size_t block : {1u, 3u, 7u, 16u}) {
+      BlockInterleaver il(depth, block);
+      std::vector<bool> hit(il.size(), false);
+      for (size_t i = 0; i < il.size(); ++i) {
+        const size_t slot = il.Spread(i);
+        ASSERT_LT(slot, il.size());
+        EXPECT_FALSE(hit[slot]);
+        hit[slot] = true;
+        EXPECT_EQ(il.Gather(slot), i);
+      }
+    }
+  }
+}
+
+TEST(InterleaverTest, BurstSpreadsAcrossCodewords) {
+  // A contiguous channel burst of length L costs each codeword at most
+  // ceil(L / depth) symbols — the property the codec radius is sized for.
+  const size_t depth = 4, block = 7;
+  BlockInterleaver il(depth, block);
+  const size_t burst = 8;  // two full stripes
+  std::vector<size_t> per_codeword(depth, 0);
+  for (size_t slot = 5; slot < 5 + burst; ++slot) {
+    ++per_codeword[il.Gather(slot) / block];
+  }
+  for (size_t c = 0; c < depth; ++c) {
+    EXPECT_LE(per_codeword[c], (burst + depth - 1) / depth);
+  }
+}
+
+// --- Verdict ----------------------------------------------------------------
+
+TEST(VerdictTest, NoEvidenceIsNoMark) {
+  DetectionVerdict v = JudgeDetection(0, 0, 8, 0, 0, 0, 0);
+  EXPECT_EQ(v.kind, VerdictKind::kNoMark);
+  EXPECT_EQ(v.fp_bound, 1.0);
+  EXPECT_EQ(v.ExitCode(), 1);
+}
+
+TEST(VerdictTest, StrongEvidenceIsMatchWithTinyBound) {
+  // 200 unanimous votes on an 8-bit payload: fp <= 2^8 * exp(-100).
+  DetectionVerdict v = JudgeDetection(200, 200, 8, 0, 40, 0, 0);
+  EXPECT_EQ(v.kind, VerdictKind::kMatch);
+  EXPECT_LE(v.fp_bound, 1e-6);
+  EXPECT_NEAR(v.log10_fp_bound,
+              8 * std::log10(2.0) - 100.0 / std::log(10.0), 1e-9);
+  EXPECT_EQ(v.ExitCode(), 0);
+}
+
+TEST(VerdictTest, BoundIsMonotoneInEvidence) {
+  double prev = 1.0;
+  for (int64_t u : {10, 40, 90, 160}) {
+    DetectionVerdict v = JudgeDetection(u, 200, 8, 0, 0, 0, 0);
+    EXPECT_LE(v.fp_bound, prev);
+    prev = v.fp_bound;
+  }
+}
+
+TEST(VerdictTest, ErasuresForcePartial) {
+  // Erased payload bits always force PARTIAL, however strong the surviving
+  // evidence is.
+  DetectionVerdict strong = JudgeDetection(200, 200, 8, 1, 40, 0, 0);
+  EXPECT_EQ(strong.kind, VerdictKind::kPartial);
+  EXPECT_EQ(strong.ExitCode(), 3);
+  // Channel erasures the decoder filled in do not spoil a confident match —
+  // correcting them is the point of the coding layer...
+  DetectionVerdict filled = JudgeDetection(200, 200, 8, 0, 38, 0, 2);
+  EXPECT_EQ(filled.kind, VerdictKind::kMatch);
+  // ...but they downgrade weak evidence from NO MARK to PARTIAL: a damaged
+  // suspect is inconclusive, not provably unmarked.
+  DetectionVerdict weak = JudgeDetection(5, 5, 8, 0, 3, 0, 2);
+  EXPECT_EQ(weak.kind, VerdictKind::kPartial);
+}
+
+TEST(VerdictTest, WeakEvidenceWithoutDamageIsNoMark) {
+  // A handful of votes cannot clear 1e-6 for an 8-bit payload.
+  DetectionVerdict v = JudgeDetection(5, 5, 8, 0, 5, 0, 0);
+  EXPECT_EQ(v.kind, VerdictKind::kNoMark);
+  EXPECT_GT(v.fp_bound, 1e-6);
+}
+
+TEST(VerdictTest, ExtremeEvidenceDoesNotUnderflowLogBound) {
+  // u = N = 1e5 would make exp(-u^2/2N) flush to 0 in double arithmetic;
+  // the log10 bound must stay finite and huge.
+  DetectionVerdict v = JudgeDetection(100000, 100000, 8, 0, 0, 0, 0);
+  EXPECT_EQ(v.kind, VerdictKind::kMatch);
+  EXPECT_LT(v.log10_fp_bound, -20000.0);
+  EXPECT_TRUE(std::isfinite(v.log10_fp_bound));
+}
+
+TEST(VerdictTest, ThresholdIsConfigurable) {
+  VerdictOptions lax;
+  lax.fp_threshold = 1e-2;
+  DetectionVerdict v = JudgeDetection(30, 100, 4, 0, 0, 0, 0, lax);
+  // 2^4 * exp(-4.5) ~ 0.18: above even the lax threshold.
+  EXPECT_EQ(v.kind, VerdictKind::kNoMark);
+  DetectionVerdict w = JudgeDetection(60, 100, 4, 0, 0, 0, 0, lax);
+  // 2^4 * exp(-18) ~ 2.4e-7: below the lax threshold.
+  EXPECT_EQ(w.kind, VerdictKind::kMatch);
+  EXPECT_EQ(w.fp_threshold, 1e-2);
+}
+
+}  // namespace
+}  // namespace qpwm

@@ -168,6 +168,48 @@ TEST(DenseViewTest, MutationInvalidatesViewAndRefreshRestoresIt) {
   ASSERT_EQ(find_weight(server.Answer(witness)), bumped);
 }
 
+TEST(DenseViewTest, BatchedDetectionSeesMutationAfterRefresh) {
+  // Full detection (not just answer reads) through the batched + dense fast
+  // path after a server-side mutation and RefreshView: the refreshed view
+  // must serve the mutated weights, bit-identically to a fresh server over
+  // the same weights under every serving-option combination.
+  LocalWorkload wl = LocalWorkload::Build(14, 300);
+  const QueryIndex& index = *wl.index;
+  AdversarialScheme adv(*wl.scheme, 3);
+  ASSERT_GT(adv.CapacityBits(), 0u);
+  Rng rng(140);
+  BitVec msg(adv.CapacityBits());
+  for (size_t i = 0; i < msg.size(); ++i) msg.Set(i, rng.Coin());
+  WeightMap marked = adv.Embed(*wl.weights, msg);
+
+  HonestServer server(index, marked);
+  ASSERT_TRUE(server.has_dense_view());
+  const DetectOptions batched{/*batch_answers=*/true, /*dense_views=*/true};
+  AdversarialDetection before =
+      adv.Detect(*wl.weights, server, batched).ValueOrDie();
+  EXPECT_EQ(before.mark, msg);
+
+  // Mutate a mark-carrying weight in place; the stale view is dropped and a
+  // refresh rebuilds it over the mutated map.
+  const Tuple target =
+      index.active_element(wl.scheme->marking().pairs()[0].plus);
+  const Weight bumped = marked.Get(target) + 1000;
+  server.mutable_weights().Set(target, bumped);
+  EXPECT_FALSE(server.has_dense_view());
+  server.RefreshView();
+  EXPECT_TRUE(server.has_dense_view());
+  AdversarialDetection after =
+      adv.Detect(*wl.weights, server, batched).ValueOrDie();
+
+  WeightMap mutated = marked;
+  mutated.Set(target, bumped);
+  for (const DetectOptions& opts : kAllOptionCombos) {
+    HonestServer fresh(index, mutated);
+    ExpectSameDetections(
+        after, adv.Detect(*wl.weights, fresh, opts).ValueOrDie());
+  }
+}
+
 // --- Batched answer serving ------------------------------------------------
 
 TEST(BatchDetectTest, TamperedBatchMatchesPerCallAnswers) {

@@ -193,6 +193,22 @@ TEST(StructuralAttackTest, CollusionDomainMismatchIsAnError) {
   EXPECT_EQ(averaged.status().code(), StatusCode::kInvalidArgument);
   auto empty = AveragingCollusionAttack({});
   EXPECT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  // The mismatch is rejected wherever it sits in the copy list, and a
+  // single-copy "collusion" of the right domain still succeeds (it is the
+  // identity average).
+  auto late_mismatch =
+      AveragingCollusionAttack({&s.weights, &s.weights, &other});
+  ASSERT_FALSE(late_mismatch.ok());
+  EXPECT_EQ(late_mismatch.status().code(), StatusCode::kInvalidArgument);
+  auto single = AveragingCollusionAttack({&s.weights});
+  ASSERT_TRUE(single.ok());
+  bool same = true;
+  s.weights.ForEach([&](const Tuple& t, Weight w) {
+    same &= single.value().Get(t) == w;
+  });
+  EXPECT_TRUE(same);
 }
 
 TEST(StructuralAttackTest, SubsetDeletionSamplesRequestedFraction) {

@@ -11,7 +11,10 @@
 // The secret key is two 64-bit hex words. --mark is a 0/1 string; it is
 // padded with zeros to the scheme's capacity (truncated marks are rejected).
 // --redundancy R spreads each mark bit over R pairs (majority vote on
-// detection); --min-margin M sets the confidence threshold.
+// detection); --min-margin M sets the confidence threshold. --codec C layers
+// an error-correcting message codec over the pair channel (soft-decision
+// decoding, interleaved blocks, verdict with a false-positive bound);
+// omitting it — or passing identity — keeps the raw channel path.
 //
 // Detection is erasure-aware: suspects with deleted rows / dropped subtrees
 // are aligned back onto the original by key, missing pair elements abstain,
@@ -20,10 +23,15 @@
 // Exit codes: 0 = ok (mark found / full match), 1 = no mark found (recovered
 // bits contradict --mark), 2 = I/O, parse or usage error, 3 = partial
 // detection below threshold (erasures present or margin < --min-margin).
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
+#include "qpwm/coding/coded_watermark.h"
+#include "qpwm/coding/codec.h"
 #include "qpwm/core/adversarial.h"
 #include "qpwm/core/attack.h"
 #include "qpwm/core/local_scheme.h"
@@ -62,6 +70,35 @@ struct Args {
     return it == flags.end() ? fallback : it->second;
   }
 };
+
+// Every flag any subcommand understands. Parsing is strict: an unknown flag,
+// a flag without a value, or a non-numeric value where a number is expected
+// is a usage error (exit 2), never a silent ignore or an uncaught throw.
+const char* const kKnownFlags[] = {
+    "in",    "out",          "original",   "suspect",    "schema",
+    "table", "query",        "param-column", "key",      "eps",
+    "mark",  "redundancy",   "min-margin", "weight-tags", "xpath",
+    "codec",
+};
+
+bool IsKnownFlag(const std::string& name) {
+  for (const char* known : kKnownFlags) {
+    if (name == known) return true;
+  }
+  return false;
+}
+
+// Strict double parse: the whole value must be a decimal number.
+Result<double> ParseDouble(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("--" + flag + " needs a number, got '" +
+                                   text + "'");
+  }
+  return value;
+}
 
 Result<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -126,6 +163,17 @@ Result<BitVec> ParseMark(const std::string& bits, size_t capacity) {
   return mark;
 }
 
+// The codec the invocation asked for, or null for the raw-channel path.
+// `--codec identity` is defined to be the uncoded pass-through, so it keeps
+// the pre-coding report format and exit-code logic bit for bit.
+Result<std::unique_ptr<MessageCodec>> CodecFromArgs(const Args& args) {
+  if (!args.Has("codec")) return std::unique_ptr<MessageCodec>();
+  auto codec = MakeCodec(args.Get("codec").ValueOrDie());
+  if (!codec.ok()) return codec.status();
+  if (codec.value()->Name() == "identity") return std::unique_ptr<MessageCodec>();
+  return codec;
+}
+
 Result<size_t> ParseRedundancy(const Args& args) {
   const std::string text = args.GetOr("redundancy", "1");
   char* end = nullptr;
@@ -154,8 +202,13 @@ int ReportDetection(const Args& args, const AdversarialDetection& d) {
   std::cout << "\nmin margin over recovered bits: " << FmtDouble(d.min_margin, 2)
             << "\n";
 
-  const double threshold = std::stod(args.GetOr("min-margin", "0"));
-  bool below_threshold = d.bits_recovered == 0 || d.min_margin < threshold;
+  auto threshold = ParseDouble("min-margin", args.GetOr("min-margin", "0"));
+  if (!threshold.ok()) {
+    std::cerr << threshold.status() << "\n";
+    return kExitError;
+  }
+  bool below_threshold =
+      d.bits_recovered == 0 || d.min_margin < threshold.value();
 
   if (args.Has("mark")) {
     auto expected = ParseMark(args.GetOr("mark", ""), d.mark.size());
@@ -184,6 +237,46 @@ int ReportDetection(const Args& args, const AdversarialDetection& d) {
   }
   if (d.bits_erased > 0 || below_threshold) return kExitPartial;
   return kExitOk;
+}
+
+// Prints the coded-detection report: channel accounting, decoded payload
+// with correction counts, and the verdict with its false-positive bound.
+// The exit code is the verdict's, except that a --mark contradicted by
+// recovered payload bits forces NO MATCH.
+int ReportCodedDetection(const Args& args, const CodedWatermark& wm,
+                         const CodedDetection& d) {
+  const AdversarialDetection& ch = d.channel;
+  std::cout << "channel: " << ch.bits_recovered << " bit(s) recovered, "
+            << ch.bits_erased << " erased; pairs erased: " << ch.pairs_erased
+            << "\n";
+  std::string bits;
+  for (size_t i = 0; i < d.message.payload.size(); ++i) {
+    bits += d.message.bit_erased[i] ? '?' : (d.message.payload.Get(i) ? '1' : '0');
+  }
+  std::cout << "codec " << wm.codec().Name() << ": decoded " << bits
+            << " (? = erased), corrected " << d.message.corrected
+            << " channel bit(s), filled " << d.message.filled << " erasure(s)\n";
+  std::cout << "verdict: " << VerdictToString(d.verdict) << "\n";
+
+  if (args.Has("mark")) {
+    auto expected = ParseMark(args.GetOr("mark", ""), d.message.payload.size());
+    if (!expected.ok()) {
+      std::cerr << expected.status() << "\n";
+      return kExitError;
+    }
+    size_t mismatched = 0;
+    for (size_t i = 0; i < d.message.payload.size(); ++i) {
+      if (!d.message.bit_erased[i] &&
+          d.message.payload.Get(i) != expected.value().Get(i)) {
+        ++mismatched;
+      }
+    }
+    if (mismatched > 0) {
+      std::cout << "NO MATCH (" << mismatched << " recovered bit(s) differ)\n";
+      return kExitNoMark;
+    }
+  }
+  return d.verdict.ExitCode();
 }
 
 // --- CSV workflow -----------------------------------------------------------
@@ -251,7 +344,9 @@ Result<CsvSetup> SetupCsv(const Args& args, const std::string& csv_path) {
   auto key = ParseKey(args.GetOr("key", "c0ffee:7ea"));
   if (!key.ok()) return key.status();
   opts.key = key.value();
-  opts.epsilon = std::stod(args.GetOr("eps", "0.5"));
+  auto eps = ParseDouble("eps", args.GetOr("eps", "0.5"));
+  if (!eps.ok()) return eps.status();
+  opts.epsilon = eps.value();
   auto scheme = LocalScheme::Plan(*setup.index, opts);
   if (!scheme.ok()) return scheme.status();
   setup.scheme = std::make_unique<LocalScheme>(std::move(scheme).value());
@@ -280,12 +375,26 @@ int MarkCsv(const Args& args) {
             << adv.Redundancy() << " (" << s.scheme->CapacityBits()
             << " pairs), bound <= " << s.scheme->Budget() << " per query\n";
 
-  auto mark = ParseMark(args.GetOr("mark", "1"), adv.CapacityBits());
+  auto codec = CodecFromArgs(args);
+  if (!codec.ok()) {
+    std::cerr << codec.status() << "\n";
+    return kExitError;
+  }
+  std::optional<CodedWatermark> wm;
+  if (codec.value()) {
+    wm.emplace(adv, *codec.value());
+    std::cout << "codec " << codec.value()->Name() << ": payload "
+              << wm->PayloadBits() << " bit(s) over " << wm->UsedChannelBits()
+              << " channel bit(s)\n";
+  }
+  auto mark = ParseMark(args.GetOr("mark", "1"),
+                        wm ? wm->PayloadBits() : adv.CapacityBits());
   if (!mark.ok()) {
     std::cerr << mark.status() << "\n";
     return kExitError;
   }
-  WeightMap marked = adv.Embed(s.instance->weights, mark.value());
+  WeightMap marked = wm ? wm->Embed(s.instance->weights, mark.value())
+                        : adv.Embed(s.instance->weights, mark.value());
   auto marked_db = ApplyWeightsToDatabase(s.db, *s.instance, marked);
   if (!marked_db.ok()) {
     std::cerr << marked_db.status() << "\n";
@@ -357,6 +466,20 @@ int DetectCsv(const Args& args) {
   }
 
   AdversarialScheme adv(*s.scheme, redundancy.value());
+  auto codec = CodecFromArgs(args);
+  if (!codec.ok()) {
+    std::cerr << codec.status() << "\n";
+    return kExitError;
+  }
+  if (codec.value()) {
+    CodedWatermark wm(adv, *codec.value());
+    auto detection = wm.Detect(s.instance->weights, server);
+    if (!detection.ok()) {
+      std::cerr << detection.status() << "\n";
+      return kExitError;
+    }
+    return ReportCodedDetection(args, wm, detection.value());
+  }
   auto detection = adv.Detect(s.instance->weights, server);
   if (!detection.ok()) {
     std::cerr << detection.status() << "\n";
@@ -438,12 +561,26 @@ int MarkXml(const Args& args) {
             << adv.Redundancy() << " (" << s.scheme->CapacityBits()
             << " pairs), per-query distortion <= " << s.scheme->DistortionBound()
             << "\n";
-  auto mark = ParseMark(args.GetOr("mark", "1"), adv.CapacityBits());
+  auto codec = CodecFromArgs(args);
+  if (!codec.ok()) {
+    std::cerr << codec.status() << "\n";
+    return kExitError;
+  }
+  std::optional<CodedWatermark> wm;
+  if (codec.value()) {
+    wm.emplace(adv, *codec.value());
+    std::cout << "codec " << codec.value()->Name() << ": payload "
+              << wm->PayloadBits() << " bit(s) over " << wm->UsedChannelBits()
+              << " channel bit(s)\n";
+  }
+  auto mark = ParseMark(args.GetOr("mark", "1"),
+                        wm ? wm->PayloadBits() : adv.CapacityBits());
   if (!mark.ok()) {
     std::cerr << mark.status() << "\n";
     return kExitError;
   }
-  WeightMap marked = adv.Embed(s.encoded->weights, mark.value());
+  WeightMap marked = wm ? wm->Embed(s.encoded->weights, mark.value())
+                        : adv.Embed(s.encoded->weights, mark.value());
   XmlDocument out_doc = ApplyWeights(s.doc, *s.encoded, marked);
   Status written =
       WriteFile(args.GetOr("out", in.value() + ".marked"), SerializeXml(out_doc));
@@ -513,6 +650,20 @@ int DetectXml(const Args& args) {
   }
 
   AdversarialScheme adv(*s.scheme, redundancy.value());
+  auto codec = CodecFromArgs(args);
+  if (!codec.ok()) {
+    std::cerr << codec.status() << "\n";
+    return kExitError;
+  }
+  if (codec.value()) {
+    CodedWatermark wm(adv, *codec.value());
+    auto detection = wm.Detect(s.encoded->weights, server);
+    if (!detection.ok()) {
+      std::cerr << detection.status() << "\n";
+      return kExitError;
+    }
+    return ReportCodedDetection(args, wm, detection.value());
+  }
   auto detection = adv.Detect(s.encoded->weights, server);
   if (!detection.ok()) {
     std::cerr << detection.status() << "\n";
@@ -525,27 +676,54 @@ void Usage() {
   std::cerr <<
       "usage: qpwm <mark-csv|detect-csv|mark-xml|detect-xml> [--flag value]...\n"
       "  mark-csv   --in F --schema C --query Q [--param-column C] [--key K0:K1]\n"
-      "             [--eps E] [--mark BITS] [--redundancy R] [--out F]\n"
+      "             [--eps E] [--mark BITS] [--redundancy R] [--codec C] [--out F]\n"
       "  detect-csv --original F --suspect F [--min-margin M] (+ mark-csv flags)\n"
       "  mark-xml   --in F --weight-tags T[,T] --xpath X [--key K0:K1]\n"
-      "             [--mark BITS] [--redundancy R] [--out F]\n"
+      "             [--mark BITS] [--redundancy R] [--codec C] [--out F]\n"
       "  detect-xml --original F --suspect F [--min-margin M] (+ mark-xml flags)\n"
-      "exit codes: 0 ok / match, 1 mark contradicted, 2 I/O or usage error,\n"
-      "            3 partial detection (erasures or margin below --min-margin)\n";
+      "flags:\n"
+      "  --redundancy R  spread each channel bit over R weight pairs; detection\n"
+      "                  takes an erasure-aware majority vote per group (default 1)\n"
+      "  --min-margin M  raw-channel confidence threshold: a detection whose\n"
+      "                  minimum vote margin is below M reports PARTIAL (default 0)\n"
+      "  --codec C       layer a message codec over the channel: " "\n"
+      "                  " << KnownCodecSpecs() << ".\n"
+      "                  Non-identity codecs interleave codewords across pair\n"
+      "                  groups, decode with soft margins, and report a verdict\n"
+      "                  with a false-positive bound; identity (or omitting the\n"
+      "                  flag) keeps the raw channel path\n"
+      "exit codes: 0 ok / match, 1 mark contradicted or no mark, 2 I/O or usage\n"
+      "            error, 3 partial detection (erasures, margin below\n"
+      "            --min-margin, or a false-positive bound above threshold)\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    }
+  }
   if (argc < 2) {
     Usage();
     return 2;
   }
   std::string command = argv[1];
   Args args;
-  for (int i = 2; i + 1 < argc; i += 2) {
+  // Flags come in "--name value" pairs and must be known; anything else is a
+  // usage error, never silently ignored.
+  for (int i = 2; i < argc; i += 2) {
     std::string flag = argv[i];
-    if (flag.rfind("--", 0) != 0) {
+    if (flag.rfind("--", 0) != 0 || !IsKnownFlag(flag.substr(2))) {
+      std::cerr << "unknown flag '" << flag << "'\n";
+      Usage();
+      return 2;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << flag << " requires a value\n";
       Usage();
       return 2;
     }

@@ -1,16 +1,25 @@
 // qpwm_faultgen — fault-injection campaign against the adversarial scheme.
 //
-// Sweeps structural attacks (pair-element deletion at 0..90%, spurious tuple
-// insertion, and combined mixes) over seeded trials on a synthetic workload,
-// and emits a JSON survival-curve report: per attack level, the fraction of
-// trials where the full mark was recovered, where every recovered bit was
-// correct, and the mean erasure / margin statistics.
+// Two report families, both emitted into one JSON document (BENCH_robust.json
+// in CI):
 //
-// The workload (graph, query index, planned scheme) is built once from the
-// campaign seed and shared read-only by every trial — planning is the
-// expensive part and is identical across trials anyway. Trials within an
-// attack level run in parallel on the shared thread pool with deterministic
-// per-trial seeds, so the report is bit-identical for any QPWM_THREADS.
+//   * Channel campaigns (deletion / insertion / mixed sweeps): the raw
+//     majority-vote channel under structural attacks, as in PR 1.
+//   * Codec grid: every message codec (identity = the uncoded baseline,
+//     codec-level repetition, interleaved Hamming(7,4), interleaved
+//     Reed-Muller RM(1,4), plus a non-interleaved Hamming ablation) against
+//     a composed adversary (value noise + jitter + rounding + burst region
+//     deletion + independent deletion + insertion) swept over severity
+//     levels. Per level: payload survival, corrections, false-positive
+//     bounds, plus honest-suspect trials (unmarked original and unrelated
+//     weights) that must never produce a MATCH verdict.
+//
+// Every trial's attack seed is derived deterministically and recorded in the
+// report, so any single trial replays from the report alone. The workload
+// (graph, query index, planned scheme) is built once from the campaign seed
+// and shared read-only by every trial. Trials within a level run in parallel
+// on the shared thread pool; the report is byte-identical for any
+// QPWM_THREADS.
 //
 // Flags (all optional):
 //   --elements N     universe size of the random workload      (default 400)
@@ -18,6 +27,7 @@
 //   --trials T       seeded trials per attack level            (default 20)
 //   --seed S         campaign base seed                        (default 1)
 //   --threads N      worker threads (0 = QPWM_THREADS/hardware) (default 0)
+//   --codec C        restrict the codec grid to one codec spec  (default all)
 //   --out F          JSON report path                          (default stdout)
 //
 // Exit codes follow the CLI contract: 0 = campaign ran, 2 = usage/I/O error.
@@ -30,6 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "qpwm/coding/coded_watermark.h"
+#include "qpwm/coding/codec.h"
 #include "qpwm/core/adversarial.h"
 #include "qpwm/core/attack.h"
 #include "qpwm/core/local_scheme.h"
@@ -48,9 +60,18 @@ struct Options {
   size_t redundancy = 5;
   size_t trials = 20;
   uint64_t seed = 1;
-  size_t threads = 0;  // 0 = env/hardware default
-  std::string out;     // empty = stdout
+  size_t threads = 0;   // 0 = env/hardware default
+  std::string codec;    // empty = the full grid
+  std::string out;      // empty = stdout
 };
+
+// Per-trial attack seeds are seed + tag * kSeedStride + trial; the formula is
+// recorded in the report next to the explicit seed lists.
+constexpr uint64_t kSeedStride = 1000003;
+
+uint64_t TrialSeed(const Options& opt, uint64_t level_tag, size_t trial) {
+  return opt.seed + level_tag * kSeedStride + trial;
+}
 
 // The planned scheme every trial detects against. Built once per campaign;
 // all members are immutable after Build and safe to share across trials.
@@ -82,6 +103,8 @@ struct Workload {
   }
 };
 
+// --- Channel campaigns (raw majority channel, as in PR 1) -------------------
+
 struct TrialOutcome {
   bool full_mark = false;           // complete() and mark == message
   bool recovered_correct = false;   // every non-erased bit matches
@@ -94,6 +117,7 @@ struct LevelSummary {
   double deletion_frac = 0;
   double insertion_frac = 0;
   size_t trials = 0;
+  uint64_t level_tag = 0;
   size_t full_mark = 0;
   size_t recovered_correct = 0;
   double mean_bits_erased = 0;
@@ -147,13 +171,14 @@ LevelSummary RunLevel(const Options& opt, const Workload& wl,
   s.deletion_frac = deletion_frac;
   s.insertion_frac = insertion_frac;
   s.trials = opt.trials;
+  s.level_tag = level_tag;
   // Trials are independent given their seeds; ParallelMap stores outcomes by
   // trial index and the reduction below runs serially in that order, so the
   // summary is bit-identical for any thread count.
   std::vector<TrialOutcome> outcomes =
       ParallelMap<TrialOutcome>(opt.trials, [&](size_t t) {
         return RunTrial(wl, deletion_frac, insertion_frac,
-                        opt.seed + level_tag * 1000003 + t);
+                        TrialSeed(opt, level_tag, t));
       });
   for (const TrialOutcome& o : outcomes) {
     s.full_mark += o.full_mark;
@@ -169,8 +194,17 @@ LevelSummary RunLevel(const Options& opt, const Workload& wl,
   return s;
 }
 
-void AppendLevelJson(std::ostringstream& json, const LevelSummary& s,
-                     bool last) {
+void AppendTrialSeeds(std::ostringstream& json, const Options& opt,
+                      uint64_t level_tag) {
+  json << "\"trial_seeds\": [";
+  for (size_t t = 0; t < opt.trials; ++t) {
+    json << (t ? ", " : "") << TrialSeed(opt, level_tag, t);
+  }
+  json << "]";
+}
+
+void AppendLevelJson(std::ostringstream& json, const Options& opt,
+                     const LevelSummary& s, bool last) {
   const double n = static_cast<double>(s.trials);
   json << "    {\"deletion_frac\": " << s.deletion_frac
        << ", \"insertion_frac\": " << s.insertion_frac
@@ -180,8 +214,213 @@ void AppendLevelJson(std::ostringstream& json, const LevelSummary& s,
        << static_cast<double>(s.recovered_correct) / n
        << ", \"mean_bits_erased\": " << s.mean_bits_erased
        << ", \"mean_pairs_erased\": " << s.mean_pairs_erased
-       << ", \"mean_min_margin\": " << s.mean_min_margin << "}"
-       << (last ? "\n" : ",\n");
+       << ", \"mean_min_margin\": " << s.mean_min_margin << ", ";
+  AppendTrialSeeds(json, opt, s.level_tag);
+  json << "}" << (last ? "\n" : ",\n");
+}
+
+// --- Codec grid (coded channel vs composed adversaries) ---------------------
+
+struct GridCodec {
+  std::string label;  // as reported
+  std::string spec;   // MakeCodec spec
+  bool interleave;
+};
+
+// The grid: the uncoded baseline, the codec-level repetition baseline, the
+// two ECC codecs (interleaved), and a non-interleaved Hamming ablation that
+// shows why the interleaver is load-bearing under burst deletion.
+const GridCodec kGridCodecs[] = {
+    {"identity", "identity", true},
+    {"repetition:3", "repetition:3", true},
+    {"hamming", "hamming", true},
+    {"hamming:flat", "hamming", false},
+    {"rm:4", "rm:4", true},
+};
+
+// Severity s scales every stage of the composed adversary. The burst region
+// is the headline knob (it is what interleaving defends); the value-tier
+// stages switch on at higher severities.
+ComposedAttackSpec SpecForSeverity(double s, uint64_t seed) {
+  ComposedAttackSpec spec;
+  spec.region_frac = s;
+  spec.deletion_frac = 0.2 * s;
+  spec.insertion_frac = 0.5 * s;
+  spec.noise = s >= 0.3 ? 1 : 0;
+  spec.jitter_prob = 0.2 * s;
+  spec.rounding = s >= 0.45 ? 2 : 0;
+  spec.seed = seed;
+  return spec;
+}
+
+const double kSeverities[] = {0.0, 0.15, 0.3, 0.45, 0.6};
+
+struct CodedTrialOutcome {
+  bool payload_full = false;     // complete and equal to the embedded payload
+  bool payload_correct = false;  // every recovered payload bit matches
+  bool verdict_match = false;    // MATCH verdict and equal payload
+  size_t payload_erased = 0;
+  size_t channel_erased = 0;
+  size_t corrected = 0;
+  size_t filled = 0;
+  double log10_fp = 0;
+};
+
+CodedTrialOutcome RunCodedTrial(const Workload& wl, const CodedWatermark& wm,
+                                double severity, uint64_t seed) {
+  Rng rng(seed);
+  CodedTrialOutcome out;
+  if (wm.PayloadBits() == 0) return out;
+
+  BitVec payload(wm.PayloadBits());
+  for (size_t i = 0; i < payload.size(); ++i) payload.Set(i, rng.Coin());
+  WeightMap marked = wm.Embed(*wl.weights, payload);
+
+  ComposedSuspect suspect =
+      ApplyComposedAttack(*wl.index, wl.scheme->marking().pairs(),
+                          wl.adv->Redundancy(), marked,
+                          SpecForSeverity(severity, seed));
+  auto detection = wm.Detect(*wl.weights, *suspect.server);
+  QPWM_CHECK(detection.ok());
+  const CodedDetection& d = detection.value();
+
+  out.payload_erased = d.message.bits_erased;
+  out.channel_erased = d.channel.bits_erased;
+  out.corrected = d.message.corrected;
+  out.filled = d.message.filled;
+  out.log10_fp = d.verdict.log10_fp_bound;
+  out.payload_correct = true;
+  for (size_t i = 0; i < d.message.payload.size(); ++i) {
+    if (!d.message.bit_erased[i] &&
+        d.message.payload.Get(i) != payload.Get(i)) {
+      out.payload_correct = false;
+    }
+  }
+  out.payload_full = d.message.complete() && d.message.payload == payload;
+  out.verdict_match = d.verdict.kind == VerdictKind::kMatch &&
+                      d.message.payload == payload;
+  return out;
+}
+
+// Honest-suspect trial: the suspect either serves the unmarked original
+// weights (even trials) or unrelated random weights (odd trials). Either
+// way a MATCH verdict is a false positive.
+struct HonestOutcome {
+  bool false_positive = false;
+  double log10_fp = 0;
+};
+
+HonestOutcome RunHonestTrial(const Workload& wl, const CodedWatermark& wm,
+                             size_t trial, uint64_t seed) {
+  HonestOutcome out;
+  if (wm.PayloadBits() == 0) return out;
+  Rng rng(seed);
+  WeightMap weights =
+      (trial % 2 == 0) ? *wl.weights : RandomWeights(wl.g, 1000, 9999, rng);
+  HonestServer server(*wl.index, std::move(weights));
+  auto detection = wm.Detect(*wl.weights, server);
+  QPWM_CHECK(detection.ok());
+  out.false_positive = detection.value().verdict.kind == VerdictKind::kMatch;
+  out.log10_fp = detection.value().verdict.log10_fp_bound;
+  return out;
+}
+
+void RunCodecGrid(const Options& opt, const Workload& wl,
+                  std::ostringstream& json) {
+  bool first_codec = true;
+  json << "  \"codec_grid\": [\n";
+  uint64_t tag = 300;  // level tags continue after the channel campaigns
+  for (const GridCodec& entry : kGridCodecs) {
+    const uint64_t codec_tag_base = tag;
+    tag += 100;
+    if (!opt.codec.empty() && opt.codec != entry.label &&
+        opt.codec != entry.spec) {
+      continue;
+    }
+    auto codec = MakeCodec(entry.spec);
+    QPWM_CHECK(codec.ok());
+    CodedOptions coded_opts;
+    coded_opts.interleave = entry.interleave;
+    CodedWatermark wm(*wl.adv, *codec.value(), coded_opts);
+    std::cerr << "codec " << entry.label;
+
+    if (!first_codec) json << ",\n";
+    first_codec = false;
+    json << "    {\"codec\": \"" << entry.label << "\", \"spec\": \""
+         << entry.spec << "\", \"interleave\": "
+         << (entry.interleave ? "true" : "false")
+         << ", \"payload_bits\": " << wm.PayloadBits()
+         << ", \"used_channel_bits\": " << wm.UsedChannelBits()
+         << ", \"min_distance\": " << codec.value()->MinDistance()
+         << ",\n     \"levels\": [\n";
+
+    for (size_t li = 0; li < std::size(kSeverities); ++li) {
+      const double severity = kSeverities[li];
+      const uint64_t level_tag = codec_tag_base + li;
+      std::cerr << " " << severity << std::flush;
+      std::vector<CodedTrialOutcome> outcomes =
+          ParallelMap<CodedTrialOutcome>(opt.trials, [&](size_t t) {
+            return RunCodedTrial(wl, wm, severity, TrialSeed(opt, level_tag, t));
+          });
+      size_t full = 0, correct = 0, match = 0;
+      double erased = 0, ch_erased = 0, corrected = 0, filled = 0;
+      double mean_fp = 0, max_fp = -1e300;
+      for (const CodedTrialOutcome& o : outcomes) {
+        full += o.payload_full;
+        correct += o.payload_correct;
+        match += o.verdict_match;
+        erased += static_cast<double>(o.payload_erased);
+        ch_erased += static_cast<double>(o.channel_erased);
+        corrected += static_cast<double>(o.corrected);
+        filled += static_cast<double>(o.filled);
+        mean_fp += o.log10_fp;
+        max_fp = std::max(max_fp, o.log10_fp);
+      }
+      const double n = static_cast<double>(opt.trials);
+      const ComposedAttackSpec spec = SpecForSeverity(severity, 0);
+      json << "       {\"severity\": " << severity
+           << ", \"attack\": {\"noise\": " << spec.noise
+           << ", \"jitter_prob\": " << spec.jitter_prob
+           << ", \"rounding\": " << spec.rounding
+           << ", \"deletion_frac\": " << spec.deletion_frac
+           << ", \"region_frac\": " << spec.region_frac
+           << ", \"insertion_frac\": " << spec.insertion_frac << "}"
+           << ", \"trials\": " << opt.trials
+           << ", \"payload_full_rate\": " << static_cast<double>(full) / n
+           << ", \"payload_correct_rate\": " << static_cast<double>(correct) / n
+           << ", \"verdict_match_rate\": " << static_cast<double>(match) / n
+           << ", \"mean_payload_bits_erased\": " << erased / n
+           << ", \"mean_channel_bits_erased\": " << ch_erased / n
+           << ", \"mean_corrected\": " << corrected / n
+           << ", \"mean_filled\": " << filled / n
+           << ", \"mean_log10_fp_bound\": " << mean_fp / n
+           << ", \"max_log10_fp_bound\": " << max_fp << ", ";
+      AppendTrialSeeds(json, opt, level_tag);
+      json << "}" << (li + 1 < std::size(kSeverities) ? ",\n" : "\n");
+    }
+    json << "     ],\n";
+
+    // Honest suspects: unmarked original and unrelated random weights.
+    const uint64_t honest_tag = codec_tag_base + 99;
+    std::cerr << " honest" << std::flush;
+    std::vector<HonestOutcome> honest =
+        ParallelMap<HonestOutcome>(opt.trials, [&](size_t t) {
+          return RunHonestTrial(wl, wm, t, TrialSeed(opt, honest_tag, t));
+        });
+    size_t fps = 0;
+    double worst_fp = 0;  // log10: closest an honest suspect came to a match
+    for (const HonestOutcome& h : honest) {
+      fps += h.false_positive;
+      worst_fp = std::min(worst_fp, h.log10_fp);
+    }
+    json << "     \"honest\": {\"trials\": " << opt.trials
+         << ", \"false_positives\": " << fps
+         << ", \"min_log10_fp_bound\": " << worst_fp << ", ";
+    AppendTrialSeeds(json, opt, honest_tag);
+    json << "}}";
+    std::cerr << "\n";
+  }
+  json << "\n  ]\n";
 }
 
 int Run(const Options& opt) {
@@ -195,13 +434,18 @@ int Run(const Options& opt) {
        << ", \"redundancy\": " << opt.redundancy
        << ", \"trials\": " << opt.trials << ", \"seed\": " << opt.seed
        << ", \"capacity_bits\": " << wl->adv->CapacityBits() << "},\n";
+  // Reproducibility contract: every level records its explicit trial seeds,
+  // derived as below; an attack replays from (spec, seed) alone.
+  json << "  \"seed_schedule\": {\"base_seed\": " << opt.seed
+       << ", \"stride\": " << kSeedStride
+       << ", \"formula\": \"base_seed + level_tag * stride + trial\"},\n";
 
   // Campaign 1: deletion sweep 0..90%.
   std::cerr << "deletion sweep";
   json << "  \"deletion_sweep\": [\n";
   for (int i = 0; i <= 9; ++i) {
     std::cerr << " " << i * 10 << "%" << std::flush;
-    AppendLevelJson(json,
+    AppendLevelJson(json, opt,
                     RunLevel(opt, *wl, i * 0.1, 0.0, static_cast<uint64_t>(i)),
                     i == 9);
   }
@@ -214,7 +458,8 @@ int Run(const Options& opt) {
   for (int i = 0; i <= 4; ++i) {
     std::cerr << " " << i * 25 << "%" << std::flush;
     AppendLevelJson(
-        json, RunLevel(opt, *wl, 0.0, i * 0.25, 100 + static_cast<uint64_t>(i)),
+        json, opt,
+        RunLevel(opt, *wl, 0.0, i * 0.25, 100 + static_cast<uint64_t>(i)),
         i == 4);
   }
   json << "  ],\n";
@@ -226,13 +471,17 @@ int Run(const Options& opt) {
   const double mixes[][2] = {{0.1, 0.1}, {0.3, 0.25}, {0.5, 0.5}, {0.7, 0.5}};
   for (size_t i = 0; i < 4; ++i) {
     std::cerr << " " << mixes[i][0] << "/" << mixes[i][1] << std::flush;
-    AppendLevelJson(json,
+    AppendLevelJson(json, opt,
                     RunLevel(opt, *wl, mixes[i][0], mixes[i][1],
                              200 + static_cast<uint64_t>(i)),
                     i == 3);
   }
-  json << "  ]\n}\n";
+  json << "  ],\n";
   std::cerr << "\n";
+
+  // Campaign 4: codec x composed-adversary severity grid.
+  RunCodecGrid(opt, *wl, json);
+  json << "}\n";
 
   if (opt.out.empty()) {
     std::cout << json.str();
@@ -250,7 +499,12 @@ int Run(const Options& opt) {
 
 int Usage(int code) {
   std::cerr << "usage: qpwm_faultgen [--elements N] [--redundancy R]\n"
-               "       [--trials T] [--seed S] [--threads N] [--out report.json]\n";
+               "       [--trials T] [--seed S] [--threads N] [--codec C]\n"
+               "       [--out report.json]\n"
+               "codecs: "
+            << KnownCodecSpecs()
+            << "; --codec restricts the codec grid,\n"
+               "grid labels also accept hamming:flat (no interleaving).\n";
   return code;
 }
 
@@ -280,6 +534,18 @@ int main(int argc, char** argv) {
     uint64_t parsed = 0;
     if (flag == "--out") {
       opt.out = value;
+      continue;
+    }
+    if (flag == "--codec") {
+      bool known = value == "hamming:flat";
+      for (const GridCodec& entry : kGridCodecs) {
+        known |= value == entry.label || value == entry.spec;
+      }
+      if (!known) {
+        std::cerr << "unknown codec '" << value << "'\n";
+        return Usage(2);
+      }
+      opt.codec = value;
       continue;
     }
     if (!ParseU64(value, parsed)) {
