@@ -96,7 +96,7 @@ int main() {
       rotated.AddTuple(size_t{0}, Tuple{a, b});
       rotated.AddTuple(size_t{0}, Tuple{b, a});
     }
-    rotated.Finalize();
+    rotated.Seal();
     QueryIndex rotated_index(rotated, *query, AllParams(rotated, 1));
     report("rewire into another 2-regular graph", scheme, rotated_index);
 
@@ -106,7 +106,7 @@ int main() {
       cut.AddTuple(size_t{0}, Tuple{i, static_cast<ElemId>(i + 1)});
       cut.AddTuple(size_t{0}, Tuple{static_cast<ElemId>(i + 1), i});
     }
-    cut.Finalize();
+    cut.Seal();
     QueryIndex cut_index(cut, *query, AllParams(cut, 1));
     report("cut one edge (cycle -> path)", scheme, cut_index);
 

@@ -40,7 +40,7 @@ struct AkEmbedStats {
 };
 
 /// Embeds the watermark into a copy of `table` (its weight columns).
-Result<Table> AkEmbed(const Table& table, const AkOptions& options,
+[[nodiscard]] Result<Table> AkEmbed(const Table& table, const AkOptions& options,
                       AkEmbedStats* stats = nullptr);
 
 struct AkDetection {
@@ -51,7 +51,7 @@ struct AkDetection {
 };
 
 /// Runs detection against a (possibly attacked or unrelated) table.
-Result<AkDetection> AkDetect(const Table& suspect, const AkOptions& options);
+[[nodiscard]] Result<AkDetection> AkDetect(const Table& suspect, const AkOptions& options);
 
 /// P[Binomial(n, 1/2) >= k]: the detector's false-positive tail.
 double BinomialTailAtLeast(size_t n, size_t k);

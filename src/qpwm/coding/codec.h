@@ -192,7 +192,7 @@ class ReedMullerCodec : public CodebookCodec {
 /// Parses a codec spec: "identity", "repetition[:R]" (default R = 3),
 /// "hamming", "rm[:M]" (default M = 4, 2 <= M <= 5). Unknown names and bad
 /// parameters are kInvalidArgument listing the known specs.
-Result<std::unique_ptr<MessageCodec>> MakeCodec(const std::string& spec);
+[[nodiscard]] Result<std::unique_ptr<MessageCodec>> MakeCodec(const std::string& spec);
 
 /// The spec grammar, for usage/help text.
 const char* KnownCodecSpecs();

@@ -68,7 +68,7 @@ class CodedWatermark {
 
   /// Detects, decodes, and judges. Never fails on structural damage —
   /// erasures flow through the decoder into a partial verdict.
-  Result<CodedDetection> Detect(const WeightMap& original,
+  [[nodiscard]] Result<CodedDetection> Detect(const WeightMap& original,
                                 const AnswerServer& suspect,
                                 const DetectOptions& options = {}) const;
 

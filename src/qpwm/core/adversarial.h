@@ -95,7 +95,7 @@ class AdversarialScheme {
   /// Majority decoding from suspect answers. `options` selects the serving
   /// fast paths (batched witness answers, dense weight views); the detection
   /// output is bit-identical for every setting.
-  Result<AdversarialDetection> Detect(const WeightMap& original,
+  [[nodiscard]] Result<AdversarialDetection> Detect(const WeightMap& original,
                                       const AnswerServer& suspect,
                                       const DetectOptions& options = {}) const;
 

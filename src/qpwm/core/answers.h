@@ -59,14 +59,14 @@ class QueryIndex {
   const std::vector<Tuple>& domain() const { return domain_; }
 
   /// Index of a parameter tuple in the domain.
-  Result<size_t> FindParam(const Tuple& params) const;
+  [[nodiscard]] Result<size_t> FindParam(const Tuple& params) const;
 
   /// |W|: number of distinct active weighted elements.
   size_t num_active() const { return active_.size(); }
   const Tuple& active_element(size_t w) const { return active_[w]; }
 
   /// Dense index of an s-tuple among the active elements.
-  Result<size_t> FindActive(const Tuple& t) const;
+  [[nodiscard]] Result<size_t> FindActive(const Tuple& t) const;
 
   /// Result-arity-1 fast path: active id of element `e`, or -1 when `e` is
   /// inactive or out of the universe. Only available when the query's result

@@ -206,6 +206,7 @@ std::vector<Tuple> PairRegionDeletionAttack(const QueryIndex& index,
     }
   }
   out.reserve(doomed.size());
+  // qpwm-lint: allow(unordered-iter) -- drained fully; sorted just below
   for (uint32_t w : doomed) out.push_back(index.active_element(w));
   // Deterministic output order regardless of hash-set iteration.
   std::sort(out.begin(), out.end());

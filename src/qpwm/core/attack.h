@@ -59,20 +59,20 @@ WeightMap GuessingPairAttack(const WeightMap& marked, const QueryIndex& index,
 /// against naive re-marking after updates. All copies must cover the same
 /// weight domain; mismatched domains (e.g. copies of different subsets) are
 /// rejected with kInvalidArgument instead of silently averaging garbage.
-Result<WeightMap> AveragingCollusionAttack(const std::vector<const WeightMap*>& copies);
+[[nodiscard]] Result<WeightMap> AveragingCollusionAttack(const std::vector<const WeightMap*>& copies);
 
 /// Collusion by per-weight median (lower median on even counts): with three
 /// or more copies the median kills any pair delta that only one copy
 /// carries, a strictly stronger wash-out than averaging for odd counts.
 /// Same domain contract as AveragingCollusionAttack.
-Result<WeightMap> MedianCollusionAttack(const std::vector<const WeightMap*>& copies);
+[[nodiscard]] Result<WeightMap> MedianCollusionAttack(const std::vector<const WeightMap*>& copies);
 
 /// Collusion by per-weight extremes: each weight is replaced by the minimum
 /// or maximum across copies, chosen by a coin from `rng`. Models colluders
 /// who prefer plausible-looking outliers over smoothing; the marked deltas
 /// survive with probability 1/2 per pair side instead of being averaged
 /// away. Same domain contract as AveragingCollusionAttack.
-Result<WeightMap> MinMaxCollusionAttack(const std::vector<const WeightMap*>& copies,
+[[nodiscard]] Result<WeightMap> MinMaxCollusionAttack(const std::vector<const WeightMap*>& copies,
                                         Rng& rng);
 
 // --- Tier 2: structural attacks --------------------------------------------

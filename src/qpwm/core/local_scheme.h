@@ -67,7 +67,7 @@ class LocalScheme {
  public:
   /// Runs the planning pipeline. The returned scheme may have capacity 0 if
   /// no non-empty epsilon-good subset was found within the retry budget.
-  static Result<LocalScheme> Plan(const QueryIndex& index,
+  [[nodiscard]] static Result<LocalScheme> Plan(const QueryIndex& index,
                                   const LocalSchemeOptions& options);
 
   /// Number of hidden bits l (= number of selected pairs).
@@ -101,12 +101,12 @@ class LocalScheme {
   /// Detector D, non-adversarial: recovers the mark from suspect answers.
   /// Needs the original weights (the owner has them) and indirect access to
   /// the suspect server.
-  Result<BitVec> Detect(const WeightMap& original, const AnswerServer& suspect) const;
+  [[nodiscard]] Result<BitVec> Detect(const WeightMap& original, const AnswerServer& suspect) const;
 
   /// Raw per-pair deltas ((w*+ - w+) - (w*- - w-)). Strict: a pair element
   /// missing from the suspect's answers fails the whole read with
   /// kDetectionFailed (the pre-structural-attack contract).
-  Result<std::vector<Weight>> PairDeltas(const WeightMap& original,
+  [[nodiscard]] Result<std::vector<Weight>> PairDeltas(const WeightMap& original,
                                          const AnswerServer& suspect) const;
 
   /// Erasure-aware per-pair reading: a pair whose element is missing from the

@@ -71,7 +71,7 @@ class TreeScheme {
   /// `dta` track convention: track 0 = parameter (if param_arity == 1), next
   /// track = result node. The tree, labels and automaton are captured by
   /// reference and must outlive the scheme.
-  static Result<TreeScheme> Plan(const BinaryTree& t,
+  [[nodiscard]] static Result<TreeScheme> Plan(const BinaryTree& t,
                                  const std::vector<uint32_t>& labels,
                                  uint32_t base_count, const Dta& dta,
                                  uint32_t param_arity,
@@ -95,11 +95,11 @@ class TreeScheme {
   void ApplyMark(const BitVec& mark, WeightMap& weights, PairEncoding encoding) const;
 
   /// Detector (non-adversarial): recovers the mark from suspect answers.
-  Result<BitVec> Detect(const WeightMap& original, const AnswerServer& suspect) const;
+  [[nodiscard]] Result<BitVec> Detect(const WeightMap& original, const AnswerServer& suspect) const;
 
   /// Per-pair deltas, strict: a pair node missing from its witness answer
   /// fails the whole read with kDetectionFailed.
-  Result<std::vector<Weight>> PairDeltas(const WeightMap& original,
+  [[nodiscard]] Result<std::vector<Weight>> PairDeltas(const WeightMap& original,
                                          const AnswerServer& suspect) const;
 
   /// Erasure-aware per-pair reading: a pair node missing from its witness

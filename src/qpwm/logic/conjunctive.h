@@ -47,7 +47,7 @@ class ConjunctiveQuery : public ParametricQuery {
 
   /// Parses the textual form. Arities are inferred from the variables used;
   /// every parameter/result index up to the maximum must appear.
-  static Result<ConjunctiveQuery> Parse(std::string_view text);
+  [[nodiscard]] static Result<ConjunctiveQuery> Parse(std::string_view text);
 
   uint32_t ParamArity() const override { return r_; }
   uint32_t ResultArity() const override { return s_; }

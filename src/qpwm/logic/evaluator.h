@@ -33,7 +33,7 @@ class Evaluator {
 
   /// Truth of `f` under `env`; all free variables must be assigned.
   /// Fails with InvalidArgument on unknown relations or unbound variables.
-  Result<bool> Eval(const Formula& f, Environment& env) const;
+  [[nodiscard]] Result<bool> Eval(const Formula& f, Environment& env) const;
 
   /// Aborting convenience wrapper.
   bool MustEval(const Formula& f, Environment& env) const;

@@ -38,6 +38,7 @@ uint64_t MaxSameTypeDivergence(const Structure& g, const ParametricQuery& query,
   for (const Tuple& a : domain) by_type[typer.TypeOf(a)].push_back(&a);
 
   uint64_t worst = 0;
+  // qpwm-lint: allow(unordered-iter) -- max reduction, order-independent
   for (auto& [type, members] : by_type) {
     (void)type;
     std::vector<std::unordered_set<Tuple, TupleHash>> answers;

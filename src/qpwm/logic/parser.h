@@ -15,7 +15,7 @@
 namespace qpwm {
 
 /// Parses a formula; returns ParseError with position context on failure.
-Result<FormulaPtr> ParseFormula(std::string_view text);
+[[nodiscard]] Result<FormulaPtr> ParseFormula(std::string_view text);
 
 /// Parses, aborting on error — for formulas embedded in code.
 FormulaPtr MustParseFormula(std::string_view text);

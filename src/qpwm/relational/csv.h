@@ -15,7 +15,7 @@ namespace qpwm {
 
 /// Parses CSV text into a table named `name`. `columns` must match the
 /// header names in order (roles attached by the caller).
-Result<Table> TableFromCsv(std::string name, std::vector<ColumnSpec> columns,
+[[nodiscard]] Result<Table> TableFromCsv(std::string name, std::vector<ColumnSpec> columns,
                            std::string_view csv);
 
 /// Renders a table as CSV (header + rows).

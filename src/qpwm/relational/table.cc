@@ -143,7 +143,7 @@ Result<RelationalInstance> ToWeightedStructure(const Database& db) {
       }
     }
   }
-  out.structure.Finalize();
+  out.structure.Seal();
   return out;
 }
 

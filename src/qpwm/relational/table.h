@@ -41,10 +41,10 @@ class Table {
   std::vector<Cell>& mutable_row(size_t i) { return rows_[i]; }
 
   /// Index of the column named `name`.
-  Result<size_t> ColumnIndex(const std::string& name) const;
+  [[nodiscard]] Result<size_t> ColumnIndex(const std::string& name) const;
 
   /// Appends a row; cell kinds must match column roles.
-  Status AddRow(std::vector<Cell> row);
+  [[nodiscard]] Status AddRow(std::vector<Cell> row);
 
   /// Key cell as string / weight cell as integer (role-checked).
   const std::string& KeyAt(size_t row, size_t col) const;
@@ -65,8 +65,8 @@ class Database {
  public:
   Table& AddTable(Table t);
   const std::vector<Table>& tables() const { return tables_; }
-  Result<const Table*> Find(const std::string& name) const;
-  Result<Table*> FindMutable(const std::string& name);
+  [[nodiscard]] Result<const Table*> Find(const std::string& name) const;
+  [[nodiscard]] Result<Table*> FindMutable(const std::string& name);
 
  private:
   std::vector<Table> tables_;
@@ -86,11 +86,11 @@ struct RelationalInstance {
 };
 
 /// Converts; fails if one element receives two different weights.
-Result<RelationalInstance> ToWeightedStructure(const Database& db);
+[[nodiscard]] Result<RelationalInstance> ToWeightedStructure(const Database& db);
 
 /// Writes (watermarked) element weights back into the weight cells of a copy
 /// of `db` (inverse of ToWeightedStructure on the weight part).
-Result<Database> ApplyWeightsToDatabase(const Database& db,
+[[nodiscard]] Result<Database> ApplyWeightsToDatabase(const Database& db,
                                         const RelationalInstance& instance,
                                         const WeightMap& weights);
 

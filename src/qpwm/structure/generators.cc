@@ -29,7 +29,7 @@ Structure RandomBoundedDegreeGraph(size_t n, size_t k, size_t edge_attempts,
     ++degree[u];
     ++degree[v];
   }
-  s.Finalize();
+  s.Seal();
   return s;
 }
 
@@ -40,7 +40,7 @@ Structure CycleGraph(size_t n, bool symmetric) {
     s.AddTuple(size_t{0}, Tuple{i, j});
     if (symmetric) s.AddTuple(size_t{0}, Tuple{j, i});
   }
-  s.Finalize();
+  s.Seal();
   return s;
 }
 
@@ -50,7 +50,7 @@ Structure PathGraph(size_t n, bool symmetric) {
     s.AddTuple(size_t{0}, Tuple{i, static_cast<ElemId>(i + 1)});
     if (symmetric) s.AddTuple(size_t{0}, Tuple{static_cast<ElemId>(i + 1), i});
   }
-  s.Finalize();
+  s.Seal();
   return s;
 }
 
@@ -66,7 +66,7 @@ Structure GridGraph(size_t w, size_t h) {
       if (y + 1 < h) s.AddTuple(size_t{1}, Tuple{id(x, y), id(x, y + 1)});
     }
   }
-  s.Finalize();
+  s.Seal();
   return s;
 }
 
@@ -85,7 +85,7 @@ Structure Figure1Instance() {
   s.AddTuple(size_t{0}, Tuple{f, e});
   s.AddTuple(size_t{0}, Tuple{d, a});
   s.AddTuple(size_t{0}, Tuple{e, b});
-  s.Finalize();
+  s.Seal();
   return s;
 }
 
@@ -101,7 +101,7 @@ Structure ShatterInstance(uint32_t n) {
       }
     }
   }
-  s.Finalize();
+  s.Seal();
   return s;
 }
 
@@ -126,7 +126,7 @@ Structure HalfShatterInstance(uint32_t n) {
   for (uint32_t j = 0; j < n; ++j) {
     s.AddTuple(size_t{0}, Tuple{a, static_cast<ElemId>(weights_base + j)});
   }
-  s.Finalize();
+  s.Seal();
   return s;
 }
 

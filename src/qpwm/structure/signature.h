@@ -36,7 +36,7 @@ class Signature {
   const std::vector<RelationSymbol>& symbols() const { return symbols_; }
 
   /// Index of the relation named `name`, or an error.
-  Result<size_t> Find(const std::string& name) const {
+  [[nodiscard]] Result<size_t> Find(const std::string& name) const {
     for (size_t i = 0; i < symbols_.size(); ++i) {
       if (symbols_[i].name == name) return i;
     }

@@ -4,7 +4,7 @@
 
 namespace qpwm {
 
-void Relation::Finalize() { std::sort(tuples_.begin(), tuples_.end()); }
+void Relation::Seal() { std::sort(tuples_.begin(), tuples_.end()); }
 
 void Relation::SetTuplesUnchecked(std::vector<Tuple> tuples) {
   tuples_ = std::move(tuples);
@@ -42,8 +42,8 @@ void Structure::AddTuple(const std::string& rel, Tuple t) {
   AddTuple(idx.value(), std::move(t));
 }
 
-void Structure::Finalize() {
-  for (auto& r : relations_) r.Finalize();
+void Structure::Seal() {
+  for (auto& r : relations_) r.Seal();
 }
 
 void Structure::SetElementName(ElemId e, std::string name) {

@@ -65,7 +65,7 @@ class Relation {
   }
 
   /// Sorts the tuple list for deterministic iteration order.
-  void Finalize();
+  void Seal();
 
  private:
   void RebuildSet() const;
@@ -99,13 +99,13 @@ class Structure {
   void AddTuple(const std::string& rel, Tuple t);
 
   /// Sorts every relation; call once after loading.
-  void Finalize();
+  void Seal();
 
   /// Optional display names.
   void SetElementName(ElemId e, std::string name);
   const std::string& ElementName(ElemId e) const;
   /// Id of the element named `name`, if any.
-  Result<ElemId> FindElement(const std::string& name) const;
+  [[nodiscard]] Result<ElemId> FindElement(const std::string& name) const;
 
   /// Total number of tuples across relations.
   size_t TotalTuples() const;

@@ -46,7 +46,9 @@ Weight WeightMap::LocalDistortion(const WeightMap& other) const {
     for (size_t i = 0; i < dense_.size(); ++i) update(dense_[i], other.dense_[i]);
     return worst;
   }
+  // qpwm-lint: allow(unordered-iter) -- max reduction, order-independent
   for (const auto& [t, w] : sparse_) update(w, other.Get(t));
+  // qpwm-lint: allow(unordered-iter) -- max reduction, order-independent
   for (const auto& [t, w] : other.sparse_) update(w, Get(t));
   return worst;
 }
@@ -55,6 +57,7 @@ bool WeightMap::SameDomain(const WeightMap& other) const {
   if (s_ != other.s_) return false;
   if (s_ == 1) return dense_.size() == other.dense_.size();
   if (sparse_.size() != other.sparse_.size()) return false;
+  // qpwm-lint: allow(unordered-iter) -- membership test, order-independent
   for (const auto& [t, w] : sparse_) {
     (void)w;
     if (other.sparse_.find(t) == other.sparse_.end()) return false;

@@ -7,8 +7,10 @@
 #ifndef QPWM_STRUCTURE_WEIGHTED_H_
 #define QPWM_STRUCTURE_WEIGHTED_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "qpwm/structure/structure.h"
@@ -57,7 +59,10 @@ class WeightMap {
   /// Cross-domain arithmetic (averaging, distortion) is undefined.
   bool SameDomain(const WeightMap& other) const;
 
-  /// Visits every tuple with a (possibly zero) explicitly assigned weight.
+  /// Visits every tuple with a (possibly zero) explicitly assigned weight, in
+  /// a deterministic order (element id for s = 1, lexicographic tuple order
+  /// otherwise) — callers serialize weights into reports and canonical forms,
+  /// so hash order must never leak out.
   template <typename Fn>  // Fn(const Tuple&, Weight)
   void ForEach(Fn&& fn) const {
     if (s_ == 1) {
@@ -67,7 +72,13 @@ class WeightMap {
         fn(static_cast<const Tuple&>(t), dense_[e]);
       }
     } else {
-      for (const auto& [t, w] : sparse_) fn(t, w);
+      std::vector<const std::pair<const Tuple, Weight>*> entries;
+      entries.reserve(sparse_.size());
+      // qpwm-lint: allow(unordered-iter) — collection pass; sorted below
+      for (const auto& kv : sparse_) entries.push_back(&kv);
+      std::sort(entries.begin(), entries.end(),
+                [](const auto* a, const auto* b) { return a->first < b->first; });
+      for (const auto* kv : entries) fn(kv->first, kv->second);
     }
   }
 

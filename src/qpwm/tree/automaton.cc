@@ -409,6 +409,8 @@ Nta Nta::RemapSymbols(uint32_t new_alphabet_size,
                       const std::vector<std::vector<uint32_t>>& new_syms) const {
   QPWM_CHECK_EQ(new_syms.size(), alphabet_size_);
   Nta out(num_states_, new_alphabet_size);
+  // Every consumer sorts target sets before use, so fill order is free.
+  // qpwm-lint: allow(unordered-iter) -- targets sorted by all consumers
   for (const auto& [key, targets] : delta_) {
     auto [l, r, sym] = Dta::UnpackKey(key);
     for (uint32_t ns : new_syms[sym]) {
@@ -440,6 +442,7 @@ Dta Nta::Determinize() const {
     using Row = std::pair<uint32_t, std::vector<std::pair<uint64_t, std::vector<State>>>>;
     std::vector<Row> row(alphabet_size_);
     for (uint32_t sym = 0; sym < alphabet_size_; ++sym) row[sym].first = variants_[sym];
+    // qpwm-lint: allow(unordered-iter) -- rows are sorted before hashing
     for (const auto& [key, targets] : delta_) {
       auto [l, r, sym] = Dta::UnpackKey(key);
       std::vector<State> sorted = targets;
@@ -462,6 +465,8 @@ Dta Nta::Determinize() const {
       // (recursively — the compressed alphabet has all-distinct classes so
       // this recursion happens exactly once), then expand.
       Nta compressed(num_states_, static_cast<uint32_t>(members.size()));
+      // One source entry per compressed key (reps only): order cannot vary.
+      // qpwm-lint: allow(unordered-iter) -- single entry per compressed key
       for (const auto& [key, targets] : delta_) {
         auto [l, r, sym] = Dta::UnpackKey(key);
         if (members[class_of_sym[sym]][0] != sym) continue;  // reps only

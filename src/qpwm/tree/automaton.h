@@ -13,8 +13,10 @@
 #ifndef QPWM_TREE_AUTOMATON_H_
 #define QPWM_TREE_AUTOMATON_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "qpwm/tree/bintree.h"
@@ -95,10 +97,17 @@ class Dta {
   /// Language equivalence: L(a) == L(b) (alphabets must match).
   static bool Equivalent(const Dta& a, const Dta& b);
 
-  /// Iterates stored transitions: fn(left, right, sym, to).
+  /// Iterates stored transitions as fn(left, right, sym, to), in packed-key
+  /// order — a deterministic order, so callers may hash or serialize what
+  /// they see without re-sorting.
   template <typename Fn>
   void ForEachTransition(Fn&& fn) const {
-    for (const auto& [key, to] : delta_) {
+    std::vector<std::pair<uint64_t, State>> entries;
+    entries.reserve(delta_.size());
+    // qpwm-lint: allow(unordered-iter) — collection pass; sorted below
+    for (const auto& kv : delta_) entries.push_back(kv);
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [key, to] : entries) {
       auto [l, r, sym] = UnpackKey(key);
       fn(l, r, sym, to);
     }

@@ -25,7 +25,7 @@ class Alphabet {
   /// Returns the id of `symbol`, interning it if new.
   uint32_t Intern(const std::string& symbol);
   /// Id of an existing symbol.
-  Result<uint32_t> Find(const std::string& symbol) const;
+  [[nodiscard]] Result<uint32_t> Find(const std::string& symbol) const;
   const std::string& Name(uint32_t id) const { return names_[id]; }
   size_t size() const { return names_.size(); }
 
@@ -47,7 +47,7 @@ class BinaryTree {
   void SetLabel(NodeId v, uint32_t label) { labels_[v] = label; }
 
   /// Validates the shape and computes root, postorder, Euler intervals.
-  Status Finalize();
+  [[nodiscard]] Status Finalize();
 
   size_t size() const { return labels_.size(); }
   NodeId root() const { return root_; }

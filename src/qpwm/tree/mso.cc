@@ -598,7 +598,7 @@ Structure TreeToStructure(const BinaryTree& t, const Alphabet& sigma) {
     if (t.IsLeaf(v)) g.AddTuple(leaf, Tuple{v});
     g.AddTuple(label_rel[t.label(v)], Tuple{v});
   }
-  g.Finalize();
+  g.Seal();
   return g;
 }
 

@@ -37,7 +37,7 @@ struct TrackedDta {
 /// Compiles `f` into an automaton whose tracks are exactly `var_order`
 /// (which must cover the free variables of `f`, first- and second-order).
 /// The base alphabet provides the P_<symbol> label predicates.
-Result<TrackedDta> CompileMso(const Formula& f, const Alphabet& sigma,
+[[nodiscard]] Result<TrackedDta> CompileMso(const Formula& f, const Alphabet& sigma,
                               const std::vector<std::string>& var_order);
 
 /// Per-node symbols of T_{a_bar}: base labels with pebble bits, one

@@ -132,7 +132,7 @@ Structure TreeSkeletonStructure(const BinaryTree& t) {
     if (t.left(v) != kNoNode) g.AddTuple(s1, Tuple{v, t.left(v)});
     if (t.right(v) != kNoNode) g.AddTuple(s2, Tuple{v, t.right(v)});
   }
-  g.Finalize();
+  g.Seal();
   return g;
 }
 

@@ -31,34 +31,38 @@ const char* StatusCodeName(StatusCode code);
 /// Cheap to copy in the OK case (empty message). Use the factory functions
 /// (`Status::OK()`, `Status::InvalidArgument(...)`) rather than the raw
 /// constructor.
-class Status {
+///
+/// The class-level [[nodiscard]] makes the compiler reject any call that
+/// drops a by-value Status; qpwm_lint additionally requires the attribute on
+/// every declaration so the contract stays visible at each API.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status CapacityExhausted(std::string msg) {
+  [[nodiscard]] static Status CapacityExhausted(std::string msg) {
     return Status(StatusCode::kCapacityExhausted, std::move(msg));
   }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status DetectionFailed(std::string msg) {
+  [[nodiscard]] static Status DetectionFailed(std::string msg) {
     return Status(StatusCode::kDetectionFailed, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
@@ -83,7 +87,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 /// `ValueOrDie()` aborts on error with the status message; prefer checking
 /// `ok()` first on paths where the error is expected.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}                // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {}        // NOLINT(runtime/explicit)

@@ -50,7 +50,7 @@ class XmlDocument {
   std::string TextContent(XmlNodeId id) const;
 
   /// First child element with the given tag, if any.
-  Result<XmlNodeId> ChildByTag(XmlNodeId id, const std::string& tag) const;
+  [[nodiscard]] Result<XmlNodeId> ChildByTag(XmlNodeId id, const std::string& tag) const;
 
  private:
   std::vector<XmlNode> nodes_;

@@ -34,7 +34,7 @@ class Encoder {
   Encoder(const XmlDocument& doc, const std::set<std::string>& weight_tags)
       : doc_(doc), weight_tags_(weight_tags) {}
 
-  Result<EncodedXml> Run() {
+  Result<EncodedXml> Encode() {
     out_.xml_to_tree.assign(doc_.size(), kNoNode);
     auto root = EncodeNode(doc_.root());
     if (!root.ok()) return root.status();
@@ -129,7 +129,7 @@ class Encoder {
 
 Result<EncodedXml> EncodeXml(const XmlDocument& doc,
                              const std::set<std::string>& weight_tags) {
-  return Encoder(doc, weight_tags).Run();
+  return Encoder(doc, weight_tags).Encode();
 }
 
 XmlDocument ApplyWeights(const XmlDocument& doc, const EncodedXml& encoded,

@@ -32,7 +32,7 @@ struct EncodedXml {
 };
 
 /// Encodes `doc`. Fails if a weight-tagged element has no integer content.
-Result<EncodedXml> EncodeXml(const XmlDocument& doc,
+[[nodiscard]] Result<EncodedXml> EncodeXml(const XmlDocument& doc,
                              const std::set<std::string>& weight_tags);
 
 /// Writes (possibly watermarked) weights back into a copy of the document:
@@ -64,7 +64,7 @@ struct SuspectAlignment {
 /// non-weight children (the record's key fields) — in document order among
 /// equal signatures. Fails only if a matched suspect element's content is not
 /// an integer.
-Result<SuspectAlignment> AlignSuspectWeights(const XmlDocument& original,
+[[nodiscard]] Result<SuspectAlignment> AlignSuspectWeights(const XmlDocument& original,
                                              const EncodedXml& encoded,
                                              const XmlDocument& suspect,
                                              const std::set<std::string>& weight_tags);

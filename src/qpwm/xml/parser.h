@@ -24,7 +24,7 @@ struct XmlParseLimits {
 };
 
 /// Parses an XML document.
-Result<XmlDocument> ParseXml(std::string_view input,
+[[nodiscard]] Result<XmlDocument> ParseXml(std::string_view input,
                              const XmlParseLimits& limits = {});
 
 /// Parses, aborting on error — for documents embedded in code.

@@ -37,7 +37,7 @@ struct XPathStep {
 /// A parsed XPath-subset query.
 class XPathQuery {
  public:
-  static Result<XPathQuery> Parse(std::string_view text);
+  [[nodiscard]] static Result<XPathQuery> Parse(std::string_view text);
 
   const std::vector<XPathStep>& steps() const { return steps_; }
   /// True if some predicate references the user parameter $1.
@@ -47,10 +47,10 @@ class XPathQuery {
   /// "u" (the parameter's text node, when has_param()) and "v" (the result
   /// element node). Label disjunctions are expanded against the document's
   /// alphabet.
-  Result<FormulaPtr> ToMso(const EncodedXml& encoded) const;
+  [[nodiscard]] Result<FormulaPtr> ToMso(const EncodedXml& encoded) const;
 
   /// Full pipeline: MSO, then automaton with tracks [u, v] (or [v]).
-  Result<TrackedDta> Compile(const EncodedXml& encoded) const;
+  [[nodiscard]] Result<TrackedDta> Compile(const EncodedXml& encoded) const;
 
   /// Reference semantics, straight on the DOM: the XML ids selected when the
   /// parameter equals `param_value` (ignored for parameter-free queries).

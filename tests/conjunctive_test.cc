@@ -54,7 +54,7 @@ TEST(CqEvalTest, TriangleClosure) {
   g.AddTuple(size_t{0}, Tuple{1, 2});
   g.AddTuple(size_t{0}, Tuple{2, 0});
   g.AddTuple(size_t{0}, Tuple{1, 3});
-  g.Finalize();
+  g.Seal();
   auto cq = ConjunctiveQuery::Parse("E(u1, x1), E(x1, v1), E(v1, u1)").ValueOrDie();
   EXPECT_EQ(cq.Evaluate(g, Tuple{0}), (std::vector<Tuple>{{2}}));
   EXPECT_TRUE(cq.Evaluate(g, Tuple{3}).empty());
@@ -64,7 +64,7 @@ TEST(CqEvalTest, RepeatedVariableInAtom) {
   Structure g(GraphSignature(), 3);
   g.AddTuple(size_t{0}, Tuple{1, 1});  // self-loop
   g.AddTuple(size_t{0}, Tuple{0, 1});
-  g.Finalize();
+  g.Seal();
   auto cq = ConjunctiveQuery::Parse("E(v1, v1)").ValueOrDie();
   EXPECT_EQ(cq.Evaluate(g, Tuple{}), (std::vector<Tuple>{{1}}));
 }

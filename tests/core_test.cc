@@ -153,7 +153,7 @@ TEST_F(Figure1Test, EmptyResultAggregatesToZero) {
   // results: parameter c has W_c = {d}, but parameter d -> {a}. Element 2
   // (c) has nonempty; check an actually-empty one: none here, so craft one.
   Structure iso(GraphSignature(), 2);
-  iso.Finalize();
+  iso.Seal();
   auto query = AtomQuery::Adjacency("E");
   QueryIndex index(iso, *query, AllParams(iso, 1));
   WeightMap w(1, 2);

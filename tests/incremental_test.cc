@@ -124,7 +124,7 @@ TEST(TypePreservingTest, TypePreservingEdit) {
     rotated.AddTuple(size_t{0}, Tuple{j, static_cast<ElemId>((j + 1) % 40)});
     rotated.AddTuple(size_t{0}, Tuple{static_cast<ElemId>((j + 1) % 40), j});
   }
-  rotated.Finalize();
+  rotated.Seal();
   QueryIndex updated(rotated, *query, AllParams(rotated, 1));
   UpdateCheck check = CheckTypePreservingUpdate(scheme, updated);
   EXPECT_TRUE(check.type_preserving);
@@ -161,7 +161,7 @@ TEST(TypePreservingTest, SurvivingPairsReportedHonestly) {
   Structure sparse(GraphSignature(), 20);
   sparse.AddTuple(size_t{0}, Tuple{0, 1});
   sparse.AddTuple(size_t{0}, Tuple{1, 0});
-  sparse.Finalize();
+  sparse.Seal();
   QueryIndex updated(sparse, *query, AllParams(sparse, 1));
   UpdateCheck check = CheckTypePreservingUpdate(scheme, updated);
   EXPECT_FALSE(check.type_preserving);

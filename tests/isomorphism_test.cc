@@ -20,7 +20,7 @@ Structure Permute(const Structure& s, const std::vector<ElemId>& perm) {
       out.AddTuple(r, std::move(mapped));
     }
   }
-  out.Finalize();
+  out.Seal();
   return out;
 }
 
@@ -83,7 +83,7 @@ TEST(IsomorphismTest, StarWithManyTwins) {
       ElemId leaf = i >= center ? i + 1 : i;
       s.AddTuple(size_t{0}, Tuple{center, leaf});
     }
-    s.Finalize();
+    s.Seal();
     return s;
   };
   Structure a = star(0, 12);
@@ -96,10 +96,10 @@ TEST(IsomorphismTest, StarWithManyTwins) {
 TEST(IsomorphismTest, DirectedEdgeOrientation) {
   Structure fwd(GraphSignature(), 2), pair(GraphSignature(), 2);
   fwd.AddTuple(size_t{0}, Tuple{0, 1});
-  fwd.Finalize();
+  fwd.Seal();
   pair.AddTuple(size_t{0}, Tuple{0, 1});
   pair.AddTuple(size_t{0}, Tuple{1, 0});
-  pair.Finalize();
+  pair.Seal();
   EXPECT_FALSE(AreIsomorphic(fwd, {}, pair, {}));
 }
 
@@ -108,9 +108,9 @@ TEST(IsomorphismTest, TernaryRelation) {
   sig.AddRelation("T", 3);
   Structure a(sig, 3), b(sig, 3);
   a.AddTuple(size_t{0}, Tuple{0, 1, 2});
-  a.Finalize();
+  a.Seal();
   b.AddTuple(size_t{0}, Tuple{2, 0, 1});
-  b.Finalize();
+  b.Seal();
   EXPECT_TRUE(AreIsomorphic(a, {}, b, {}));
   // Positions within the tuple are not interchangeable:
   EXPECT_FALSE(AreIsomorphic(a, Tuple{0}, b, Tuple{0}));

@@ -1,0 +1,5 @@
+// Fixture: bare-abort — process-terminating call outside util/check.h.
+// Never compiled, only linted.
+void Fail() {
+  abort();
+}

@@ -1,0 +1,5 @@
+// Fixture: bare-throw — `throw` outside the Status/QPWM_CHECK error model.
+// Never compiled, only linted.
+void Fail(bool bad) {
+  if (bad) throw 42;
+}

@@ -1,0 +1,7 @@
+// Fixture: discarded-status — a call to a Status-returning function whose
+// result is dropped on the floor. Never compiled, only linted.
+Status EmbedWatermark(int key);
+
+void Caller() {
+  EmbedWatermark(42);
+}

@@ -1,0 +1,8 @@
+// Fixture: nodiscard-status — a header declaration returning Status without
+// [[nodiscard]]. Never compiled, only linted.
+#ifndef QPWM_TESTS_LINT_FIXTURES_BAD_NODISCARD_STATUS_H_
+#define QPWM_TESTS_LINT_FIXTURES_BAD_NODISCARD_STATUS_H_
+
+Status EmbedWatermark(int key);
+
+#endif  // QPWM_TESTS_LINT_FIXTURES_BAD_NODISCARD_STATUS_H_

@@ -1,0 +1,6 @@
+// Fixture: nondeterministic-random — an entropy source other than the seeded
+// qpwm::Rng, outside util/random. Never compiled, only linted.
+unsigned Roll() {
+  std::mt19937 gen(12345);
+  return static_cast<unsigned>(gen());
+}

@@ -1,0 +1,11 @@
+// Fixture: parallel-mutation — a ParallelFor body writing state declared
+// outside the lambda. Never compiled, only linted.
+#include <vector>
+
+int Tally(const std::vector<int>& xs) {
+  int total = 0;
+  ParallelFor(xs.size(), [&](size_t i) {
+    total += xs[i];
+  });
+  return total;
+}

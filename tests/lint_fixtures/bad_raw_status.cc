@@ -1,0 +1,5 @@
+// Fixture: raw-status — Status constructed from a raw StatusCode outside the
+// factories in util/status.h. Never compiled, only linted.
+Status Make() {
+  return Status(StatusCode::kInternal, "handcrafted");
+}

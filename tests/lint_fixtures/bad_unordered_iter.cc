@@ -1,0 +1,9 @@
+// Fixture: unordered-iter — range-for over an unordered container visits
+// hash order. Never compiled, only linted.
+#include <unordered_map>
+
+int Sum(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) total += value;
+  return total;
+}

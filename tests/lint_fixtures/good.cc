@@ -1,0 +1,24 @@
+// Fixture: a clean file — handled Status, pragma-waived hash iteration, and
+// per-index parallel writes. qpwm_lint --strict must exit 0 on it.
+#include <unordered_map>
+#include <vector>
+
+Status EmbedWatermark(int key);
+
+Status Caller() {
+  Status s = EmbedWatermark(42);
+  return s;
+}
+
+int CountKeys(const std::unordered_map<int, int>& counts) {
+  int n = 0;
+  // qpwm-lint: allow(unordered-iter) -- count reduction, order-independent
+  for (const auto& [key, value] : counts) n += 1;
+  return n;
+}
+
+void Doubled(const std::vector<int>& xs, std::vector<int>& out) {
+  ParallelFor(xs.size(), [&](size_t i) {
+    out[i] = 2 * xs[i];
+  });
+}

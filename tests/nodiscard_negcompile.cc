@@ -1,0 +1,16 @@
+// Negative-compilation probe: discarding a by-value Status must be a compile
+// error thanks to the class-level [[nodiscard]] on qpwm::Status (enforced as
+// -Werror=unused-result on this target). The `nodiscard_negcompile` ctest
+// entry builds this file and passes only when the build FAILS. It is never
+// part of the normal build.
+#include "qpwm/util/status.h"
+
+namespace qpwm {
+
+Status Fallible() { return Status::Internal("probe"); }
+
+void Discard() {
+  Fallible();  // qpwm-lint: allow(discarded-status) -- the point of the probe
+}
+
+}  // namespace qpwm

@@ -101,6 +101,7 @@ TEST(ParallelPrimitives, ExceptionsPropagate) {
   SetParallelThreads(8);
   EXPECT_THROW(ParallelFor(1000,
                            [](size_t i) {
+                             // qpwm-lint: allow(bare-throw) -- exception-propagation test
                              if (i == 637) throw std::runtime_error("boom");
                            }),
                std::runtime_error);

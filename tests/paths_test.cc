@@ -28,7 +28,7 @@ TEST(PathsTest, PicksCheaperRoute) {
     s.AddTuple(size_t{0}, Tuple{a, b});
     s.AddTuple(size_t{0}, Tuple{b, a});
   }
-  s.Finalize();
+  s.Seal();
   GaifmanGraph g(s);
   WeightMap w(1, 4);
   w.SetElem(1, 100);
@@ -41,7 +41,7 @@ TEST(PathsTest, PicksCheaperRoute) {
 TEST(PathsTest, UnreachableMarked) {
   Structure s(GraphSignature(), 3);
   s.AddTuple(size_t{0}, Tuple{0, 1});
-  s.Finalize();
+  s.Seal();
   GaifmanGraph g(s);
   WeightMap w(1, 3);
   auto dist = ShortestPathLengths(g, w, 0);

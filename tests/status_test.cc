@@ -1,0 +1,164 @@
+// Focused coverage for the Status/Result error model and the QPWM_CHECK
+// macros — the [[nodiscard]] sweep and qpwm_lint's error-discipline rules
+// lean on these semantics, so they are pinned here. The compile-time side
+// (discarding a Status must not build) is covered by the
+// nodiscard_negcompile ctest entry, which builds tests/nodiscard_negcompile.cc
+// and expects failure.
+#include "qpwm/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qpwm/util/check.h"
+
+namespace qpwm {
+namespace {
+
+// --- StatusCodeName: names are stable, exhaustive, and distinct --------------
+
+TEST(StatusCodeNameTest, EveryCodeHasItsDocumentedName) {
+  // These strings appear in JSON reports and error logs; renaming one is a
+  // reporting-format break and must be deliberate.
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCapacityExhausted),
+               "CapacityExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDetectionFailed), "DetectionFailed");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusCodeNameTest, NamesAreDistinct) {
+  std::vector<std::string> names;
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    names.emplace_back(StatusCodeName(static_cast<StatusCode>(c)));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+// --- Status: factories, copies, formatting -----------------------------------
+
+TEST(StatusFactoryTest, EachFactoryProducesItsCode) {
+  EXPECT_EQ(Status::OK().code(), StatusCode::kOk);
+  EXPECT_EQ(Status::InvalidArgument("m").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("m").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("m").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("m").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::CapacityExhausted("m").code(),
+            StatusCode::kCapacityExhausted);
+  EXPECT_EQ(Status::ParseError("m").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::DetectionFailed("m").code(), StatusCode::kDetectionFailed);
+  EXPECT_EQ(Status::Internal("m").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, OkCopyCarriesNoMessageAllocation) {
+  // The OK path is copied on every QPWM_RETURN_NOT_OK; it must stay an empty
+  // message (capacity of a default std::string), not an allocated one.
+  Status ok = Status::OK();
+  Status copy = ok;
+  EXPECT_TRUE(copy.ok());
+  EXPECT_TRUE(copy.message().empty());
+  EXPECT_EQ(copy.ToString(), "OK");
+}
+
+TEST(StatusTest, ToStringCombinesNameAndMessage) {
+  EXPECT_EQ(Status::ParseError("line 3").ToString(), "ParseError: line 3");
+  std::ostringstream os;
+  os << Status::NotFound("key");
+  EXPECT_EQ(os.str(), "NotFound: key");
+}
+
+// --- Result<T>: value/error duality, move-only payloads ----------------------
+
+TEST(ResultTest, MoveOnlyPayloadRoundTrips) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(ResultTest, MoveOnlyPayloadThroughValueOrDie) {
+  Result<std::unique_ptr<std::string>> r =
+      std::make_unique<std::string>("payload");
+  std::unique_ptr<std::string> p = std::move(r).ValueOrDie();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, "payload");
+}
+
+TEST(ResultTest, ErrorResultKeepsStatus) {
+  Result<std::unique_ptr<int>> r = Status::CapacityExhausted("full");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCapacityExhausted);
+  EXPECT_EQ(r.status().message(), "full");
+}
+
+TEST(ResultTest, MutableValueReference) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2};
+  r.value().push_back(3);
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+TEST(ResultDeathTest, ValueOrDieAbortsOnError) {
+  Result<int> r = Status::Internal("broken invariant");
+  EXPECT_DEATH((void)r.ValueOrDie(), "broken invariant");
+}
+
+// --- QPWM_RETURN_NOT_OK ------------------------------------------------------
+
+Status FailIf(bool fail) {
+  if (fail) return Status::FailedPrecondition("stop");
+  return Status::OK();
+}
+
+Status Chain(bool fail_first, bool fail_second, int& reached) {
+  QPWM_RETURN_NOT_OK(FailIf(fail_first));
+  reached = 1;
+  QPWM_RETURN_NOT_OK(FailIf(fail_second));
+  reached = 2;
+  return Status::OK();
+}
+
+TEST(ReturnNotOkTest, PropagatesFirstError) {
+  int reached = 0;
+  Status s = Chain(true, false, reached);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(reached, 0);
+}
+
+TEST(ReturnNotOkTest, ContinuesPastOk) {
+  int reached = 0;
+  EXPECT_TRUE(Chain(false, false, reached).ok());
+  EXPECT_EQ(reached, 2);
+  Status s = Chain(false, true, reached);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(reached, 1);
+}
+
+// --- QPWM_CHECK --------------------------------------------------------------
+
+TEST(CheckDeathTest, FailedCheckAbortsWithExpression) {
+  EXPECT_DEATH(QPWM_CHECK(1 == 2), "1 == 2");
+  EXPECT_DEATH(QPWM_CHECK_LT(5, 3), "QPWM_CHECK failed");
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  QPWM_CHECK(true);
+  QPWM_CHECK_EQ(2 + 2, 4);
+  QPWM_CHECK_GE(3, 3);
+}
+
+}  // namespace
+}  // namespace qpwm

@@ -13,7 +13,7 @@ Structure TinyGraph() {
   Structure s(GraphSignature(), 4);
   s.AddTuple(size_t{0}, Tuple{0, 1});
   s.AddTuple(size_t{0}, Tuple{1, 2});
-  s.Finalize();
+  s.Seal();
   return s;
 }
 
@@ -71,7 +71,7 @@ TEST(IncidenceIndexTest, ListsTuplesPerElement) {
 TEST(IncidenceIndexTest, RepeatedElementRegisteredOnce) {
   Structure s(GraphSignature(), 2);
   s.AddTuple(size_t{0}, Tuple{1, 1});
-  s.Finalize();
+  s.Seal();
   IncidenceIndex idx(s);
   EXPECT_EQ(idx.Incident(1).size(), 1u);
 }
@@ -136,7 +136,7 @@ TEST(GaifmanTest, HigherArityTuplesClique) {
   sig.AddRelation("T", 3);
   Structure s(sig, 4);
   s.AddTuple(size_t{0}, Tuple{0, 1, 2});
-  s.Finalize();
+  s.Seal();
   GaifmanGraph g(s);
   EXPECT_EQ(g.Degree(0), 2u);
   EXPECT_EQ(g.Degree(1), 2u);

@@ -70,7 +70,8 @@ TEST(XmlFuzzTest, RandomByteSoupNeverCrashes) {
     for (size_t i = 0; i < len; ++i) {
       soup += static_cast<char>(rng.Below(256));
     }
-    (void)ParseXml(soup);  // must return, never crash
+    // qpwm-lint: allow(discarded-status) -- fuzz target: must return, never crash
+    (void)ParseXml(soup);
   }
 }
 

@@ -1,0 +1,172 @@
+// File discovery and the two-pass run for qpwm_lint.
+//
+// The file set is the union of the TUs named in compile_commands.json (when
+// given) and a walk of src/tools/tests/bench/examples under --root picking up
+// headers and sources. Explicit paths bypass the walk (and its fixture
+// exclusion), which is how the self-tests lint known-bad snippets.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint.h"
+
+namespace qpwm::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool IsExcluded(const std::string& path) {
+  // Known-bad lint fixtures and build trees are never part of a tree walk.
+  return path.find("lint_fixtures") != std::string::npos ||
+         path.find("/build") != std::string::npos ||
+         path.find("build/") == 0;
+}
+
+bool ReadFile(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+void WalkDir(const fs::path& dir, bool skip_excluded,
+             std::vector<std::string>& out) {
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec) || !IsSourceFile(it->path())) continue;
+    std::string p = it->path().generic_string();
+    if (skip_excluded && IsExcluded(p)) continue;
+    out.push_back(std::move(p));
+  }
+}
+
+// Pulls every "file" value out of compile_commands.json with a minimal
+// string scanner (the format is machine-written; full JSON is not needed).
+bool FilesFromCompileCommands(const std::string& path,
+                              std::vector<std::string>& out) {
+  std::string text;
+  if (!ReadFile(path, text)) return false;
+  size_t i = 0;
+  while ((i = text.find("\"file\"", i)) != std::string::npos) {
+    i += 6;
+    while (i < text.size() && (text[i] == ' ' || text[i] == ':')) ++i;
+    if (i >= text.size() || text[i] != '"') continue;
+    ++i;
+    std::string value;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) ++i;
+      value += text[i++];
+    }
+    if (IsSourceFile(fs::path(value)) && !IsExcluded(value)) {
+      out.push_back(std::move(value));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RunLint(const DriverOptions& opt, DriverResult& result) {
+  std::vector<std::string> files;
+  if (!opt.paths.empty()) {
+    for (const std::string& p : opt.paths) {
+      std::error_code ec;
+      if (fs::is_directory(p, ec)) {
+        WalkDir(p, /*skip_excluded=*/true, files);
+      } else if (fs::is_regular_file(p, ec)) {
+        files.push_back(p);  // explicit files are always linted
+      } else {
+        return false;
+      }
+    }
+  } else {
+    if (!opt.compile_commands.empty() &&
+        !FilesFromCompileCommands(opt.compile_commands, files)) {
+      return false;
+    }
+    for (const char* sub : {"src", "tools", "tests", "bench", "examples"}) {
+      const fs::path dir = fs::path(opt.root) / sub;
+      std::error_code ec;
+      if (fs::is_directory(dir, ec)) WalkDir(dir, /*skip_excluded=*/true, files);
+    }
+  }
+  // Dedup by canonical path so compile_commands + walk overlap lints once.
+  std::vector<std::pair<std::string, std::string>> canon;  // (canonical, as-given)
+  for (std::string& f : files) {
+    std::error_code ec;
+    fs::path c = fs::weakly_canonical(f, ec);
+    canon.emplace_back(ec ? f : c.generic_string(), std::move(f));
+  }
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first == b.first;
+                          }),
+              canon.end());
+
+  std::vector<FileScan> scans;
+  scans.reserve(canon.size());
+  LintContext ctx;
+  for (const auto& [canonical, given] : canon) {
+    std::string text;
+    if (!ReadFile(given, text)) continue;  // e.g. generated TU since removed
+    scans.push_back(ScanSource(given, text));
+    CollectContext(scans.back(), ctx);
+  }
+  result.files_scanned = scans.size();
+
+  std::vector<Finding> findings;
+  for (const FileScan& scan : scans) AnalyzeFile(scan, ctx, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (Finding& f : findings) {
+    (IsAdvisoryRule(f.rule) ? result.warnings : result.errors)
+        .push_back(std::move(f));
+  }
+  return true;
+}
+
+bool WriteReport(const std::string& path, const DriverResult& result) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  auto escape = [](const std::string& s) {
+    std::string e;
+    for (char c : s) {
+      if (c == '"' || c == '\\') e += '\\';
+      e += c;
+    }
+    return e;
+  };
+  auto emit = [&](const std::vector<Finding>& fs, const char* key,
+                  bool trailing_comma) {
+    out << "  \"" << key << "\": [\n";
+    for (size_t i = 0; i < fs.size(); ++i) {
+      out << "    {\"file\": \"" << escape(fs[i].file)
+          << "\", \"line\": " << fs[i].line << ", \"rule\": \"" << fs[i].rule
+          << "\", \"message\": \"" << escape(fs[i].message) << "\"}"
+          << (i + 1 < fs.size() ? "," : "") << "\n";
+    }
+    out << "  ]" << (trailing_comma ? "," : "") << "\n";
+  };
+  out << "{\n  \"files_scanned\": " << result.files_scanned << ",\n";
+  emit(result.errors, "errors", true);
+  emit(result.warnings, "warnings", false);
+  out << "}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace qpwm::lint

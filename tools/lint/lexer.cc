@@ -1,0 +1,279 @@
+// Tokenizer for qpwm_lint: a comment/string/preprocessor-stripping scanner
+// that keeps just enough structure (identifiers, punctuation, [[attributes]],
+// line numbers, allow() pragmas) for the pattern rules in rules.cc.
+#include <cctype>
+
+#include "lint.h"
+
+namespace qpwm::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parses "qpwm-lint: allow(a,b)" out of one comment's text and registers the
+// rule ids for `line`.
+void ParsePragma(std::string_view comment, int line, FileScan& scan) {
+  const size_t tag = comment.find("qpwm-lint:");
+  if (tag == std::string_view::npos) return;
+  const size_t open = comment.find("allow(", tag);
+  if (open == std::string_view::npos) return;
+  const size_t close = comment.find(')', open);
+  if (close == std::string_view::npos) return;
+  std::string_view list = comment.substr(open + 6, close - open - 6);
+  std::string id;
+  auto flush = [&] {
+    if (!id.empty()) scan.allows[line].insert(id);
+    id.clear();
+  };
+  for (char c : list) {
+    if (c == ',') {
+      flush();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      id += c;
+    }
+  }
+  flush();
+}
+
+class Lexer {
+ public:
+  Lexer(std::string_view src, FileScan& scan) : src_(src), scan_(scan) {}
+
+  void Run() {
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        ++line_;
+        ++i_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        SkipPreprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && Peek(1) == '/') {
+        SkipLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        SkipBlockComment();
+        continue;
+      }
+      if (c == '"') {
+        // Raw strings arrive here only via the R-prefix path below; a bare
+        // quote is an ordinary string literal.
+        SkipString('"');
+        continue;
+      }
+      if (c == '\'') {
+        SkipString('\'');
+        continue;
+      }
+      if (c == '[' && Peek(1) == '[') {
+        LexAttribute();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentOrRawString();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        LexNumber();
+        continue;
+      }
+      LexPunct();
+    }
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+
+  void Emit(Token::Kind kind, std::string text, int line) {
+    scan_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  // Skips a #directive including backslash-continued lines (so macro bodies
+  // are invisible to the rules — macro-expanded code is linted where the
+  // macro is defined only if that file spells the tokens out). Quoted
+  // #include paths are recorded for cross-file name scoping.
+  void SkipPreprocessor() {
+    const size_t begin = i_;
+    while (i_ < src_.size()) {
+      if (src_[i_] == '\\' && Peek(1) == '\n') {
+        i_ += 2;
+        ++line_;
+        continue;
+      }
+      if (src_[i_] == '\n') break;  // main loop counts the newline
+      ++i_;
+    }
+    const std::string_view directive = src_.substr(begin, i_ - begin);
+    const size_t inc = directive.find("include");
+    if (inc != std::string_view::npos) {
+      const size_t open = directive.find('"', inc);
+      if (open != std::string_view::npos) {
+        const size_t close = directive.find('"', open + 1);
+        if (close != std::string_view::npos) {
+          scan_.includes.emplace_back(
+              directive.substr(open + 1, close - open - 1));
+        }
+      }
+    }
+    at_line_start_ = true;
+  }
+
+  void SkipLineComment() {
+    const size_t begin = i_;
+    const int line = line_;
+    while (i_ < src_.size() && src_[i_] != '\n') ++i_;
+    ParsePragma(src_.substr(begin, i_ - begin), line, scan_);
+  }
+
+  void SkipBlockComment() {
+    const size_t begin = i_;
+    const int line = line_;
+    i_ += 2;
+    while (i_ < src_.size() && !(src_[i_] == '*' && Peek(1) == '/')) {
+      if (src_[i_] == '\n') ++line_;
+      ++i_;
+    }
+    ParsePragma(src_.substr(begin, i_ - begin), line, scan_);
+    if (i_ < src_.size()) i_ += 2;
+  }
+
+  void SkipString(char quote) {
+    ++i_;
+    while (i_ < src_.size()) {
+      if (src_[i_] == '\\') {
+        i_ += 2;
+        continue;
+      }
+      if (src_[i_] == quote) {
+        ++i_;
+        return;
+      }
+      if (src_[i_] == '\n') ++line_;  // unterminated; keep line counts sane
+      ++i_;
+    }
+  }
+
+  void SkipRawString() {
+    // At 'R', next is '"'. R"delim( ... )delim"
+    i_ += 2;
+    std::string delim;
+    while (i_ < src_.size() && src_[i_] != '(') delim += src_[i_++];
+    const std::string close = ")" + delim + "\"";
+    const size_t end = src_.find(close, i_);
+    const size_t stop = end == std::string_view::npos ? src_.size() : end + close.size();
+    for (; i_ < stop; ++i_) {
+      if (src_[i_] == '\n') ++line_;
+    }
+  }
+
+  void LexAttribute() {
+    const int line = line_;
+    i_ += 2;
+    const size_t begin = i_;
+    while (i_ < src_.size() && !(src_[i_] == ']' && Peek(1) == ']')) {
+      if (src_[i_] == '\n') ++line_;
+      ++i_;
+    }
+    Emit(Token::Kind::kAttr, std::string(src_.substr(begin, i_ - begin)), line);
+    if (i_ < src_.size()) i_ += 2;
+  }
+
+  void LexIdentOrRawString() {
+    const size_t begin = i_;
+    while (i_ < src_.size() && IsIdentChar(src_[i_])) ++i_;
+    std::string text(src_.substr(begin, i_ - begin));
+    // String-literal prefixes: R"...", u8"...", L"...", and combinations.
+    if (i_ < src_.size() && (src_[i_] == '"' || src_[i_] == '\'')) {
+      const bool raw = !text.empty() && text.back() == 'R';
+      const bool prefix = text == "R" || text == "u8" || text == "u" ||
+                          text == "U" || text == "L" || text == "u8R" ||
+                          text == "uR" || text == "UR" || text == "LR";
+      if (prefix) {
+        if (raw) {
+          i_ = begin + text.size() - 1;  // position on the 'R'
+          SkipRawString();
+        } else {
+          SkipString(src_[i_]);
+        }
+        return;
+      }
+    }
+    Emit(Token::Kind::kIdent, std::move(text), line_);
+  }
+
+  void LexNumber() {
+    const size_t begin = i_;
+    // Good enough for pattern rules: digits plus the characters that can
+    // appear inside numeric literals (hex, exponents, separators, suffixes).
+    while (i_ < src_.size() &&
+           (IsIdentChar(src_[i_]) || src_[i_] == '\'' ||
+            ((src_[i_] == '+' || src_[i_] == '-') && i_ > begin &&
+             (src_[i_ - 1] == 'e' || src_[i_ - 1] == 'E' ||
+              src_[i_ - 1] == 'p' || src_[i_ - 1] == 'P')))) {
+      ++i_;
+    }
+    Emit(Token::Kind::kNumber, std::string(src_.substr(begin, i_ - begin)), line_);
+  }
+
+  void LexPunct() {
+    if (src_[i_] == ':' && Peek(1) == ':') {
+      Emit(Token::Kind::kPunct, "::", line_);
+      i_ += 2;
+      return;
+    }
+    if (src_[i_] == '-' && Peek(1) == '>') {
+      Emit(Token::Kind::kPunct, "->", line_);
+      i_ += 2;
+      return;
+    }
+    // Compound assignment must not read as a bare `=`-less statement, and
+    // increment/decrement are mutation operators the parallel rule matches.
+    static constexpr const char* kTwoChar[] = {"+=", "-=", "*=", "/=", "%=",
+                                               "&=", "|=", "^=", "++", "--",
+                                               "<<", ">>", "==", "!=", "<=",
+                                               ">=", "&&", "||"};
+    for (const char* op : kTwoChar) {
+      if (src_[i_] == op[0] && Peek(1) == op[1]) {
+        Emit(Token::Kind::kPunct, op, line_);
+        i_ += 2;
+        return;
+      }
+    }
+    Emit(Token::Kind::kPunct, std::string(1, src_[i_]), line_);
+    ++i_;
+  }
+
+  std::string_view src_;
+  FileScan& scan_;
+  size_t i_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+FileScan ScanSource(std::string path, std::string_view src) {
+  FileScan scan;
+  scan.path = std::move(path);
+  Lexer(src, scan).Run();
+  return scan;
+}
+
+}  // namespace qpwm::lint

@@ -1,0 +1,157 @@
+// qpwm_lint — project-invariant static analysis for the qpwm tree.
+//
+// The scheme's guarantees only hold if every fallible step is checked and
+// every report is reproducible. This tool machine-enforces three invariant
+// families that the compiler alone cannot (or that we want diagnosed before
+// codegen):
+//
+//   error-discipline
+//     discarded-status   a statement that calls a Status/Result-returning
+//                        function and drops the value (incl. `(void)` casts)
+//     nodiscard-status   a header declaration returning Status/Result<T>
+//                        without [[nodiscard]]
+//     raw-status         Status(StatusCode..., ...) constructed outside the
+//                        factories in util/status.h
+//     bare-abort         abort/terminate/quick_exit/_Exit outside
+//                        util/check.h / util/status.cc
+//     bare-throw         `throw` anywhere (recoverable errors are Status;
+//                        programmer errors are QPWM_CHECK)
+//
+//   determinism
+//     nondeterministic-random
+//                        rand/srand/std::random_device/time()/mt19937/
+//                        default_random_engine outside util/random — all
+//                        randomness flows through the seeded Rng
+//     unordered-iter     range-for over an unordered_{map,set} — hash-order
+//                        iteration feeding JSON reports, hashes or canonical
+//                        forms breaks byte-identical output
+//
+//   parallel hygiene
+//     parallel-mutation  a ParallelFor/ParallelMap/ParallelBlocks body that
+//                        mutates state declared outside the lambda without
+//                        the per-index slot pattern (`out[i] = ...`)
+//
+// Findings on a line can be waived with a trailing (or immediately
+// preceding) comment:  // qpwm-lint: allow(rule-id[,rule-id...]) — reason
+//
+// The analysis is a tokenizer plus pattern rules, not a full parser: it is
+// deliberately conservative, and the allowlist is the escape hatch for the
+// few sites where hash-order or shared state is provably benign.
+#ifndef QPWM_TOOLS_LINT_LINT_H_
+#define QPWM_TOOLS_LINT_LINT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qpwm::lint {
+
+// --- Rule ids ---------------------------------------------------------------
+
+inline constexpr char kDiscardedStatus[] = "discarded-status";
+inline constexpr char kNodiscardStatus[] = "nodiscard-status";
+inline constexpr char kRawStatus[] = "raw-status";
+inline constexpr char kBareAbort[] = "bare-abort";
+inline constexpr char kBareThrow[] = "bare-throw";
+inline constexpr char kNondeterministicRandom[] = "nondeterministic-random";
+inline constexpr char kUnorderedIter[] = "unordered-iter";
+inline constexpr char kParallelMutation[] = "parallel-mutation";
+
+/// All rule ids, for --help and allow() validation.
+const std::vector<std::string>& AllRules();
+
+/// True for the advisory rules that only fail the run under --strict.
+bool IsAdvisoryRule(std::string_view rule);
+
+// --- Lexer ------------------------------------------------------------------
+
+struct Token {
+  enum class Kind {
+    kIdent,   // identifiers and keywords
+    kNumber,  // numeric literals
+    kPunct,   // punctuation; `::` is a single token
+    kAttr,    // a whole [[...]] attribute, text = inner content
+  };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+/// One tokenized source file. String/char literals and preprocessor
+/// directives produce no tokens; comments contribute only allow() pragmas,
+/// and #include "..." directives are recorded for cross-file name scoping.
+struct FileScan {
+  std::string path;
+  std::vector<Token> tokens;
+  // Pragma on line L waives the listed rules on lines L and L+1.
+  std::map<int, std::set<std::string>> allows;
+  // Quoted-include paths, as written (e.g. "qpwm/util/status.h").
+  std::vector<std::string> includes;
+};
+
+/// Tokenizes `src`; never fails (unterminated constructs end the scan).
+FileScan ScanSource(std::string path, std::string_view src);
+
+// --- Analysis ---------------------------------------------------------------
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Cross-file context built in a first pass over every linted file.
+struct LintContext {
+  // Function names declared (anywhere in the set) to return Status or
+  // Result<...>; calls to these may not discard the value. Project-wide, so
+  // function names must be collision-free across the tree (rename rather
+  // than allowlist when two unrelated APIs share a name).
+  std::set<std::string> status_apis;
+  // Variable/member names declared with an unordered_{map,set} type, keyed
+  // by the normalized path of the declaring file. A file sees its own names
+  // plus those of headers it #includes — hash-order iteration over a member
+  // is caught in the .cc that iterates it without `map`-like names leaking
+  // between unrelated files.
+  std::map<std::string, std::set<std::string>> unordered_by_file;
+};
+
+/// Pass 1: records Status-returning function names and unordered-typed
+/// variable names from `scan` into `ctx`.
+void CollectContext(const FileScan& scan, LintContext& ctx);
+
+/// Pass 2: runs every rule over `scan`, appending findings (already filtered
+/// through the file's allow() pragmas).
+void AnalyzeFile(const FileScan& scan, const LintContext& ctx,
+                 std::vector<Finding>& out);
+
+// --- Driver -----------------------------------------------------------------
+
+struct DriverOptions {
+  bool strict = false;
+  std::string root = ".";               // tree to walk when no paths given
+  std::string compile_commands;         // optional compile_commands.json
+  std::string report;                   // optional JSON report path
+  std::vector<std::string> paths;       // explicit files/dirs to lint
+};
+
+struct DriverResult {
+  std::vector<Finding> errors;    // fail the run
+  std::vector<Finding> warnings;  // advisory (errors under --strict)
+  size_t files_scanned = 0;
+};
+
+/// Collects the file set (explicit paths, else compile_commands + a walk of
+/// src/tools/tests/bench/examples under root), runs both passes, and splits
+/// findings by severity. Returns false on I/O errors (unreadable
+/// compile_commands or an explicit path that does not exist).
+bool RunLint(const DriverOptions& opt, DriverResult& result);
+
+/// Serializes findings as a JSON report. Returns false if unwritable.
+bool WriteReport(const std::string& path, const DriverResult& result);
+
+}  // namespace qpwm::lint
+
+#endif  // QPWM_TOOLS_LINT_LINT_H_
