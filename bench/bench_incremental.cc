@@ -4,8 +4,15 @@
 //   Type-preserving structural updates: verify the check accepts
 //     type-preserving edits and flags type-creating ones, and report the
 //     survival of the embedded pairs.
+//
+// --json[=PATH] additionally writes/merges the "incremental" section of
+// BENCH_incremental.json (same read-modify-write contract as the other
+// bench JSON artifacts), so CI can baseline the Theorem 7/8 numbers.
 #include <iostream>
+#include <optional>
+#include <string>
 
+#include "bench_json.h"
 #include "qpwm/core/distortion.h"
 #include "qpwm/core/incremental.h"
 #include "qpwm/core/local_scheme.h"
@@ -17,10 +24,27 @@
 
 using namespace qpwm;
 
-int main() {
+int main(int argc, char** argv) {
+  std::optional<std::string> json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json_path = "BENCH_incremental.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::cerr << "usage: bench_incremental [--json[=PATH]]\n";
+      return 2;
+    }
+  }
+
   std::cout << "=== bench_incremental: Theorems 7 and 8 ===\n";
 
+  JsonWriter json;
+  json.BeginObject();
+
   // Theorem 7: weights-only update storm.
+  bool all_detected = true;
   {
     Rng rng(71);
     Structure g = RandomBoundedDegreeGraph(800, 3, 2400, false, rng);
@@ -38,6 +62,7 @@ int main() {
 
     TextTable table("Weights-only updates: mark survival over rounds");
     table.SetHeader({"round", "weights changed", "global distortion", "detected"});
+    json.Key("weights_only").BeginArray();
     for (int round = 1; round <= 8; ++round) {
       WeightMap new_original = original;
       size_t changed = 0;
@@ -52,10 +77,19 @@ int main() {
 
       HonestServer server(index, marked);
       auto detected = scheme.Detect(original, server);
-      table.AddRow({StrCat(round), StrCat(changed),
-                    StrCat(GlobalDistortion(index, original, marked)),
-                    detected.ok() && detected.value() == mark ? "OK" : "FAIL"});
+      const bool ok = detected.ok() && detected.value() == mark;
+      all_detected &= ok;
+      const Weight distortion = GlobalDistortion(index, original, marked);
+      table.AddRow({StrCat(round), StrCat(changed), StrCat(distortion),
+                    ok ? "OK" : "FAIL"});
+      json.BeginObject()
+          .Key("round").Int(round)
+          .Key("weights_changed").UInt(changed)
+          .Key("global_distortion").Int(distortion)
+          .Key("detected").Bool(ok)
+          .EndObject();
     }
+    json.EndArray();
     table.Print(std::cout);
     std::cout << "the detector is only sensitive to the mark delta M (Theorem 7): "
                  "arbitrary weight refreshes never break it.\n";
@@ -66,6 +100,7 @@ int main() {
     TextTable table("Structural updates: type preservation check");
     table.SetHeader({"update", "type preserving", "old/new types",
                      "surviving pairs", "new bound"});
+    json.Key("structural").BeginArray();
 
     auto report = [&](const char* name, const LocalScheme& scheme,
                       const QueryIndex& updated) {
@@ -74,6 +109,15 @@ int main() {
                     StrCat(check.old_types, "/", check.new_types),
                     StrCat(check.surviving_pairs, "/", scheme.CapacityBits()),
                     StrCat(check.new_cost_bound)});
+      json.BeginObject()
+          .Key("update").String(name)
+          .Key("type_preserving").Bool(check.type_preserving)
+          .Key("old_types").UInt(check.old_types)
+          .Key("new_types").UInt(check.new_types)
+          .Key("surviving_pairs").UInt(check.surviving_pairs)
+          .Key("planned_pairs").UInt(scheme.CapacityBits())
+          .Key("new_cost_bound").UInt(check.new_cost_bound)
+          .EndObject();
     };
 
     auto query = AtomQuery::Adjacency("E");
@@ -110,10 +154,22 @@ int main() {
     QueryIndex cut_index(cut, *query, AllParams(cut, 1));
     report("cut one edge (cycle -> path)", scheme, cut_index);
 
+    json.EndArray();
     table.Print(std::cout);
     std::cout << "type-preserving updates keep the mark valid without "
                  "re-marking (Theorem 8); type-creating updates are flagged for "
                  "the brute-force re-mark path.\n";
   }
-  return 0;
+
+  json.Key("all_rounds_detected").Bool(all_detected);
+  json.EndObject();
+
+  if (json_path) {
+    if (!UpdateBenchJsonSection(*json_path, "incremental", json.str())) {
+      std::cerr << "FAIL: cannot write " << *json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote section \"incremental\" to " << *json_path << "\n";
+  }
+  return all_detected ? 0 : 1;
 }

@@ -123,6 +123,19 @@ std::vector<AnswerSet> AnswerAll(const AnswerServer& server,
   return out;
 }
 
+AnswerSet ServingSnapshot::Answer(const Tuple& params) const {
+  // Same serving contract as HonestServer, but against the frozen copy: the
+  // dense view for in-domain parameters, direct evaluation for the rest.
+  auto idx = index_->FindParam(params);
+  if (idx.ok()) return index_->AnswersFor(idx.value(), view_);
+  AnswerSet out;
+  for (Tuple& t : index_->query().Evaluate(index_->structure(), params)) {
+    Weight w = weights_.Get(t);
+    out.push_back({std::move(t), w});
+  }
+  return out;
+}
+
 AnswerSet HonestServer::Answer(const Tuple& params) const {
   // A real server would evaluate the query; ours serves from the shared
   // index, which is observationally identical and keeps benches fast.

@@ -6,7 +6,9 @@
 #ifndef QPWM_CORE_ANSWERS_H_
 #define QPWM_CORE_ANSWERS_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -157,6 +159,42 @@ class BatchAnswerServer : public AnswerServer {
 std::vector<AnswerSet> AnswerAll(const AnswerServer& server,
                                  const std::vector<Tuple>& params);
 
+/// An epoch-stamped immutable serving snapshot: owns a copy of the weights
+/// plus a dense view over them, so a detect pass reads a consistent state no
+/// matter how the live server mutates underneath. Snapshots are shared
+/// (shared_ptr) between the writer and any in-flight detect passes; when the
+/// writer publishes a newer epoch it calls Retire() on the old one, which
+/// flips a flag readers poll to notice they lost their epoch. Retiring never
+/// invalidates the data — a reader holding the shared_ptr may finish its
+/// pass against retired weights if it chooses to.
+class ServingSnapshot : public BatchAnswerServer {
+ public:
+  ServingSnapshot(const QueryIndex& index, const WeightMap& weights,
+                  uint64_t epoch)
+      : index_(&index), weights_(weights), view_(index, weights_),
+        epoch_(epoch) {}
+
+  AnswerSet Answer(const Tuple& params) const override;
+
+  /// The server version this snapshot was taken at.
+  uint64_t epoch() const { return epoch_; }
+  /// Marks the snapshot superseded. Const and thread-safe: the writer
+  /// retires through the same shared_ptr<const ServingSnapshot> readers hold.
+  void Retire() const { retired_.store(true, std::memory_order_release); }
+  bool retired() const { return retired_.load(std::memory_order_acquire); }
+
+  const QueryIndex& index() const { return *index_; }
+  const WeightMap& weights() const { return weights_; }
+  const DenseWeightView& view() const { return view_; }
+
+ private:
+  const QueryIndex* index_;
+  WeightMap weights_;
+  DenseWeightView view_;
+  uint64_t epoch_;
+  mutable std::atomic<bool> retired_{false};
+};
+
 /// A server honestly serving a (possibly watermarked / attacked) weight map
 /// over the owner's structure.
 class HonestServer : public BatchAnswerServer {
@@ -173,20 +211,35 @@ class HonestServer : public BatchAnswerServer {
   AnswerSet Answer(const Tuple& params) const override;
 
   const WeightMap& weights() const { return weights_; }
-  /// Mutable access invalidates the dense view (the snapshot would go stale);
-  /// call RefreshView() after mutating to restore the fast path.
+  /// Mutable access invalidates the dense view (the snapshot would go stale)
+  /// and bumps the version: any epoch snapshot taken earlier is now behind
+  /// the live state. Call RefreshView() after mutating to restore the fast
+  /// path.
   WeightMap& mutable_weights() {
     view_.reset();
+    ++version_;
     return weights_;
   }
   /// Rebuilds the dense snapshot from the current weights.
   void RefreshView() { view_.emplace(*index_, weights_); }
   bool has_dense_view() const { return view_.has_value(); }
 
+  /// Monotone mutation counter; starts at 0 and bumps on every
+  /// mutable_weights() call.
+  uint64_t version() const { return version_; }
+
+  /// Freezes the current weights into an epoch snapshot stamped with the
+  /// current version. The caller owns the lifetime; the server keeps no
+  /// reference, so later mutations never race the snapshot.
+  std::shared_ptr<const ServingSnapshot> MakeSnapshot() const {
+    return std::make_shared<const ServingSnapshot>(*index_, weights_, version_);
+  }
+
  private:
   const QueryIndex* index_;
   WeightMap weights_;
   std::optional<DenseWeightView> view_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace qpwm

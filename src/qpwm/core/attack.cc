@@ -160,9 +160,11 @@ std::vector<Tuple> SubsetDeletionAttack(const QueryIndex& index, double drop_fra
   return SampleSubset(elements, drop_frac, rng);
 }
 
-void TupleInsertionAttack(TamperedAnswerServer& server, const QueryIndex& index,
-                          const WeightMap& marked, size_t count, Rng& rng) {
-  if (index.num_params() == 0) return;
+std::vector<FakeTuplePlacement> MakeFakeTupleRows(const QueryIndex& index,
+                                                  const WeightMap& marked,
+                                                  size_t count, Rng& rng) {
+  std::vector<FakeTuplePlacement> out;
+  if (index.num_params() == 0) return out;
   // Plausible weight range: the marked map's observed min..max.
   Weight lo = 0, hi = 0;
   bool first = true;
@@ -178,10 +180,20 @@ void TupleInsertionAttack(TamperedAnswerServer& server, const QueryIndex& index,
   const ElemId fresh_base =
       static_cast<ElemId>(index.structure().universe_size());
   const uint32_t s = marked.s();
+  out.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     Tuple fresh(s, fresh_base + static_cast<ElemId>(i));
     AnswerRow row{std::move(fresh), rng.Uniform(lo, hi)};
-    server.InsertAt(index.param(rng.Below(index.num_params())), std::move(row));
+    out.push_back({static_cast<size_t>(rng.Below(index.num_params())),
+                   std::move(row)});
+  }
+  return out;
+}
+
+void TupleInsertionAttack(TamperedAnswerServer& server, const QueryIndex& index,
+                          const WeightMap& marked, size_t count, Rng& rng) {
+  for (FakeTuplePlacement& p : MakeFakeTupleRows(index, marked, count, rng)) {
+    server.InsertAt(index.param(p.param_idx), std::move(p.row));
   }
 }
 

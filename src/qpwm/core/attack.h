@@ -127,10 +127,25 @@ std::vector<Tuple> SampleSubset(const std::vector<Tuple>& elements, double frac,
 std::vector<Tuple> SubsetDeletionAttack(const QueryIndex& index, double drop_frac,
                                         Rng& rng);
 
-/// Tuple-insertion attack: plants `count` fresh rows with plausible weights
-/// (uniform over the marked map's observed min..max range) into randomly
-/// chosen parameters' answers. Fresh elements use ids beyond the original
-/// universe so they mimic genuinely new rows (new keys).
+/// A fake row and the parameter whose answer it is planted in.
+struct FakeTuplePlacement {
+  size_t param_idx;
+  AnswerRow row;
+};
+
+/// SPSW-style fake-tuple generator: `count` fresh rows with plausible
+/// weights (uniform over the marked map's observed min..max range), fresh
+/// element ids beyond the original universe (mimicking genuinely new keys),
+/// each targeted at a random parameter's answer. Per row the weight is drawn
+/// before the target parameter — the draw order TupleInsertionAttack has
+/// always used, so existing seeds replay identically. The update-stream
+/// hostile mix reuses the rows and ignores the placements.
+std::vector<FakeTuplePlacement> MakeFakeTupleRows(const QueryIndex& index,
+                                                  const WeightMap& marked,
+                                                  size_t count, Rng& rng);
+
+/// Tuple-insertion attack: plants `count` fresh rows from MakeFakeTupleRows
+/// into the chosen parameters' answers.
 void TupleInsertionAttack(TamperedAnswerServer& server, const QueryIndex& index,
                           const WeightMap& marked, size_t count, Rng& rng);
 

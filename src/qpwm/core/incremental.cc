@@ -39,6 +39,69 @@ WeightMap PropagateWeightsOnlyUpdate(const WeightMap& old_original,
   return out;
 }
 
+Status CheckUpdateWellFormed(const Structure& g, const StructuralUpdate& u) {
+  if (u.relation >= g.num_relations()) {
+    return Status::InvalidArgument("update names relation #" +
+                                   std::to_string(u.relation) + " but structure has " +
+                                   std::to_string(g.num_relations()));
+  }
+  const Relation& rel = g.relation(u.relation);
+  if (u.tuple.size() != rel.arity()) {
+    return Status::InvalidArgument(
+        "arity mismatch for relation " + rel.name() + ": got " +
+        std::to_string(u.tuple.size()) + ", want " + std::to_string(rel.arity()));
+  }
+  for (ElemId e : u.tuple) {
+    if (e >= g.universe_size()) {
+      return Status::OutOfRange("tuple element " + std::to_string(e) +
+                                " outside universe of size " +
+                                std::to_string(g.universe_size()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Structure> ApplyStructuralUpdates(
+    const Structure& base, const std::vector<StructuralUpdate>& updates) {
+  Structure out = base;
+  for (const StructuralUpdate& u : updates) {
+    QPWM_RETURN_NOT_OK(CheckUpdateWellFormed(out, u));
+    Relation& rel = out.mutable_relation(u.relation);
+    if (u.kind == StructuralUpdate::Kind::kInsertTuple) {
+      if (rel.Contains(u.tuple)) {
+        return Status::FailedPrecondition("insert of tuple already present in " +
+                                          rel.name());
+      }
+      rel.Add(u.tuple);
+    } else {
+      if (!rel.Contains(u.tuple)) {
+        return Status::FailedPrecondition("delete of tuple absent from " +
+                                          rel.name());
+      }
+      std::vector<Tuple> kept;
+      kept.reserve(rel.size() - 1);
+      for (const Tuple& t : rel.tuples()) {
+        if (t != u.tuple) kept.push_back(t);
+      }
+      rel.SetTuplesUnchecked(std::move(kept));
+    }
+  }
+  out.Seal();
+  return out;
+}
+
+Status ValidateTypePreserving(const LocalScheme& scheme,
+                              const QueryIndex& updated_index) {
+  const UpdateCheck check = CheckTypePreservingUpdate(scheme, updated_index);
+  if (!check.type_preserving) {
+    return Status::FailedPrecondition(
+        "update is not type-preserving: " + std::to_string(check.old_types) +
+        " neighborhood types before, " + std::to_string(check.new_types) +
+        " after");
+  }
+  return Status::OK();
+}
+
 UpdateCheck CheckTypePreservingUpdate(const LocalScheme& scheme,
                                       const QueryIndex& updated_index) {
   UpdateCheck out;

@@ -46,6 +46,42 @@ struct UpdateCheck {
 UpdateCheck CheckTypePreservingUpdate(const LocalScheme& scheme,
                                       const QueryIndex& updated_index);
 
+/// One structural edit against a live structure: insert or delete a single
+/// tuple of one relation. The stream layer batches these per epoch and
+/// admits a batch only when the result passes the Theorem 8 type check.
+struct StructuralUpdate {
+  enum class Kind { kInsertTuple, kDeleteTuple };
+  Kind kind = Kind::kInsertTuple;
+  size_t relation = 0;
+  Tuple tuple;
+};
+
+/// Shape validation against the structure's signature and universe, before
+/// any semantic check: unknown relation index / wrong arity yield
+/// kInvalidArgument, an element outside the universe yields kOutOfRange
+/// (the SPSW-style fake-tuple signature — referencing rows that do not
+/// exist).
+[[nodiscard]] Status CheckUpdateWellFormed(const Structure& g,
+                                           const StructuralUpdate& u);
+
+/// Applies `updates` in order to a copy of `base` and seals the result.
+/// Every update must be well-formed; inserting a tuple already present or
+/// deleting one that is absent yields kFailedPrecondition (the batch is
+/// rejected wholesale — callers quarantine and retry per-update if they
+/// want partial application).
+[[nodiscard]] Result<Structure> ApplyStructuralUpdates(
+    const Structure& base, const std::vector<StructuralUpdate>& updates);
+
+/// Status-typed wrapper over CheckTypePreservingUpdate: OK iff the update
+/// preserves all neighborhood types (Theorem 8's hypothesis), else
+/// kFailedPrecondition naming the old/new type counts. Pairs lost to an
+/// admitted update surface as erasures at detection time — the coded
+/// channel absorbs those — so pair survival is not part of the gate. This
+/// is the admission check the stream layer applies before committing a
+/// structural epoch.
+[[nodiscard]] Status ValidateTypePreserving(const LocalScheme& scheme,
+                                            const QueryIndex& updated_index);
+
 }  // namespace qpwm
 
 #endif  // QPWM_CORE_INCREMENTAL_H_

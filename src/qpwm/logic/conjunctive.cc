@@ -127,8 +127,11 @@ Result<ConjunctiveQuery> ConjunctiveQuery::Parse(std::string_view text) {
 }
 
 const ConjunctiveQuery::Index& ConjunctiveQuery::GetIndex(const Structure& g) const {
-  auto it = cache_.find(&g);
-  if (it != cache_.end()) return *it->second;
+  std::lock_guard<std::mutex> lock(*cache_mu_);
+  auto [it, inserted] = cache_.try_emplace(&g);
+  if (!inserted && it->second.generation == g.generation()) {
+    return *it->second.index;
+  }
 
   auto index = std::make_unique<Index>();
   index->atoms.resize(body_.size());
@@ -146,7 +149,9 @@ const ConjunctiveQuery::Index& ConjunctiveQuery::GetIndex(const Structure& g) co
       }
     }
   }
-  return *cache_.emplace(&g, std::move(index)).first->second;
+  it->second.generation = g.generation();
+  it->second.index = std::move(index);
+  return *it->second.index;
 }
 
 std::vector<Tuple> ConjunctiveQuery::Evaluate(const Structure& g,

@@ -10,6 +10,8 @@
 #ifndef QPWM_LOGIC_CONJUNCTIVE_H_
 #define QPWM_LOGIC_CONJUNCTIVE_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -65,13 +67,23 @@ class ConjunctiveQuery : public ParametricQuery {
 
  private:
   struct Index;  // per-structure join indexes
+  /// Generation-validated (see AtomQuery::CacheEntry): pointer keys alone
+  /// cannot identify a structure state across address reuse or in-place
+  /// mutation.
+  struct CacheEntry {
+    uint64_t generation = 0;
+    std::unique_ptr<Index> index;
+  };
   const Index& GetIndex(const Structure& g) const;
 
   std::vector<CqAtom> body_;
   uint32_t r_;
   uint32_t s_;
   uint32_t num_join_ = 0;
-  mutable std::unordered_map<const Structure*, std::unique_ptr<Index>> cache_;
+  // unique_ptr so the query stays movable (guards cache_, per the Evaluate
+  // thread-safety contract in query.h).
+  mutable std::unique_ptr<std::mutex> cache_mu_ = std::make_unique<std::mutex>();
+  mutable std::unordered_map<const Structure*, CacheEntry> cache_;
 };
 
 }  // namespace qpwm

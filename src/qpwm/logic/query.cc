@@ -106,9 +106,13 @@ const AtomQuery::Index& AtomQuery::GetIndex(const Structure& g) const {
   // Concurrent Evaluate calls (parallel QueryIndex build) race on the lazy
   // per-structure index; the first caller builds under the lock, the rest
   // wait. unordered_map mapped references stay valid across later inserts.
+  // A hit must also match the structure's generation — the address of a dead
+  // structure can be reused, and in-place mutation bumps the generation.
   std::lock_guard<std::mutex> lock(cache_mu_);
-  auto it = cache_.find(&g);
-  if (it != cache_.end()) return it->second;
+  auto [it, inserted] = cache_.try_emplace(&g);
+  if (!inserted && it->second.generation == g.generation()) {
+    return it->second.index;
+  }
 
   Index index;
   auto rel_idx = g.signature().Find(relation_);
@@ -129,7 +133,9 @@ const AtomQuery::Index& AtomQuery::GetIndex(const Structure& g) const {
       bucket.push_back(std::move(result));
     }
   }
-  return cache_.emplace(&g, std::move(index)).first->second;
+  it->second.generation = g.generation();
+  it->second.index = std::move(index);
+  return it->second.index;
 }
 
 std::vector<Tuple> AtomQuery::Evaluate(const Structure& g, const Tuple& params) const {
@@ -150,9 +156,12 @@ std::string AtomQuery::Name() const {
 
 const GaifmanGraph& DistanceQuery::GetGaifman(const Structure& g) const {
   std::lock_guard<std::mutex> lock(cache_mu_);
-  auto it = cache_.find(&g);
-  if (it != cache_.end()) return *it->second;
-  return *cache_.emplace(&g, std::make_unique<GaifmanGraph>(g)).first->second;
+  auto [it, inserted] = cache_.try_emplace(&g);
+  if (inserted || it->second.generation != g.generation()) {
+    it->second.generation = g.generation();
+    it->second.graph = std::make_unique<GaifmanGraph>(g);
+  }
+  return *it->second.graph;
 }
 
 std::vector<Tuple> DistanceQuery::Evaluate(const Structure& g, const Tuple& params) const {

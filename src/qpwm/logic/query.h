@@ -107,14 +107,22 @@ class AtomQuery : public ParametricQuery {
   struct Index {
     std::unordered_map<Tuple, std::vector<Tuple>, TupleHash> by_param;
   };
+  /// Cache entries are validated against Structure::generation() on every
+  /// hit: the allocator can hand a new structure the address of a dead one
+  /// (and structures mutate in place), so the pointer key alone is not an
+  /// identity. A generation mismatch rebuilds the entry in place.
+  struct CacheEntry {
+    uint64_t generation = 0;
+    Index index;
+  };
   const Index& GetIndex(const Structure& g) const;
 
   std::string relation_;
   std::vector<Arg> args_;
   uint32_t r_;
   uint32_t s_;
-  mutable std::mutex cache_mu_;  // guards cache_; mapped Index refs are stable
-  mutable std::unordered_map<const Structure*, Index> cache_;
+  mutable std::mutex cache_mu_;  // guards cache_; mapped entry refs are stable
+  mutable std::unordered_map<const Structure*, CacheEntry> cache_;
 };
 
 /// psi(u, v) = "d(u, v) <= rho" in the Gaifman graph. FO-definable whenever
@@ -130,11 +138,16 @@ class DistanceQuery : public ParametricQuery {
   std::string Name() const override;
 
  private:
+  /// Generation-validated like AtomQuery's cache; see that comment.
+  struct CacheEntry {
+    uint64_t generation = 0;
+    std::unique_ptr<GaifmanGraph> graph;
+  };
   const GaifmanGraph& GetGaifman(const Structure& g) const;
 
   uint32_t rho_;
   mutable std::mutex cache_mu_;  // guards cache_
-  mutable std::unordered_map<const Structure*, std::unique_ptr<GaifmanGraph>> cache_;
+  mutable std::unordered_map<const Structure*, CacheEntry> cache_;
 };
 
 /// Wraps a callback; the caller declares arities and (optionally) a locality

@@ -1,0 +1,95 @@
+// Detect-under-write: the epoch-snapshot detection loop.
+//
+// The driver calls Tick() once per scheduling window with the latest
+// published StreamSnapshot. Each tick either starts/continues one detection
+// pass (through a fault-injecting answer wrapper) or burns a backoff window.
+// A pass that loses its epoch or hits a failed answer batch is discarded and
+// retried against whatever snapshot the *next* tick brings — with bounded
+// linear backoff — instead of surfacing an error; only after max_attempts
+// does the pass give up, and even that is a counted outcome, not a failure
+// of the loop. Completed passes record the coded-channel verdict, payload
+// correctness, erasure counts, and the virtual-tick latency of the whole
+// pass (all attempts + penalties + backoff), feeding the StreamReport's
+// survival curve and latency percentiles.
+#ifndef QPWM_STREAM_DETECT_LOOP_H_
+#define QPWM_STREAM_DETECT_LOOP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "qpwm/coding/coded_watermark.h"
+#include "qpwm/stream/faults.h"
+#include "qpwm/stream/stream_server.h"
+#include "qpwm/util/bitvec.h"
+
+namespace qpwm {
+
+/// Outcome of one detection pass (completed or given up).
+struct DetectOutcome {
+  uint64_t pass = 0;   // pass sequence number
+  uint64_t epoch = 0;  // epoch of the snapshot that finished (or gave up)
+  bool gave_up = false;
+  uint32_t attempts = 1;  // attempts consumed (1 = clean first try)
+  uint64_t ticks = 0;     // virtual latency across all attempts + backoff
+  VerdictKind verdict = VerdictKind::kPartial;
+  bool payload_correct = false;
+  double log10_fp_bound = 0;
+  size_t bits_erased = 0;
+  size_t pairs_erased = 0;
+  uint64_t votes_cast = 0;
+};
+
+struct DetectLoopOptions {
+  FaultOptions faults;
+  /// Attempts per pass before giving up.
+  uint32_t max_attempts = 4;
+  /// Tick cost charged per backoff window (waiting isn't free).
+  uint64_t backoff_window_ticks = 50;
+};
+
+/// One detector tracing one payload through the stream's epochs.
+class EpochDetector {
+ public:
+  /// `coded` (and everything it references) must outlive the detector;
+  /// `payload` is the embedded message the survival curve is judged
+  /// against; `seed` drives fault plans only.
+  EpochDetector(const CodedWatermark& coded, BitVec payload, uint64_t seed,
+                DetectLoopOptions options = {});
+
+  /// One scheduling window against the currently published snapshot.
+  /// Returns an outcome when a pass completed or gave up this window.
+  std::optional<DetectOutcome> Tick(const StreamSnapshot& snap);
+
+  /// Fault-free detection against `snap` — the final audit the soak's
+  /// acceptance gate reads. Not recorded into outcomes().
+  DetectOutcome Audit(const StreamSnapshot& snap) const;
+
+  const std::vector<DetectOutcome>& outcomes() const { return outcomes_; }
+  /// Faulted attempts that were rescheduled.
+  uint64_t retried() const { return retried_; }
+  /// Passes abandoned after max_attempts.
+  uint64_t gave_up() const { return gave_up_; }
+
+ private:
+  DetectOutcome Judge(const CodedDetection& detection, uint64_t epoch,
+                      uint32_t attempts, uint64_t ticks) const;
+
+  const CodedWatermark* coded_;
+  BitVec payload_;
+  uint64_t seed_;
+  DetectLoopOptions options_;
+  std::vector<DetectOutcome> outcomes_;
+  uint64_t attempt_counter_ = 0;
+  uint64_t pass_counter_ = 0;
+  uint64_t retried_ = 0;
+  uint64_t gave_up_ = 0;
+  // In-flight pass state.
+  uint32_t attempts_in_pass_ = 0;
+  uint64_t ticks_in_pass_ = 0;
+  uint64_t backoff_windows_ = 0;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_STREAM_DETECT_LOOP_H_

@@ -1,0 +1,139 @@
+#include "qpwm/stream/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "qpwm/coding/verdict.h"
+
+namespace qpwm {
+namespace {
+
+/// Fixed-precision float rendering so report bytes never depend on locale or
+/// shortest-round-trip formatting quirks.
+std::string FmtFixed(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+void AppendKindCounts(std::ostringstream& out, const char* key,
+                      const std::vector<uint64_t>& counts) {
+  out << "\"" << key << "\":{";
+  bool first = true;
+  for (size_t k = 0; k < counts.size() && k < kNumUpdateKinds; ++k) {
+    if (counts[k] == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << UpdateKindName(static_cast<UpdateKind>(k))
+        << "\":" << counts[k];
+  }
+  out << "}";
+}
+
+void AppendOutcome(std::ostringstream& out, const DetectOutcome& o) {
+  out << "{\"pass\":" << o.pass << ",\"epoch\":" << o.epoch
+      << ",\"gave_up\":" << (o.gave_up ? "true" : "false")
+      << ",\"attempts\":" << o.attempts << ",\"ticks\":" << o.ticks;
+  if (!o.gave_up) {
+    out << ",\"verdict\":\"" << VerdictKindName(o.verdict) << "\""
+        << ",\"payload_correct\":" << (o.payload_correct ? "true" : "false")
+        << ",\"log10_fp_bound\":" << FmtFixed(o.log10_fp_bound)
+        << ",\"bits_erased\":" << o.bits_erased
+        << ",\"pairs_erased\":" << o.pairs_erased
+        << ",\"votes_cast\":" << o.votes_cast;
+  }
+  out << "}";
+}
+
+}  // namespace
+
+TickPercentiles PercentilesOf(std::vector<uint64_t> values) {
+  TickPercentiles p;
+  if (values.empty()) return p;
+  std::sort(values.begin(), values.end());
+  auto rank = [&](double q) {
+    // Nearest-rank: ceil(q * n), 1-based, clamped.
+    size_t r = static_cast<size_t>(q * static_cast<double>(values.size()) + 0.9999);
+    if (r < 1) r = 1;
+    if (r > values.size()) r = values.size();
+    return values[r - 1];
+  };
+  p.p50 = rank(0.50);
+  p.p90 = rank(0.90);
+  p.p99 = rank(0.99);
+  return p;
+}
+
+StreamReport BuildStreamReport(const UpdateGenerator& generator,
+                               const StreamServer& server,
+                               const EpochDetector& detector,
+                               const DetectOutcome& final_audit) {
+  StreamReport r;
+  r.generated = generator.generated();
+  r.hostile_generated = generator.hostile_generated();
+  r.generated_by_kind.assign(generator.generated_by_kind().begin(),
+                             generator.generated_by_kind().end());
+  r.counters = server.counters();
+  r.passes = detector.outcomes();
+  r.retried = detector.retried();
+  r.gave_up = detector.gave_up();
+  std::vector<uint64_t> completed_ticks;
+  for (const DetectOutcome& o : r.passes) {
+    if (!o.gave_up) {
+      ++r.passes_completed;
+      completed_ticks.push_back(o.ticks);
+    }
+  }
+  r.latency = PercentilesOf(std::move(completed_ticks));
+  r.final_audit = final_audit;
+  return r;
+}
+
+std::string StreamReportToJson(const StreamReport& r) {
+  std::ostringstream out;
+  out << "{\"traffic\":{\"generated\":" << r.generated
+      << ",\"hostile_generated\":" << r.hostile_generated << ",";
+  AppendKindCounts(out, "generated_by_kind", r.generated_by_kind);
+  out << "},";
+
+  const StreamCounters& c = r.counters;
+  out << "\"admission\":{\"submitted\":" << c.submitted
+      << ",\"applied\":" << c.applied << ",\"rejected\":" << c.rejected
+      << ",\"rejected_by_code\":{";
+  bool first = true;
+  for (size_t i = 0; i < kNumStatusCodes; ++i) {
+    if (c.rejected_by_code[i] == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << StatusCodeName(static_cast<StatusCode>(i))
+        << "\":" << c.rejected_by_code[i];
+  }
+  out << "},";
+  AppendKindCounts(out, "applied_by_kind",
+                   std::vector<uint64_t>(c.applied_by_kind.begin(),
+                                         c.applied_by_kind.end()));
+  out << ",";
+  AppendKindCounts(out, "rejected_by_kind",
+                   std::vector<uint64_t>(c.rejected_by_kind.begin(),
+                                         c.rejected_by_kind.end()));
+  out << ",\"fallback_epochs\":" << c.fallback_epochs
+      << ",\"epochs_sealed\":" << c.epochs_sealed
+      << ",\"accounted\":" << (r.Accounted() ? "true" : "false") << "},";
+
+  out << "\"detection\":{\"passes_completed\":" << r.passes_completed
+      << ",\"retried\":" << r.retried << ",\"gave_up\":" << r.gave_up
+      << ",\"latency_ticks\":{\"p50\":" << r.latency.p50
+      << ",\"p90\":" << r.latency.p90 << ",\"p99\":" << r.latency.p99
+      << "},\"passes\":[";
+  for (size_t i = 0; i < r.passes.size(); ++i) {
+    if (i > 0) out << ",";
+    AppendOutcome(out, r.passes[i]);
+  }
+  out << "],\"final_audit\":";
+  AppendOutcome(out, r.final_audit);
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace qpwm

@@ -1,0 +1,162 @@
+#include "qpwm/stream/update.h"
+
+#include <algorithm>
+
+#include "qpwm/util/check.h"
+
+namespace qpwm {
+namespace {
+
+/// True when the structure's first relation is a usable edge relation for
+/// structural draws.
+bool HasEdgeRelation(const Structure& g, size_t min_tuples) {
+  return g.num_relations() > 0 && g.relation(0).arity() == 2 &&
+         g.relation(0).size() >= min_tuples && g.universe_size() > 0;
+}
+
+StructuralUpdate Insert(size_t relation, Tuple t) {
+  return {StructuralUpdate::Kind::kInsertTuple, relation, std::move(t)};
+}
+
+StructuralUpdate Delete(size_t relation, Tuple t) {
+  return {StructuralUpdate::Kind::kDeleteTuple, relation, std::move(t)};
+}
+
+}  // namespace
+
+const char* UpdateKindName(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kWeightRefresh: return "weight_refresh";
+    case UpdateKind::kEdgeSwap: return "edge_swap";
+    case UpdateKind::kWeightWrite: return "weight_write";
+    case UpdateKind::kFakeTuple: return "fake_tuple";
+    case UpdateKind::kMalformed: return "malformed";
+    case UpdateKind::kBurstDelete: return "burst_delete";
+  }
+  return "unknown";
+}
+
+bool IsHostileKind(UpdateKind kind) {
+  return kind == UpdateKind::kWeightWrite || kind == UpdateKind::kFakeTuple ||
+         kind == UpdateKind::kMalformed || kind == UpdateKind::kBurstDelete;
+}
+
+UpdateGenerator::UpdateGenerator(uint64_t seed, UpdateMixOptions options)
+    : rng_(seed), options_(options) {}
+
+Update UpdateGenerator::Next(const Structure& g) {
+  Update u;
+  if (rng_.Bernoulli(options_.hostile_frac)) {
+    switch (rng_.Below(4)) {
+      case 0: u = WeightWrite(g); break;
+      case 1: u = FakeTuple(g); break;
+      case 2: u = Malformed(g); break;
+      default: u = BurstDelete(g); break;
+    }
+  } else if (rng_.Bernoulli(options_.honest_structural_frac)) {
+    u = EdgeSwap(g);
+  } else {
+    u = WeightRefresh(g);
+  }
+  ++generated_;
+  ++generated_by_kind_[static_cast<size_t>(u.kind)];
+  if (IsHostileKind(u.kind)) ++hostile_generated_;
+  return u;
+}
+
+Update UpdateGenerator::WeightRefresh(const Structure& g) {
+  Update u;
+  u.kind = UpdateKind::kWeightRefresh;
+  u.elem = static_cast<ElemId>(rng_.Below(g.universe_size()));
+  u.delta = rng_.Uniform(-options_.refresh_magnitude, options_.refresh_magnitude);
+  return u;
+}
+
+Update UpdateGenerator::EdgeSwap(const Structure& g) {
+  // Double-edge swap on a symmetric edge relation: replace undirected edges
+  // {a,b}, {c,d} with {a,c}, {b,d}. On a regular graph every degree is
+  // preserved, so the swap usually keeps all rho-neighborhood types — the
+  // canonical Theorem 8 churn. Degenerate picks (shared endpoints, already
+  // present replacement edges) are emitted anyway: the server's admission
+  // gates reject them with a counted Status, which is part of the workload.
+  if (!HasEdgeRelation(g, /*min_tuples=*/4)) return WeightRefresh(g);
+  const auto& tuples = g.relation(0).tuples();
+  const Tuple e1 = tuples[rng_.Below(tuples.size())];
+  const Tuple e2 = tuples[rng_.Below(tuples.size())];
+  const ElemId a = e1[0], b = e1[1], c = e2[0], d = e2[1];
+  Update u;
+  u.kind = UpdateKind::kEdgeSwap;
+  u.edits = {Delete(0, {a, b}), Delete(0, {b, a}),
+             Delete(0, {c, d}), Delete(0, {d, c}),
+             Insert(0, {a, c}), Insert(0, {c, a}),
+             Insert(0, {b, d}), Insert(0, {d, b})};
+  return u;
+}
+
+Update UpdateGenerator::WeightWrite(const Structure& g) {
+  Update u;
+  u.kind = UpdateKind::kWeightWrite;
+  u.elem = static_cast<ElemId>(rng_.Below(g.universe_size()));
+  const Weight m = options_.write_magnitude;
+  QPWM_CHECK(m >= 1);
+  // Uniform over [-m, m] \ {0}.
+  const Weight raw = rng_.Uniform(1, 2 * m);
+  u.delta = raw <= m ? -raw : raw - m;
+  return u;
+}
+
+Update UpdateGenerator::FakeTuple(const Structure& g) {
+  Update u;
+  u.kind = UpdateKind::kFakeTuple;
+  const ElemId n = static_cast<ElemId>(g.universe_size());
+  if (rng_.Coin() || !HasEdgeRelation(g, /*min_tuples=*/1)) {
+    // Out-of-universe fake: references a row that does not exist. Rejected
+    // at submission with kOutOfRange.
+    const ElemId ghost = n + static_cast<ElemId>(rng_.Below(1000));
+    const ElemId anchor = n > 0 ? static_cast<ElemId>(rng_.Below(n)) : 0;
+    u.edits = {Insert(0, {ghost, anchor})};
+  } else {
+    // In-universe fake edge: shape-valid, so it reaches the Theorem 8 gate —
+    // on a regular instance it raises two degrees and breaks the type set,
+    // so it is quarantined at epoch seal instead.
+    const ElemId x = static_cast<ElemId>(rng_.Below(n));
+    const ElemId y = static_cast<ElemId>(rng_.Below(n));
+    u.edits = {Insert(0, {x, y})};
+  }
+  return u;
+}
+
+Update UpdateGenerator::Malformed(const Structure& g) {
+  Update u;
+  u.kind = UpdateKind::kMalformed;
+  const ElemId n = static_cast<ElemId>(g.universe_size());
+  const ElemId x = n > 0 ? static_cast<ElemId>(rng_.Below(n)) : 0;
+  if (rng_.Coin()) {
+    // Wrong arity for the edge relation.
+    u.edits = {Insert(0, {x})};
+  } else {
+    // Unknown relation index.
+    u.edits = {Insert(g.num_relations() + rng_.Below(3), {x, x})};
+  }
+  return u;
+}
+
+Update UpdateGenerator::BurstDelete(const Structure& g) {
+  // Correlated loss: a contiguous run of the relation's tuple list (a
+  // dropped page / shipped slice). On any bounded-degree instance this
+  // removes neighborhood types, so the Theorem 8 gate quarantines the whole
+  // burst as one unit.
+  if (!HasEdgeRelation(g, /*min_tuples=*/1)) return WeightRefresh(g);
+  const auto& tuples = g.relation(0).tuples();
+  const size_t len = std::min(options_.burst_len, tuples.size());
+  const size_t start = rng_.Below(tuples.size());
+  Update u;
+  u.kind = UpdateKind::kBurstDelete;
+  u.edits.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    u.edits.push_back(Delete(0, tuples[(start + i) % tuples.size()]));
+  }
+  return u;
+}
+
+}  // namespace qpwm

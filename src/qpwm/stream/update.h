@@ -1,0 +1,114 @@
+// Update-stream model: the typed mutations a long-running watermarked
+// server ingests, and the seeded generator that produces the mixed honest +
+// hostile traffic the soak harness drives.
+//
+// Honest traffic exercises the paper's Section 5 maintenance guarantees:
+// weights-only refreshes (Theorem 7 — the mark delta rides along) and
+// type-preserving structural churn (Theorem 8 — edge 2-swaps that keep every
+// rho-neighborhood type). Hostile traffic is the production threat mix the
+// SPSW line of work models: in-range weight tampering on the served copy,
+// fake-tuple injection (both out-of-universe rows and in-universe rows that
+// would change neighborhood types), shape-malformed updates, and correlated
+// deletion bursts. The generator is fully seeded — the same seed replays the
+// same stream against the same evolving structure, which is what makes the
+// soak report byte-identical across thread counts.
+#ifndef QPWM_STREAM_UPDATE_H_
+#define QPWM_STREAM_UPDATE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "qpwm/core/incremental.h"
+#include "qpwm/structure/structure.h"
+#include "qpwm/structure/weighted.h"
+#include "qpwm/util/random.h"
+
+namespace qpwm {
+
+enum class UpdateKind : uint8_t {
+  kWeightRefresh = 0,  // owner maintenance: weights-only update (Theorem 7)
+  kEdgeSwap,           // owner maintenance: structural 2-swap (Theorem 8 gate)
+  kWeightWrite,        // hostile: in-range weight tamper on the served copy
+  kFakeTuple,          // hostile: SPSW-style fake-row injection
+  kMalformed,          // hostile: shape-invalid update
+  kBurstDelete,        // hostile: correlated deletion burst
+};
+inline constexpr size_t kNumUpdateKinds = 6;
+
+/// Stable name for reports ("weight_refresh", "edge_swap", ...).
+const char* UpdateKindName(UpdateKind kind);
+
+/// True for the kinds the hostile mix produces. Hostility is an accounting
+/// label, not a server-visible property: an in-range weight write is
+/// indistinguishable from maintenance and gets applied; the quarantine gates
+/// catch hostile updates by their *effects* (shape, domain, type breakage).
+bool IsHostileKind(UpdateKind kind);
+
+/// One stream mutation. Weight kinds carry (elem, delta); structural kinds
+/// carry a batch of edits that is admitted or quarantined atomically.
+struct Update {
+  UpdateKind kind = UpdateKind::kWeightRefresh;
+  /// Weight edits (kWeightRefresh / kWeightWrite): element and signed delta.
+  ElemId elem = 0;
+  Weight delta = 0;
+  /// Structural edits (the remaining kinds), one atomic unit per update.
+  std::vector<StructuralUpdate> edits;
+};
+
+struct UpdateMixOptions {
+  /// Fraction of hostile updates in the stream (acceptance criteria soak
+  /// runs with at least 0.10).
+  double hostile_frac = 0.15;
+  /// Probability an honest update is structural churn (an edge 2-swap)
+  /// rather than a weights-only refresh.
+  double honest_structural_frac = 0.10;
+  /// Weights-only refreshes draw their delta uniformly from
+  /// [-refresh_magnitude, refresh_magnitude].
+  Weight refresh_magnitude = 10;
+  /// Hostile weight writes draw from [-write_magnitude, write_magnitude]
+  /// excluding 0 (a 0-write would be a no-op, not an attack).
+  Weight write_magnitude = 1;
+  /// Tuples per correlated deletion burst.
+  size_t burst_len = 8;
+};
+
+/// Seeded generator of the mixed stream. Structural picks read the *current*
+/// live structure (the stream evolves it), so the generator and the server
+/// must advance in lockstep — which the driver guarantees by running
+/// generation and submission in one lane.
+///
+/// Structural kinds target binary-relation (graph) workloads; on a structure
+/// whose first relation is not binary or has too few tuples, structural
+/// draws degrade to weight refreshes.
+class UpdateGenerator {
+ public:
+  explicit UpdateGenerator(uint64_t seed, UpdateMixOptions options = {});
+
+  /// Draws the next update against the current live structure.
+  Update Next(const Structure& g);
+
+  uint64_t generated() const { return generated_; }
+  const std::array<uint64_t, kNumUpdateKinds>& generated_by_kind() const {
+    return generated_by_kind_;
+  }
+  uint64_t hostile_generated() const { return hostile_generated_; }
+
+ private:
+  Update WeightRefresh(const Structure& g);
+  Update EdgeSwap(const Structure& g);
+  Update WeightWrite(const Structure& g);
+  Update FakeTuple(const Structure& g);
+  Update Malformed(const Structure& g);
+  Update BurstDelete(const Structure& g);
+
+  Rng rng_;
+  UpdateMixOptions options_;
+  uint64_t generated_ = 0;
+  uint64_t hostile_generated_ = 0;
+  std::array<uint64_t, kNumUpdateKinds> generated_by_kind_{};
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_STREAM_UPDATE_H_

@@ -1,8 +1,14 @@
 #include "qpwm/structure/structure.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace qpwm {
+
+uint64_t GenerationStamp::Next() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 void Relation::Seal() { std::sort(tuples_.begin(), tuples_.end()); }
 
@@ -33,6 +39,7 @@ const Relation& Structure::relation(const std::string& name) const {
 void Structure::AddTuple(size_t rel, Tuple t) {
   QPWM_CHECK_LT(rel, relations_.size());
   for (ElemId e : t) QPWM_CHECK_LT(e, n_);
+  gen_.Bump();
   relations_[rel].Add(std::move(t));
 }
 
@@ -43,6 +50,7 @@ void Structure::AddTuple(const std::string& rel, Tuple t) {
 }
 
 void Structure::Seal() {
+  gen_.Bump();  // sorting reorders tuple indices cached per structure
   for (auto& r : relations_) r.Seal();
 }
 

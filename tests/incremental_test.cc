@@ -147,6 +147,94 @@ TEST(TypePreservingTest, TypeCreatingEditDetected) {
   EXPECT_LT(check.old_types, check.new_types);
 }
 
+TEST(StructuralUpdateTest, WellFormedRejectsBadShape) {
+  Structure g = CycleGraph(10, true);
+
+  StructuralUpdate bad_relation;
+  bad_relation.relation = 7;  // graph signature has a single relation
+  bad_relation.tuple = Tuple{0, 1};
+  EXPECT_EQ(CheckUpdateWellFormed(g, bad_relation).code(),
+            StatusCode::kInvalidArgument);
+
+  StructuralUpdate bad_arity;
+  bad_arity.relation = 0;
+  bad_arity.tuple = Tuple{0, 1, 2};  // E is binary
+  EXPECT_EQ(CheckUpdateWellFormed(g, bad_arity).code(),
+            StatusCode::kInvalidArgument);
+
+  // SPSW-style fake tuple: references an element outside the universe.
+  StructuralUpdate fake;
+  fake.relation = 0;
+  fake.tuple = Tuple{0, 99};
+  EXPECT_EQ(CheckUpdateWellFormed(g, fake).code(), StatusCode::kOutOfRange);
+
+  StructuralUpdate ok;
+  ok.relation = 0;
+  ok.tuple = Tuple{0, 5};
+  EXPECT_TRUE(CheckUpdateWellFormed(g, ok).ok());
+}
+
+TEST(StructuralUpdateTest, ApplyRejectsDuplicateInsertAndMissingDelete) {
+  Structure g = CycleGraph(10, true);
+
+  StructuralUpdate dup;
+  dup.kind = StructuralUpdate::Kind::kInsertTuple;
+  dup.relation = 0;
+  dup.tuple = Tuple{0, 1};  // already an edge of the cycle
+  EXPECT_EQ(ApplyStructuralUpdates(g, {dup}).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  StructuralUpdate missing;
+  missing.kind = StructuralUpdate::Kind::kDeleteTuple;
+  missing.relation = 0;
+  missing.tuple = Tuple{0, 5};  // not an edge
+  EXPECT_EQ(ApplyStructuralUpdates(g, {missing}).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // A batch is all-or-nothing: one bad update rejects the whole batch.
+  StructuralUpdate good_delete;
+  good_delete.kind = StructuralUpdate::Kind::kDeleteTuple;
+  good_delete.relation = 0;
+  good_delete.tuple = Tuple{0, 1};
+  EXPECT_EQ(ApplyStructuralUpdates(g, {good_delete, missing}).status().code(),
+            StatusCode::kFailedPrecondition);
+  auto applied = ApplyStructuralUpdates(g, {good_delete});
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied.value().relation(0).size(), g.relation(0).size() - 1);
+}
+
+TEST(StructuralUpdateTest, ValidateFlagsTypeChangingEdits) {
+  Structure g = CycleGraph(30, true);
+  auto query = AtomQuery::Adjacency("E");
+  QueryIndex index(g, *query, AllParams(g, 1));
+  LocalSchemeOptions opts;
+  opts.key = {9, 10};
+  auto scheme = LocalScheme::Plan(index, opts).ValueOrDie();
+
+  // Non-type-preserving insert: a chord gives two elements degree 3.
+  StructuralUpdate chord_a{StructuralUpdate::Kind::kInsertTuple, 0, Tuple{0, 15}};
+  StructuralUpdate chord_b{StructuralUpdate::Kind::kInsertTuple, 0, Tuple{15, 0}};
+  auto chorded = ApplyStructuralUpdates(g, {chord_a, chord_b});
+  ASSERT_TRUE(chorded.ok());
+  QueryIndex chorded_index(chorded.value(), *query,
+                           AllParams(chorded.value(), 1));
+  EXPECT_EQ(ValidateTypePreserving(scheme, chorded_index).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Type-removing delete: cutting one edge pair turns the cycle into a path
+  // (endpoint types appear, the interior 2-regular type survives).
+  StructuralUpdate cut_a{StructuralUpdate::Kind::kDeleteTuple, 0, Tuple{0, 1}};
+  StructuralUpdate cut_b{StructuralUpdate::Kind::kDeleteTuple, 0, Tuple{1, 0}};
+  auto cut = ApplyStructuralUpdates(g, {cut_a, cut_b});
+  ASSERT_TRUE(cut.ok());
+  QueryIndex cut_index(cut.value(), *query, AllParams(cut.value(), 1));
+  EXPECT_EQ(ValidateTypePreserving(scheme, cut_index).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Identity stays admissible.
+  EXPECT_TRUE(ValidateTypePreserving(scheme, index).ok());
+}
+
 TEST(TypePreservingTest, SurvivingPairsReportedHonestly) {
   // Shrink the structure so some pair elements go inactive.
   Structure g = CycleGraph(20, true);

@@ -30,7 +30,10 @@
 //   --codec C        restrict the codec grid to one codec spec  (default all)
 //   --out F          JSON report path                          (default stdout)
 //
-// Exit codes follow the CLI contract: 0 = campaign ran, 2 = usage/I/O error.
+// Exit codes follow the CLI contract: 0 = campaign ran clean, 1 = at least
+// one trial's detection returned an internal error (the trial is recorded as
+// an internal_error in its level, never silently dropped), 2 = usage/I/O
+// error.
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -108,6 +111,7 @@ struct Workload {
 struct TrialOutcome {
   bool full_mark = false;           // complete() and mark == message
   bool recovered_correct = false;   // every non-erased bit matches
+  bool internal_error = false;      // detection returned a non-OK Status
   size_t bits_erased = 0;
   size_t pairs_erased = 0;
   double min_margin = 0;
@@ -120,6 +124,7 @@ struct LevelSummary {
   uint64_t level_tag = 0;
   size_t full_mark = 0;
   size_t recovered_correct = 0;
+  size_t internal_errors = 0;
   double mean_bits_erased = 0;
   double mean_pairs_erased = 0;
   double mean_min_margin = 0;
@@ -146,11 +151,17 @@ TrialOutcome RunTrial(const Workload& wl, double deletion_frac,
       insertion_frac * static_cast<double>(wl.index->num_active()));
   TupleInsertionAttack(server, *wl.index, base.weights(), insertions, rng);
 
+  TrialOutcome out;
   auto detection = adv.Detect(*wl.weights, server);
-  QPWM_CHECK(detection.ok());  // never fails: partial results, not errors
+  if (!detection.ok()) {
+    // The channel is specified to degrade into partial results, never
+    // errors; a non-OK Status here is a detector bug. Record it instead of
+    // aborting so the rest of the campaign still reports.
+    out.internal_error = true;
+    return out;
+  }
   const AdversarialDetection& d = detection.value();
 
-  TrialOutcome out;
   out.bits_erased = d.bits_erased;
   out.pairs_erased = d.pairs_erased;
   out.min_margin = d.min_margin;
@@ -183,6 +194,7 @@ LevelSummary RunLevel(const Options& opt, const Workload& wl,
   for (const TrialOutcome& o : outcomes) {
     s.full_mark += o.full_mark;
     s.recovered_correct += o.recovered_correct;
+    s.internal_errors += o.internal_error;
     s.mean_bits_erased += static_cast<double>(o.bits_erased);
     s.mean_pairs_erased += static_cast<double>(o.pairs_erased);
     s.mean_min_margin += o.min_margin;
@@ -212,6 +224,7 @@ void AppendLevelJson(std::ostringstream& json, const Options& opt,
        << ", \"full_mark_rate\": " << static_cast<double>(s.full_mark) / n
        << ", \"recovered_correct_rate\": "
        << static_cast<double>(s.recovered_correct) / n
+       << ", \"internal_errors\": " << s.internal_errors
        << ", \"mean_bits_erased\": " << s.mean_bits_erased
        << ", \"mean_pairs_erased\": " << s.mean_pairs_erased
        << ", \"mean_min_margin\": " << s.mean_min_margin << ", ";
@@ -259,6 +272,7 @@ struct CodedTrialOutcome {
   bool payload_full = false;     // complete and equal to the embedded payload
   bool payload_correct = false;  // every recovered payload bit matches
   bool verdict_match = false;    // MATCH verdict and equal payload
+  bool internal_error = false;   // detection returned a non-OK Status
   size_t payload_erased = 0;
   size_t channel_erased = 0;
   size_t corrected = 0;
@@ -281,7 +295,10 @@ CodedTrialOutcome RunCodedTrial(const Workload& wl, const CodedWatermark& wm,
                           wl.adv->Redundancy(), marked,
                           SpecForSeverity(severity, seed));
   auto detection = wm.Detect(*wl.weights, *suspect.server);
-  QPWM_CHECK(detection.ok());
+  if (!detection.ok()) {
+    out.internal_error = true;
+    return out;
+  }
   const CodedDetection& d = detection.value();
 
   out.payload_erased = d.message.bits_erased;
@@ -307,6 +324,7 @@ CodedTrialOutcome RunCodedTrial(const Workload& wl, const CodedWatermark& wm,
 // way a MATCH verdict is a false positive.
 struct HonestOutcome {
   bool false_positive = false;
+  bool internal_error = false;  // detection returned a non-OK Status
   double log10_fp = 0;
 };
 
@@ -319,14 +337,19 @@ HonestOutcome RunHonestTrial(const Workload& wl, const CodedWatermark& wm,
       (trial % 2 == 0) ? *wl.weights : RandomWeights(wl.g, 1000, 9999, rng);
   HonestServer server(*wl.index, std::move(weights));
   auto detection = wm.Detect(*wl.weights, server);
-  QPWM_CHECK(detection.ok());
+  if (!detection.ok()) {
+    out.internal_error = true;
+    return out;
+  }
   out.false_positive = detection.value().verdict.kind == VerdictKind::kMatch;
   out.log10_fp = detection.value().verdict.log10_fp_bound;
   return out;
 }
 
-void RunCodecGrid(const Options& opt, const Workload& wl,
-                  std::ostringstream& json) {
+// Returns the number of trials that hit an internal detection error.
+size_t RunCodecGrid(const Options& opt, const Workload& wl,
+                    std::ostringstream& json) {
+  size_t internal_errors = 0;
   bool first_codec = true;
   json << "  \"codec_grid\": [\n";
   uint64_t tag = 300;  // level tags continue after the channel campaigns
@@ -362,13 +385,14 @@ void RunCodecGrid(const Options& opt, const Workload& wl,
           ParallelMap<CodedTrialOutcome>(opt.trials, [&](size_t t) {
             return RunCodedTrial(wl, wm, severity, TrialSeed(opt, level_tag, t));
           });
-      size_t full = 0, correct = 0, match = 0;
+      size_t full = 0, correct = 0, match = 0, errors = 0;
       double erased = 0, ch_erased = 0, corrected = 0, filled = 0;
       double mean_fp = 0, max_fp = -1e300;
       for (const CodedTrialOutcome& o : outcomes) {
         full += o.payload_full;
         correct += o.payload_correct;
         match += o.verdict_match;
+        errors += o.internal_error;
         erased += static_cast<double>(o.payload_erased);
         ch_erased += static_cast<double>(o.channel_erased);
         corrected += static_cast<double>(o.corrected);
@@ -394,7 +418,9 @@ void RunCodecGrid(const Options& opt, const Workload& wl,
            << ", \"mean_corrected\": " << corrected / n
            << ", \"mean_filled\": " << filled / n
            << ", \"mean_log10_fp_bound\": " << mean_fp / n
-           << ", \"max_log10_fp_bound\": " << max_fp << ", ";
+           << ", \"max_log10_fp_bound\": " << max_fp
+           << ", \"internal_errors\": " << errors << ", ";
+      internal_errors += errors;
       AppendTrialSeeds(json, opt, level_tag);
       json << "}" << (li + 1 < std::size(kSeverities) ? ",\n" : "\n");
     }
@@ -407,20 +433,24 @@ void RunCodecGrid(const Options& opt, const Workload& wl,
         ParallelMap<HonestOutcome>(opt.trials, [&](size_t t) {
           return RunHonestTrial(wl, wm, t, TrialSeed(opt, honest_tag, t));
         });
-    size_t fps = 0;
+    size_t fps = 0, honest_errors = 0;
     double worst_fp = 0;  // log10: closest an honest suspect came to a match
     for (const HonestOutcome& h : honest) {
       fps += h.false_positive;
+      honest_errors += h.internal_error;
       worst_fp = std::min(worst_fp, h.log10_fp);
     }
+    internal_errors += honest_errors;
     json << "     \"honest\": {\"trials\": " << opt.trials
          << ", \"false_positives\": " << fps
+         << ", \"internal_errors\": " << honest_errors
          << ", \"min_log10_fp_bound\": " << worst_fp << ", ";
     AppendTrialSeeds(json, opt, honest_tag);
     json << "}}";
     std::cerr << "\n";
   }
   json << "\n  ]\n";
+  return internal_errors;
 }
 
 int Run(const Options& opt) {
@@ -440,14 +470,16 @@ int Run(const Options& opt) {
        << ", \"stride\": " << kSeedStride
        << ", \"formula\": \"base_seed + level_tag * stride + trial\"},\n";
 
+  size_t internal_errors = 0;
+
   // Campaign 1: deletion sweep 0..90%.
   std::cerr << "deletion sweep";
   json << "  \"deletion_sweep\": [\n";
   for (int i = 0; i <= 9; ++i) {
     std::cerr << " " << i * 10 << "%" << std::flush;
-    AppendLevelJson(json, opt,
-                    RunLevel(opt, *wl, i * 0.1, 0.0, static_cast<uint64_t>(i)),
-                    i == 9);
+    LevelSummary s = RunLevel(opt, *wl, i * 0.1, 0.0, static_cast<uint64_t>(i));
+    internal_errors += s.internal_errors;
+    AppendLevelJson(json, opt, s, i == 9);
   }
   json << "  ],\n";
   std::cerr << "\n";
@@ -457,10 +489,10 @@ int Run(const Options& opt) {
   json << "  \"insertion_sweep\": [\n";
   for (int i = 0; i <= 4; ++i) {
     std::cerr << " " << i * 25 << "%" << std::flush;
-    AppendLevelJson(
-        json, opt,
-        RunLevel(opt, *wl, 0.0, i * 0.25, 100 + static_cast<uint64_t>(i)),
-        i == 4);
+    LevelSummary s =
+        RunLevel(opt, *wl, 0.0, i * 0.25, 100 + static_cast<uint64_t>(i));
+    internal_errors += s.internal_errors;
+    AppendLevelJson(json, opt, s, i == 4);
   }
   json << "  ],\n";
   std::cerr << "\n";
@@ -471,29 +503,34 @@ int Run(const Options& opt) {
   const double mixes[][2] = {{0.1, 0.1}, {0.3, 0.25}, {0.5, 0.5}, {0.7, 0.5}};
   for (size_t i = 0; i < 4; ++i) {
     std::cerr << " " << mixes[i][0] << "/" << mixes[i][1] << std::flush;
-    AppendLevelJson(json, opt,
-                    RunLevel(opt, *wl, mixes[i][0], mixes[i][1],
-                             200 + static_cast<uint64_t>(i)),
-                    i == 3);
+    LevelSummary s = RunLevel(opt, *wl, mixes[i][0], mixes[i][1],
+                              200 + static_cast<uint64_t>(i));
+    internal_errors += s.internal_errors;
+    AppendLevelJson(json, opt, s, i == 3);
   }
   json << "  ],\n";
   std::cerr << "\n";
 
   // Campaign 4: codec x composed-adversary severity grid.
-  RunCodecGrid(opt, *wl, json);
-  json << "}\n";
+  internal_errors += RunCodecGrid(opt, *wl, json);
+  json << ",\n  \"internal_errors\": " << internal_errors << "\n}\n";
 
-  if (opt.out.empty()) {
+  if (!opt.out.empty()) {
+    std::ofstream f(opt.out, std::ios::binary);
+    if (!f) {
+      std::cerr << "cannot write " << opt.out << "\n";
+      return 2;
+    }
+    f << json.str();
+    std::cerr << "wrote " << opt.out << "\n";
+  } else {
     std::cout << json.str();
-    return 0;
   }
-  std::ofstream f(opt.out, std::ios::binary);
-  if (!f) {
-    std::cerr << "cannot write " << opt.out << "\n";
-    return 2;
+  if (internal_errors > 0) {
+    std::cerr << "FAIL: " << internal_errors
+              << " trial(s) hit an internal detection error\n";
+    return 1;
   }
-  f << json.str();
-  std::cerr << "wrote " << opt.out << "\n";
   return 0;
 }
 
