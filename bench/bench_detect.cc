@@ -20,8 +20,18 @@
 //
 // --json[=PATH] writes/merges the "detect_scale" section of
 // BENCH_detect.json so future PRs have a trajectory to beat.
+//
+// The fan-out is additionally held against the *serial optimized* detector
+// (a plain loop of single-suspect detections with every fast path on): the
+// honest bar for the thread pool, reported as parallel_faster_than_serial.
+//
+// --sweep[=N1,N2,...] scales the fan-out to 10^6-element instances (qrho=2,
+// a few suspects) with flat-storage bytes per tuple and process peak RSS per
+// point; sizes are visited ascending so each RSS sample is dominated by the
+// current instance.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <iostream>
 #include <memory>
@@ -79,6 +89,31 @@ struct FanoutResult {
   bool identical = true;
 };
 
+struct DetectSweepPoint {
+  size_t n = 0;
+  size_t tuples = 0;
+  size_t pairs = 0;
+  size_t suspects = 0;
+  double serial_optimized_ms = 0;
+  double fanout_1t_ms = 0;
+  double fanout_8t_ms = 0;
+  size_t structure_bytes = 0;
+  uint64_t peak_rss_kb = 0;
+  bool identical = true;
+};
+
+std::vector<size_t> ParseSizeList(const std::string& list) {
+  std::vector<size_t> out;
+  size_t pos = 0;
+  while (pos < list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    out.push_back(std::stoul(list.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,12 +128,17 @@ int main(int argc, char** argv) {
   int reps = 3;
   double epsilon = 0.02;
   std::optional<std::string> json_path;
+  std::vector<size_t> sweep_sizes;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json") {
       json_path = "BENCH_detect.json";
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--sweep") {
+      sweep_sizes = {50000, 200000, 1000000};
+    } else if (arg.rfind("--sweep=", 0) == 0) {
+      sweep_sizes = ParseSizeList(arg.substr(8));
     } else if (arg == "--n" && i + 1 < argc) {
       n = std::stoul(argv[++i]);
     } else if (arg == "--k" && i + 1 < argc) {
@@ -116,7 +156,7 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: bench_detect [--json[=PATH]] [--n N] [--k K] "
                    "[--qrho R] [--suspects S] [--redundancy R] [--reps R] "
-                   "[--epsilon E]\n";
+                   "[--epsilon E] [--sweep[=N1,N2,...]]\n";
       return 2;
     }
   }
@@ -256,6 +296,26 @@ int main(int argc, char** argv) {
     multi_baseline_ms = rep == 0 ? ms : std::min(multi_baseline_ms, ms);
   }
 
+  // The honest bar for the thread pool: a serial loop with every
+  // single-suspect fast path already on (batched answers, dense views — the
+  // default DetectOptions). DetectMany has to beat this, not just the
+  // unbatched pre-optimization loop.
+  std::vector<AdversarialDetection> serial_optimized;
+  double serial_optimized_ms = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double ms = TimeMs([&] {
+      serial_optimized.clear();
+      for (const AnswerServer* s : dense_ptrs) {
+        serial_optimized.push_back(adv.Detect(weights, *s).ValueOrDie());
+      }
+    });
+    serial_optimized_ms = rep == 0 ? ms : std::min(serial_optimized_ms, ms);
+  }
+  bool serial_optimized_identical = serial_optimized.size() == multi_reference.size();
+  for (size_t s = 0; serial_optimized_identical && s < serial_optimized.size(); ++s) {
+    serial_optimized_identical = SameDetection(multi_reference[s], serial_optimized[s]);
+  }
+
   std::vector<FanoutResult> fanout;
   for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
     SetParallelThreads(threads);
@@ -285,16 +345,107 @@ int main(int argc, char** argv) {
                   r.identical ? "yes" : "NO"});
   }
   multi.Print(std::cout);
+  const double fanout_8t_ms = fanout.back().ms;
+  const bool parallel_faster_than_serial = fanout_8t_ms < serial_optimized_ms;
   std::cout << "hardware threads visible: " << std::thread::hardware_concurrency()
             << "; speedups are vs the pre-optimization serial detector "
                "(unbatched answers, sparse weight lookups).\n";
+  std::cout << "serial optimized loop (dense+batch, 1 thread): "
+            << FmtDouble(serial_optimized_ms, 2) << " ms; DetectMany@8T "
+            << FmtDouble(fanout_8t_ms, 2) << " ms -> parallel faster: "
+            << (parallel_faster_than_serial ? "yes" : "no")
+            << " (expect no on a single hardware thread; the perf CI job "
+               "checks this multicore).\n";
 
-  bool all_identical = true;
+  bool all_identical = serial_optimized_identical;
   for (const AblationResult& r : ablations) all_identical &= r.identical;
   for (const FanoutResult& r : fanout) all_identical &= r.identical;
   if (!all_identical) {
     std::cerr << "FAIL: detection output differs across ablations/threads\n";
     return 1;
+  }
+
+  // --- Scaling sweep ------------------------------------------------------
+  // Fan-out tracing at large n. Distance-2 balls keep the answer index a
+  // small constant per parameter so the instance — not the index — dominates
+  // memory; at most 8 suspects keep the marked-copy weight maps bounded.
+  // Each point runs once (no reps): plan, embed, then the serial optimized
+  // loop vs DetectMany at 1 and 8 threads, outputs compared exactly.
+  const uint32_t kSweepQrho = 2;
+  std::vector<DetectSweepPoint> sweep;
+  for (size_t sn : sweep_sizes) {
+    DetectSweepPoint pt;
+    pt.n = sn;
+    pt.suspects = std::min<size_t>(num_suspects, 8);
+    Rng srng(42);
+    Structure sg = RandomBoundedDegreeGraph(sn, k, 3 * sn, false, srng);
+    for (size_t r = 0; r < sg.num_relations(); ++r) pt.tuples += sg.relation(r).size();
+    pt.structure_bytes = sg.BytesResident();
+    DistanceQuery squery(kSweepQrho);
+    SetParallelThreads(0);
+    QueryIndex sindex(sg, squery, AllParams(sg, 1));
+    Rng wrng(7);
+    WeightMap sweights = RandomWeights(sg, 1000, 9999, wrng);
+    LocalSchemeOptions sopts;
+    sopts.epsilon = epsilon;
+    sopts.key = {42, 99};
+    sopts.encoding = PairEncoding::kAntipodal;
+    LocalScheme sscheme = LocalScheme::Plan(sindex, sopts).ValueOrDie();
+    AdversarialScheme sadv(sscheme, redundancy);
+    pt.pairs = sscheme.CapacityBits();
+    std::vector<std::unique_ptr<HonestServer>> servers;
+    std::vector<const AnswerServer*> ptrs;
+    for (size_t s = 0; s < pt.suspects; ++s) {
+      BitVec msg(sadv.CapacityBits());
+      Rng msg_rng(1000 + s);
+      for (size_t i = 0; i < msg.size(); ++i) msg.Set(i, msg_rng.Coin());
+      servers.push_back(
+          std::make_unique<HonestServer>(sindex, sadv.Embed(sweights, msg)));
+      ptrs.push_back(servers.back().get());
+    }
+    std::vector<AdversarialDetection> ref;
+    pt.serial_optimized_ms = TimeMs([&] {
+      for (const AnswerServer* s : ptrs) {
+        ref.push_back(sadv.Detect(sweights, *s).ValueOrDie());
+      }
+    });
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      SetParallelThreads(threads);
+      std::vector<AdversarialDetection> out;
+      const double ms = TimeMs([&] { out = sadv.DetectMany(sweights, ptrs); });
+      (threads == 1 ? pt.fanout_1t_ms : pt.fanout_8t_ms) = ms;
+      pt.identical &= out.size() == ref.size();
+      for (size_t s = 0; pt.identical && s < out.size(); ++s) {
+        pt.identical = SameDetection(ref[s], out[s]);
+      }
+    }
+    SetParallelThreads(0);
+    pt.peak_rss_kb = PeakRssKb();
+    sweep.push_back(pt);
+  }
+  if (!sweep.empty()) {
+    TextTable st(StrCat("DetectMany scaling sweep (qrho=", kSweepQrho,
+                        "; serial bar = loop of optimized single-suspect "
+                        "detections)"));
+    st.SetHeader({"n", "tuples", "pairs", "suspects", "serial ms", "1T ms",
+                  "8T ms", "8T vs serial", "B/tuple", "peak RSS MB", "identical"});
+    for (const DetectSweepPoint& pt : sweep) {
+      st.AddRow({StrCat(pt.n), StrCat(pt.tuples), StrCat(pt.pairs),
+                 StrCat(pt.suspects), FmtDouble(pt.serial_optimized_ms, 1),
+                 FmtDouble(pt.fanout_1t_ms, 1), FmtDouble(pt.fanout_8t_ms, 1),
+                 FmtDouble(pt.serial_optimized_ms / pt.fanout_8t_ms, 2),
+                 FmtDouble(static_cast<double>(pt.structure_bytes) /
+                               static_cast<double>(pt.tuples), 1),
+                 FmtDouble(static_cast<double>(pt.peak_rss_kb) / 1024.0, 1),
+                 pt.identical ? "yes" : "NO"});
+    }
+    st.Print(std::cout);
+    bool sweep_identical = true;
+    for (const DetectSweepPoint& pt : sweep) sweep_identical &= pt.identical;
+    if (!sweep_identical) {
+      std::cerr << "FAIL: sweep detections differ across thread counts\n";
+      return 1;
+    }
   }
 
   if (json_path) {
@@ -334,6 +485,8 @@ int main(int argc, char** argv) {
     w.Key("baseline_description")
         .String("serial loop of pre-optimization detections over all suspects");
     w.Key("baseline_ms").Double(multi_baseline_ms);
+    w.Key("serial_optimized_ms").Double(serial_optimized_ms);
+    w.Key("parallel_faster_than_serial").Bool(parallel_faster_than_serial);
     w.Key("runs").BeginArray();
     for (const FanoutResult& r : fanout) {
       w.BeginObject();
@@ -347,6 +500,34 @@ int main(int argc, char** argv) {
     }
     w.EndArray();
     w.EndObject();
+    if (!sweep.empty()) {
+      w.Key("sweep").BeginArray();
+      for (const DetectSweepPoint& pt : sweep) {
+        w.BeginObject();
+        w.Key("n").UInt(pt.n);
+        w.Key("k").UInt(k);
+        w.Key("query_rho").UInt(kSweepQrho);
+        w.Key("tuples").UInt(pt.tuples);
+        w.Key("pairs").UInt(pt.pairs);
+        w.Key("suspects").UInt(pt.suspects);
+        w.Key("serial_optimized_ms").Double(pt.serial_optimized_ms);
+        w.Key("fanout_1t_ms").Double(pt.fanout_1t_ms);
+        w.Key("fanout_8t_ms").Double(pt.fanout_8t_ms);
+        w.Key("speedup_8t_vs_serial")
+            .Double(pt.serial_optimized_ms / pt.fanout_8t_ms);
+        w.Key("parallel_faster_than_serial")
+            .Bool(pt.fanout_8t_ms < pt.serial_optimized_ms);
+        w.Key("identical_across_threads").Bool(pt.identical);
+        w.Key("structure_bytes").UInt(pt.structure_bytes);
+        w.Key("bytes_per_tuple")
+            .Double(pt.tuples == 0 ? 0.0
+                                   : static_cast<double>(pt.structure_bytes) /
+                                         static_cast<double>(pt.tuples));
+        w.Key("peak_rss_kb").UInt(pt.peak_rss_kb);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
     w.EndObject();
     if (!UpdateBenchJsonSection(*json_path, "detect_scale", w.str())) {
       std::cerr << "FAIL: cannot write " << *json_path << "\n";

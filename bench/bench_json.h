@@ -23,7 +23,25 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace qpwm {
+
+/// Peak resident set size of the process in KiB (0 when unavailable). The
+/// kernel's high-water mark is monotone over the process lifetime, so sweep
+/// benches should visit instance sizes in ascending order and read each
+/// sample as "peak so far", dominated by the current (largest) instance.
+inline uint64_t PeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<uint64_t>(ru.ru_maxrss);
+#else
+  return 0;
+#endif
+}
 
 class JsonWriter {
  public:

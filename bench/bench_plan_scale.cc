@@ -13,8 +13,15 @@
 //
 // --json[=PATH] writes/merges the "plan_scale" section of BENCH_plan.json so
 // future PRs have a trajectory to beat.
+//
+// --sweep[=N1,N2,...] additionally scales the typing hot loop (TypeAll over
+// the full unary domain — the dominant planning cost) to 10^6-element
+// instances, reporting per-point thread scaling, flat-storage bytes per
+// tuple, and the process peak RSS. Sizes are visited ascending so each RSS
+// sample is dominated by the current instance.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <iostream>
 #include <optional>
@@ -52,6 +59,36 @@ struct RunResult {
   bool identical = true;
 };
 
+struct SweepRun {
+  size_t threads = 0;
+  double type_ms = 0;
+};
+
+struct SweepPoint {
+  size_t n = 0;
+  size_t tuples = 0;
+  size_t ntp = 0;
+  double setup_ms = 0;  // Gaifman + incidence CSR build (serial, 1T point)
+  size_t structure_bytes = 0;
+  size_t gaifman_bytes = 0;
+  uint64_t peak_rss_kb = 0;
+  CanonCache::Stats cache;  // after the 1-thread run
+  std::vector<SweepRun> runs;
+  bool identical = true;
+};
+
+std::vector<size_t> ParseSizeList(const std::string& list) {
+  std::vector<size_t> out;
+  size_t pos = 0;
+  while (pos < list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    out.push_back(std::stoul(list.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
 bool SamePlan(const LocalScheme& a, const LocalScheme& b) {
   if (a.CapacityBits() != b.CapacityBits() || a.DistortionBound() != b.DistortionBound() ||
       a.NumTypes() != b.NumTypes() || a.CanonicalParams() != b.CanonicalParams()) {
@@ -73,12 +110,17 @@ int main(int argc, char** argv) {
   uint32_t rho = 2;
   int reps = 3;
   std::optional<std::string> json_path;
+  std::vector<size_t> sweep_sizes;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json") {
       json_path = "BENCH_plan.json";
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--sweep") {
+      sweep_sizes = {50000, 200000, 1000000};
+    } else if (arg.rfind("--sweep=", 0) == 0) {
+      sweep_sizes = ParseSizeList(arg.substr(8));
     } else if (arg == "--n" && i + 1 < argc) {
       n = std::stoul(argv[++i]);
     } else if (arg == "--k" && i + 1 < argc) {
@@ -89,7 +131,7 @@ int main(int argc, char** argv) {
       reps = std::stoi(argv[++i]);
     } else {
       std::cerr << "usage: bench_plan_scale [--json[=PATH]] [--n N] [--k K] "
-                   "[--rho R] [--reps R]\n";
+                   "[--rho R] [--reps R] [--sweep[=N1,N2,...]]\n";
       return 2;
     }
   }
@@ -159,6 +201,12 @@ int main(int argc, char** argv) {
   std::cout << "hardware threads visible: " << std::thread::hardware_concurrency()
             << "; speedup is vs the serial uncached planner, 'vs 1T cached' "
                "isolates the thread pool.\n";
+  const CanonCache::Stats& cs = runs.front().cache;
+  std::cout << "canon cache: " << cs.entries << " fingerprint entries over "
+            << cs.distinct_forms << " distinct forms, "
+            << FmtDouble(static_cast<double>(cs.bytes_resident) / 1024.0, 1)
+            << " KiB resident; shard occupancy max " << cs.shard_max
+            << " / mean " << FmtDouble(cs.shard_mean, 1) << "\n";
 
   bool all_identical = true;
   for (const RunResult& run : runs) all_identical &= run.identical;
@@ -212,6 +260,72 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --- Scaling sweep ------------------------------------------------------
+  // The planning cost at large n is typing: TypeAll over the full unary
+  // domain (neighborhood extraction + canonicalization, the loop the CSR
+  // layout and scratch arenas exist for). Each point builds a fresh
+  // bounded-degree instance, then types it at 1/2/8 threads with a cold
+  // cache and a fresh typer per thread count; type vectors must match the
+  // 1-thread run bit for bit. The timed region excludes the serial CSR
+  // builds (reported once as setup_ms) so the thread column measures the
+  // parallel section, and excludes instance generation.
+  std::vector<SweepPoint> sweep;
+  for (size_t sn : sweep_sizes) {
+    SweepPoint pt;
+    pt.n = sn;
+    Rng srng(42);
+    Structure sg = RandomBoundedDegreeGraph(sn, k, 3 * sn, false, srng);
+    for (size_t r = 0; r < sg.num_relations(); ++r) pt.tuples += sg.relation(r).size();
+    const std::vector<Tuple> domain = AllParams(sg, 1);
+    std::vector<uint32_t> reference;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      SetParallelThreads(threads);
+      CanonCache::Global().Clear();
+      std::optional<NeighborhoodTyper> typer;
+      const double setup = TimeMs([&] { typer.emplace(sg, rho); });
+      std::vector<uint32_t> types;
+      const double ms = TimeMs([&] { types = typer->TypeAll(domain); });
+      if (threads == 1) {
+        reference = std::move(types);
+        pt.ntp = typer->NumTypes();
+        pt.setup_ms = setup;
+        pt.structure_bytes = sg.BytesResident();
+        pt.gaifman_bytes = typer->gaifman().BytesResident();
+        pt.cache = CanonCache::Global().stats();
+      } else {
+        pt.identical &= types == reference;
+      }
+      pt.runs.push_back({threads, ms});
+    }
+    SetParallelThreads(0);
+    pt.peak_rss_kb = PeakRssKb();
+    sweep.push_back(std::move(pt));
+  }
+  if (!sweep.empty()) {
+    TextTable st("TypeAll scaling sweep (cold cache per run; B/tuple is the "
+                 "flat tuple+index storage of the instance itself)");
+    st.SetHeader({"n", "tuples", "ntp", "setup ms", "1T ms", "2T ms", "8T ms",
+                  "8T speedup", "B/tuple", "peak RSS MB", "identical"});
+    for (const SweepPoint& pt : sweep) {
+      const double one_t = pt.runs[0].type_ms;
+      st.AddRow({StrCat(pt.n), StrCat(pt.tuples), StrCat(pt.ntp),
+                 FmtDouble(pt.setup_ms, 1), FmtDouble(pt.runs[0].type_ms, 1),
+                 FmtDouble(pt.runs[1].type_ms, 1), FmtDouble(pt.runs[2].type_ms, 1),
+                 FmtDouble(one_t / pt.runs[2].type_ms, 2),
+                 FmtDouble(static_cast<double>(pt.structure_bytes) /
+                               static_cast<double>(pt.tuples), 1),
+                 FmtDouble(static_cast<double>(pt.peak_rss_kb) / 1024.0, 1),
+                 pt.identical ? "yes" : "NO"});
+    }
+    st.Print(std::cout);
+    bool sweep_identical = true;
+    for (const SweepPoint& pt : sweep) sweep_identical &= pt.identical;
+    if (!sweep_identical) {
+      std::cerr << "FAIL: sweep typing differs across thread counts\n";
+      return 1;
+    }
+  }
+
   if (json_path) {
     JsonWriter w;
     w.BeginObject();
@@ -244,6 +358,11 @@ int main(int argc, char** argv) {
       w.Key("cache_hits").UInt(run.cache.hits);
       w.Key("cache_misses").UInt(run.cache.misses);
       w.Key("cache_hit_rate").Double(run.cache.HitRate());
+      w.Key("cache_entries").UInt(run.cache.entries);
+      w.Key("cache_distinct_forms").UInt(run.cache.distinct_forms);
+      w.Key("cache_bytes_resident").UInt(run.cache.bytes_resident);
+      w.Key("cache_shard_max").UInt(run.cache.shard_max);
+      w.Key("cache_shard_mean").Double(run.cache.shard_mean);
       w.Key("identical_to_baseline").Bool(run.identical);
       w.EndObject();
     }
@@ -259,7 +378,46 @@ int main(int argc, char** argv) {
     w.Key("cached_ms").Double(grid_cached_ms);
     w.Key("speedup").Double(grid_uncached_ms / grid_cached_ms);
     w.Key("cache_hit_rate").Double(grid_stats.HitRate());
+    w.Key("cache_entries").UInt(grid_stats.entries);
+    w.Key("cache_distinct_forms").UInt(grid_stats.distinct_forms);
+    w.Key("cache_bytes_resident").UInt(grid_stats.bytes_resident);
+    w.Key("cache_shard_max").UInt(grid_stats.shard_max);
+    w.Key("cache_shard_mean").Double(grid_stats.shard_mean);
     w.EndObject();
+    if (!sweep.empty()) {
+      w.Key("sweep").BeginArray();
+      for (const SweepPoint& pt : sweep) {
+        w.BeginObject();
+        w.Key("n").UInt(pt.n);
+        w.Key("k").UInt(k);
+        w.Key("rho").UInt(rho);
+        w.Key("tuples").UInt(pt.tuples);
+        w.Key("ntp").UInt(pt.ntp);
+        w.Key("setup_ms").Double(pt.setup_ms);
+        w.Key("runs").BeginArray();
+        for (const SweepRun& run : pt.runs) {
+          w.BeginObject();
+          w.Key("threads").UInt(run.threads);
+          w.Key("type_ms").Double(run.type_ms);
+          w.Key("speedup_vs_1t").Double(pt.runs[0].type_ms / run.type_ms);
+          w.EndObject();
+        }
+        w.EndArray();
+        w.Key("identical_across_threads").Bool(pt.identical);
+        w.Key("structure_bytes").UInt(pt.structure_bytes);
+        w.Key("gaifman_bytes").UInt(pt.gaifman_bytes);
+        w.Key("bytes_per_tuple")
+            .Double(pt.tuples == 0 ? 0.0
+                                   : static_cast<double>(pt.structure_bytes) /
+                                         static_cast<double>(pt.tuples));
+        w.Key("cache_entries").UInt(pt.cache.entries);
+        w.Key("cache_bytes_resident").UInt(pt.cache.bytes_resident);
+        w.Key("cache_hit_rate").Double(pt.cache.HitRate());
+        w.Key("peak_rss_kb").UInt(pt.peak_rss_kb);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
     w.EndObject();
     if (!UpdateBenchJsonSection(*json_path, "plan_scale", w.str())) {
       std::cerr << "FAIL: cannot write " << *json_path << "\n";

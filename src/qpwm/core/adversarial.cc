@@ -16,13 +16,23 @@ class LocalCarrier : public PairCarrier {
              PairEncoding encoding) const override {
     base_->marking().Apply(expanded_mark, weights, encoding);
   }
-  std::vector<PairObservation> Observe(const WeightMap& original,
-                                       const AnswerServer& suspect,
-                                       const DetectOptions& options) const override {
-    return base_->ObservePairs(original, suspect, options);
+  std::unique_ptr<DetectRunContext> MakeRunContext(
+      const WeightMap& original, const DetectOptions& options) const override {
+    auto ctx = std::make_unique<Ctx>();
+    ctx->inner = base_->MakeDetectContext(original, options);
+    return ctx;
+  }
+  const std::vector<PairObservation>& Observe(
+      const DetectRunContext& ctx, const AnswerServer& suspect,
+      DetectScratch& scratch) const override {
+    return base_->ObservePairsInto(static_cast<const Ctx&>(ctx).inner, suspect,
+                                   scratch);
   }
 
  private:
+  struct Ctx : DetectRunContext {
+    LocalScheme::DetectContext inner;
+  };
   const LocalScheme* base_;
 };
 
@@ -34,13 +44,23 @@ class TreeCarrier : public PairCarrier {
              PairEncoding encoding) const override {
     base_->ApplyMark(expanded_mark, weights, encoding);
   }
-  std::vector<PairObservation> Observe(const WeightMap& original,
-                                       const AnswerServer& suspect,
-                                       const DetectOptions& options) const override {
-    return base_->ObservePairs(original, suspect, options);
+  std::unique_ptr<DetectRunContext> MakeRunContext(
+      const WeightMap& original, const DetectOptions& options) const override {
+    auto ctx = std::make_unique<Ctx>();
+    ctx->inner = base_->MakeDetectContext(original, options);
+    return ctx;
+  }
+  const std::vector<PairObservation>& Observe(
+      const DetectRunContext& ctx, const AnswerServer& suspect,
+      DetectScratch& scratch) const override {
+    return base_->ObservePairsInto(static_cast<const Ctx&>(ctx).inner, suspect,
+                                   scratch);
   }
 
  private:
+  struct Ctx : DetectRunContext {
+    TreeScheme::DetectContext inner;
+  };
   const TreeScheme* base_;
 };
 
@@ -78,9 +98,14 @@ WeightMap AdversarialScheme::Embed(const WeightMap& original,
 Result<AdversarialDetection> AdversarialScheme::Detect(
     const WeightMap& original, const AnswerServer& suspect,
     const DetectOptions& options) const {
-  const std::vector<PairObservation> observations =
-      carrier_->Observe(original, suspect, options);
+  const std::unique_ptr<DetectRunContext> ctx =
+      carrier_->MakeRunContext(original, options);
+  DetectScratch scratch;
+  return DecodeVotes(carrier_->Observe(*ctx, suspect, scratch));
+}
 
+AdversarialDetection AdversarialScheme::DecodeVotes(
+    const std::vector<PairObservation>& observations) const {
   AdversarialDetection out;
   out.mark = BitVec(capacity_);
   out.margins.resize(capacity_);
@@ -134,14 +159,26 @@ std::vector<AdversarialDetection> AdversarialScheme::DetectMany(
     const WeightMap& original, const std::vector<const AnswerServer*>& suspects,
     const DetectOptions& options) const {
   for (const AnswerServer* s : suspects) QPWM_CHECK(s != nullptr);
-  // Each suspect's detection is independent; ParallelMap writes per-index
-  // slots, so the fan-out is bit-identical to the serial loop for any thread
-  // count. Detect never returns an error (erasures yield partial reports).
-  return ParallelMap<AdversarialDetection>(suspects.size(), [&](size_t i) {
-    auto detection = Detect(original, *suspects[i], options);
-    QPWM_CHECK(detection.ok());
-    return std::move(detection).value();
+  // Each suspect's detection is independent; per-suspect results land in
+  // per-index slots, so the fan-out is bit-identical to the serial loop for
+  // any thread count. The run context (the original weights' dense view) is
+  // built once and shared read-only; the per-suspect working memory — answer
+  // batches, stamp tables, observation lists — comes from a scratch pool, so
+  // blocks reuse warm buffers instead of reallocating per suspect (the
+  // allocation churn that kept the old per-suspect fan-out from scaling).
+  const std::unique_ptr<DetectRunContext> ctx =
+      carrier_->MakeRunContext(original, options);
+  ScratchPool<DetectScratch> pool;
+  std::vector<AdversarialDetection> out(suspects.size());
+  ParallelBlocks<int>(suspects.size(), [&](size_t begin, size_t end) {
+    std::unique_ptr<DetectScratch> scratch = pool.Acquire();
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = DecodeVotes(carrier_->Observe(*ctx, *suspects[i], *scratch));
+    }
+    pool.Release(std::move(scratch));
+    return 0;
   });
+  return out;
 }
 
 }  // namespace qpwm

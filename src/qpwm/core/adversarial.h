@@ -62,18 +62,30 @@ struct AdversarialDetection {
   bool complete() const { return bits_erased == 0; }
 };
 
+/// Opaque per-run detection state: built once per Detect/DetectMany run and
+/// shared read-only across every suspect (e.g. the hoisted dense view of the
+/// owner's original weights, which used to be rebuilt per suspect).
+class DetectRunContext {
+ public:
+  virtual ~DetectRunContext() = default;
+};
+
 /// What the wrapper needs from a base scheme: how many mark-carrying pairs
 /// it has, how to write a full-width mark, and how to read the pair
-/// observations back through a suspect server (erasure-aware).
+/// observations back through a suspect server (erasure-aware). Observe fills
+/// and returns scratch.observations, so a pooled scratch makes multi-suspect
+/// fan-out allocation-free in steady state.
 class PairCarrier {
  public:
   virtual ~PairCarrier() = default;
   virtual size_t NumPairs() const = 0;
   virtual void Apply(const BitVec& expanded_mark, WeightMap& weights,
                      PairEncoding encoding) const = 0;
-  virtual std::vector<PairObservation> Observe(const WeightMap& original,
-                                               const AnswerServer& suspect,
-                                               const DetectOptions& options) const = 0;
+  virtual std::unique_ptr<DetectRunContext> MakeRunContext(
+      const WeightMap& original, const DetectOptions& options) const = 0;
+  virtual const std::vector<PairObservation>& Observe(
+      const DetectRunContext& ctx, const AnswerServer& suspect,
+      DetectScratch& scratch) const = 0;
 };
 
 /// Adversarial wrapper around a planned base scheme.
@@ -112,6 +124,11 @@ class AdversarialScheme {
 
  private:
   explicit AdversarialScheme(std::unique_ptr<PairCarrier> carrier, size_t redundancy);
+
+  /// Majority decoding of one suspect's pair observations into a detection
+  /// report — the pure (allocating only its output) tail of Detect.
+  AdversarialDetection DecodeVotes(
+      const std::vector<PairObservation>& observations) const;
 
   std::unique_ptr<PairCarrier> carrier_;
   size_t redundancy_;

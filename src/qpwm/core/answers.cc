@@ -8,6 +8,7 @@
 namespace qpwm {
 
 QueryIndex::QueryIndex(const Structure& g, const ParametricQuery& query,
+                       // qpwm-lint: allow(legacy-tuple-vector) — sink parameter; the index owns its query-parameter domain
                        std::vector<Tuple> domain)
     : g_(&g), query_(&query), domain_(std::move(domain)) {
   // Query evaluation — the dominant cost — runs over the whole domain in
@@ -97,6 +98,20 @@ AnswerSet QueryIndex::AnswersFor(size_t param_idx, const DenseWeightView& view) 
   return out;
 }
 
+void QueryIndex::AppendAnswersFlat(size_t param_idx, const WeightMap& weights,
+                                   FlatAnswerBatch& out) const {
+  for (uint32_t w : results_[param_idx]) {
+    out.AppendRow(active_[w], weights.Get(active_[w]));
+  }
+}
+
+void QueryIndex::AppendAnswersFlat(size_t param_idx, const DenseWeightView& view,
+                                   FlatAnswerBatch& out) const {
+  for (uint32_t w : results_[param_idx]) {
+    out.AppendRow(active_[w], view.at(w));
+  }
+}
+
 DenseWeightView::DenseWeightView(const QueryIndex& index, const WeightMap& weights) {
   dense_.reserve(index.num_active());
   for (size_t w = 0; w < index.num_active(); ++w) {
@@ -112,6 +127,15 @@ std::vector<AnswerSet> BatchAnswerServer::AnswerBatch(
   return out;
 }
 
+void BatchAnswerServer::AnswerAllFlat(const std::vector<Tuple>& params,
+                                      FlatAnswerBatch& out) const {
+  out.Clear();
+  for (const AnswerSet& answers : AnswerBatch(params)) {
+    for (const AnswerRow& row : answers) out.AppendRow(row.element, row.weight);
+    out.FinishParam();
+  }
+}
+
 std::vector<AnswerSet> AnswerAll(const AnswerServer& server,
                                  const std::vector<Tuple>& params) {
   if (const auto* batch = dynamic_cast<const BatchAnswerServer*>(&server)) {
@@ -121,6 +145,21 @@ std::vector<AnswerSet> AnswerAll(const AnswerServer& server,
   out.reserve(params.size());
   for (const Tuple& p : params) out.push_back(server.Answer(p));
   return out;
+}
+
+void AnswerAllFlat(const AnswerServer& server, const std::vector<Tuple>& params,
+                   FlatAnswerBatch& out) {
+  if (const auto* batch = dynamic_cast<const BatchAnswerServer*>(&server)) {
+    batch->AnswerAllFlat(params, out);
+    return;
+  }
+  out.Clear();
+  for (const Tuple& p : params) {
+    for (const AnswerRow& row : server.Answer(p)) {
+      out.AppendRow(row.element, row.weight);
+    }
+    out.FinishParam();
+  }
 }
 
 AnswerSet ServingSnapshot::Answer(const Tuple& params) const {
@@ -134,6 +173,22 @@ AnswerSet ServingSnapshot::Answer(const Tuple& params) const {
     out.push_back({std::move(t), w});
   }
   return out;
+}
+
+void ServingSnapshot::AnswerAllFlat(const std::vector<Tuple>& params,
+                                    FlatAnswerBatch& out) const {
+  out.Clear();
+  for (const Tuple& p : params) {
+    auto idx = index_->FindParam(p);
+    if (idx.ok()) {
+      index_->AppendAnswersFlat(idx.value(), view_, out);
+    } else {
+      for (const Tuple& t : index_->query().Evaluate(index_->structure(), p)) {
+        out.AppendRow(t, weights_.Get(t));
+      }
+    }
+    out.FinishParam();
+  }
 }
 
 AnswerSet HonestServer::Answer(const Tuple& params) const {
@@ -152,6 +207,26 @@ AnswerSet HonestServer::Answer(const Tuple& params) const {
     out.push_back({std::move(t), w});
   }
   return out;
+}
+
+void HonestServer::AnswerAllFlat(const std::vector<Tuple>& params,
+                                 FlatAnswerBatch& out) const {
+  out.Clear();
+  for (const Tuple& p : params) {
+    auto idx = index_->FindParam(p);
+    if (idx.ok()) {
+      if (view_.has_value()) {
+        index_->AppendAnswersFlat(idx.value(), *view_, out);
+      } else {
+        index_->AppendAnswersFlat(idx.value(), weights_, out);
+      }
+    } else {
+      for (const Tuple& t : index_->query().Evaluate(index_->structure(), p)) {
+        out.AppendRow(t, weights_.Get(t));
+      }
+    }
+    out.FinishParam();
+  }
 }
 
 }  // namespace qpwm

@@ -29,6 +29,39 @@ struct AnswerRow {
 /// A_a for one parameter.
 using AnswerSet = std::vector<AnswerRow>;
 
+/// Columnar batch of answer sets: one flat element array, one weight per
+/// row, row extents per parameter. Detection reads millions of answer rows
+/// per run; the AnswerSet shape pays one heap tuple per row, while this
+/// batch is three contiguous arrays that a reusable instance amortizes to
+/// zero steady-state allocation. Row r of parameter p spans
+/// elems[elem_offsets[r], elem_offsets[r+1]) for r in
+/// [param_offsets[p], param_offsets[p+1]).
+struct FlatAnswerBatch {
+  std::vector<ElemId> elems;
+  std::vector<uint32_t> elem_offsets{0};
+  std::vector<Weight> weights;
+  std::vector<uint32_t> param_offsets{0};
+
+  size_t num_rows() const { return weights.size(); }
+  size_t num_params() const { return param_offsets.size() - 1; }
+
+  void Clear() {
+    elems.clear();
+    elem_offsets.assign(1, 0);
+    weights.clear();
+    param_offsets.assign(1, 0);
+  }
+  void AppendRow(const Tuple& element, Weight w) {
+    elems.insert(elems.end(), element.begin(), element.end());
+    elem_offsets.push_back(static_cast<uint32_t>(elems.size()));
+    weights.push_back(w);
+  }
+  /// Closes the current parameter's row range.
+  void FinishParam() {
+    param_offsets.push_back(static_cast<uint32_t>(num_rows()));
+  }
+};
+
 /// Detection fast-path knobs. Both default on; detection output (marks,
 /// margins, erasure counts) is bit-identical for every combination — the
 /// switches exist as measured ablations (bench_detect) and to reproduce the
@@ -51,6 +84,7 @@ struct DetectOptions {
 /// are both kept, since the schemes need both directions.
 class QueryIndex {
  public:
+  // qpwm-lint: allow(legacy-tuple-vector) — sink parameter; the index owns its query-parameter domain
   QueryIndex(const Structure& g, const ParametricQuery& query, std::vector<Tuple> domain);
 
   const Structure& structure() const { return *g_; }
@@ -104,11 +138,21 @@ class QueryIndex {
   Weight SumWeights(size_t param_idx, const class DenseWeightView& view) const;
   AnswerSet AnswersFor(size_t param_idx, const class DenseWeightView& view) const;
 
+  /// Appends A_a rows for one parameter into a flat batch — same rows in the
+  /// same order as AnswersFor, no per-row allocation. The caller closes the
+  /// parameter with out.FinishParam().
+  void AppendAnswersFlat(size_t param_idx, const WeightMap& weights,
+                         FlatAnswerBatch& out) const;
+  void AppendAnswersFlat(size_t param_idx, const class DenseWeightView& view,
+                         FlatAnswerBatch& out) const;
+
  private:
   const Structure* g_;
   const ParametricQuery* query_;
+  // qpwm-lint: allow(legacy-tuple-vector) — owned query-parameter domain, not relation rows
   std::vector<Tuple> domain_;
   std::unordered_map<Tuple, uint32_t, TupleHash> param_index_;
+  // qpwm-lint: allow(legacy-tuple-vector) — active parameter subset; param tuples, not relation rows
   std::vector<Tuple> active_;
   std::unordered_map<Tuple, uint32_t, TupleHash> active_index_;
   std::vector<int32_t> active_of_elem_;  // result arity 1 only; -1 = inactive
@@ -151,6 +195,13 @@ class BatchAnswerServer : public AnswerServer {
   /// Returns {Answer(params[0]), ..., Answer(params[n-1])}. The default
   /// loops over Answer(); overrides must return the exact same answers.
   virtual std::vector<AnswerSet> AnswerBatch(const std::vector<Tuple>& params) const;
+
+  /// Columnar AnswerBatch: same rows in the same order, written into a
+  /// caller-owned (reusable) batch. The default converts AnswerBatch();
+  /// servers with flat internals (HonestServer, ServingSnapshot) override to
+  /// skip the per-row AnswerSet materialization entirely.
+  virtual void AnswerAllFlat(const std::vector<Tuple>& params,
+                             FlatAnswerBatch& out) const;
 };
 
 /// Answers every parameter through the batch interface when the server
@@ -158,6 +209,11 @@ class BatchAnswerServer : public AnswerServer {
 /// `params` either way.
 std::vector<AnswerSet> AnswerAll(const AnswerServer& server,
                                  const std::vector<Tuple>& params);
+
+/// Columnar AnswerAll: fills `out` with the exact rows AnswerAll would
+/// return, through the server's flat override when it has one.
+void AnswerAllFlat(const AnswerServer& server, const std::vector<Tuple>& params,
+                   FlatAnswerBatch& out);
 
 /// An epoch-stamped immutable serving snapshot: owns a copy of the weights
 /// plus a dense view over them, so a detect pass reads a consistent state no
@@ -175,6 +231,8 @@ class ServingSnapshot : public BatchAnswerServer {
         epoch_(epoch) {}
 
   AnswerSet Answer(const Tuple& params) const override;
+  void AnswerAllFlat(const std::vector<Tuple>& params,
+                     FlatAnswerBatch& out) const override;
 
   /// The server version this snapshot was taken at.
   uint64_t epoch() const { return epoch_; }
@@ -209,6 +267,8 @@ class HonestServer : public BatchAnswerServer {
   }
 
   AnswerSet Answer(const Tuple& params) const override;
+  void AnswerAllFlat(const std::vector<Tuple>& params,
+                     FlatAnswerBatch& out) const override;
 
   const WeightMap& weights() const { return weights_; }
   /// Mutable access invalidates the dense view (the snapshot would go stale)

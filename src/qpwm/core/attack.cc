@@ -143,6 +143,7 @@ std::vector<AnswerSet> TamperedAnswerServer::AnswerBatch(
 
 std::vector<Tuple> SampleSubset(const std::vector<Tuple>& elements, double frac,
                                 Rng& rng) {
+  // qpwm-lint: allow(legacy-tuple-vector) — cold adversary path assembling a sampled subset
   std::vector<Tuple> out;
   for (const Tuple& t : elements) {
     if (rng.Bernoulli(frac)) out.push_back(t);
@@ -152,6 +153,7 @@ std::vector<Tuple> SampleSubset(const std::vector<Tuple>& elements, double frac,
 
 std::vector<Tuple> SubsetDeletionAttack(const QueryIndex& index, double drop_frac,
                                         Rng& rng) {
+  // qpwm-lint: allow(legacy-tuple-vector) — cold adversary path materializing deletion candidates
   std::vector<Tuple> elements;
   elements.reserve(index.num_active());
   for (size_t w = 0; w < index.num_active(); ++w) {
@@ -202,6 +204,7 @@ std::vector<Tuple> PairRegionDeletionAttack(const QueryIndex& index,
                                             size_t redundancy, double region_frac,
                                             Rng& rng) {
   QPWM_CHECK_GE(redundancy, 1u);
+  // qpwm-lint: allow(legacy-tuple-vector) — cold adversary path assembling the deletion set
   std::vector<Tuple> out;
   const size_t groups = pairs.size() / redundancy;
   if (groups == 0 || region_frac <= 0) return out;

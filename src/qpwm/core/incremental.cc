@@ -78,12 +78,13 @@ Result<Structure> ApplyStructuralUpdates(
         return Status::FailedPrecondition("delete of tuple absent from " +
                                           rel.name());
       }
+      // qpwm-lint: allow(legacy-tuple-vector) — one-shot rebuild while applying a deletion update
       std::vector<Tuple> kept;
       kept.reserve(rel.size() - 1);
-      for (const Tuple& t : rel.tuples()) {
-        if (t != u.tuple) kept.push_back(t);
+      for (TupleRef t : rel.tuples()) {
+        if (t != u.tuple) kept.push_back(t.ToTuple());
       }
-      rel.SetTuplesUnchecked(std::move(kept));
+      rel.SetTuplesUnchecked(kept);
     }
   }
   out.Seal();

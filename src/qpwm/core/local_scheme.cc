@@ -224,25 +224,65 @@ WeightMap LocalScheme::Embed(const WeightMap& original, const BitVec& mark) cons
   return out;
 }
 
-std::vector<PairObservation> LocalScheme::ObservePairs(
-    const WeightMap& original, const AnswerServer& suspect,
-    const DetectOptions& options) const {
-  const QueryIndex& index = marking_->index();
-  std::vector<PairObservation> observations;
-  observations.reserve(marking_->size());
+LocalScheme::WitnessPlan LocalScheme::BuildWitnessPlan(const PairMarking& marking) {
+  // Group the 2 * num_pairs element reads by their witness parameter, in
+  // first-use order — exactly the grouping detection used to rebuild per
+  // call, hoisted to plan time (it depends only on the pairs and the index).
+  const QueryIndex& index = marking.index();
+  WitnessPlan plan;
+  std::unordered_map<uint32_t, uint32_t> slot_of_param;  // param idx -> slot
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> reads;
+  for (size_t i = 0; i < marking.size(); ++i) {
+    const WeightPair& p = marking.pairs()[i];
+    const uint32_t elems[2] = {p.plus, p.minus};
+    for (int side = 0; side < 2; ++side) {
+      const auto& witnesses = index.ParamsContaining(elems[side]);
+      if (witnesses.empty()) continue;  // stays unfound -> erased
+      auto [it, inserted] = slot_of_param.emplace(
+          witnesses[0], static_cast<uint32_t>(plan.params.size()));
+      if (inserted) {
+        plan.params.push_back(index.param(witnesses[0]));
+        reads.emplace_back();
+      }
+      reads[it->second].push_back(
+          {static_cast<uint32_t>(2 * i + side), elems[side]});
+    }
+  }
+  plan.read_offsets.reserve(reads.size() + 1);
+  plan.read_offsets.push_back(0);
+  for (const auto& slot_reads : reads) {
+    plan.reads.insert(plan.reads.end(), slot_reads.begin(), slot_reads.end());
+    plan.read_offsets.push_back(static_cast<uint32_t>(plan.reads.size()));
+  }
+  return plan;
+}
 
-  // Original weights of the pair elements: dense snapshot (one O(1) read per
-  // element) or the per-tuple WeightMap path. Same values either way.
-  std::optional<DenseWeightView> original_view;
-  if (options.dense_views) original_view.emplace(index, original);
+LocalScheme::DetectContext LocalScheme::MakeDetectContext(
+    const WeightMap& original, const DetectOptions& options) const {
+  DetectContext ctx;
+  ctx.original = &original;
+  if (options.dense_views) ctx.original_view.emplace(marking_->index(), original);
+  ctx.options = options;
+  return ctx;
+}
+
+const std::vector<PairObservation>& LocalScheme::ObservePairsInto(
+    const DetectContext& ctx, const AnswerServer& suspect,
+    DetectScratch& sc) const {
+  const QueryIndex& index = marking_->index();
+  const size_t num_pairs = marking_->size();
+  sc.observations.clear();
+  sc.observations.reserve(num_pairs);
+
+  // Original weights of the pair elements: the run context's dense snapshot
+  // (one O(1) read per element) or the per-tuple WeightMap path. Same values
+  // either way.
   auto original_weight = [&](uint32_t w) -> Weight {
-    return original_view ? original_view->at(w)
-                         : original.Get(index.active_element(w));
+    return ctx.original_view ? ctx.original_view->at(w)
+                             : ctx.original->Get(index.active_element(w));
   };
 
-  const size_t num_pairs = marking_->size();
-
-  if (!options.batch_answers) {
+  if (!ctx.options.batch_answers) {
     // Pre-optimization serving path: one Answer() round trip per pair element
     // (an AnswerSet materialization plus a linear scan). Missing from the
     // witness answer (deleted tuple, shipped subset) or witness-less
@@ -270,66 +310,54 @@ std::vector<PairObservation> LocalScheme::ObservePairs(
         const Weight d_minus = *minus - original_weight(p.minus);
         obs.delta = d_plus - d_minus;
       }
-      observations.push_back(obs);
+      sc.observations.push_back(obs);
     }
-    return observations;
+    return sc.observations;
   }
 
-  // Batched serving: group the 2 * num_pairs element reads by their witness
-  // parameter, answer each distinct witness once (a single AnswerAll round
-  // trip — pairs cluster around low-id witnesses, so distinct witnesses are
-  // far fewer than reads), then resolve each witness's reads through an
-  // epoch-stamped flat table keyed by active id. No per-row allocation and
-  // O(1) per read, unlike a per-witness hash map of answer rows.
-  std::vector<Weight> read_weight(2 * num_pairs, 0);
-  std::vector<char> read_found(2 * num_pairs, 0);
-  std::vector<Tuple> witness_params;
-  std::unordered_map<uint32_t, uint32_t> slot_of_param;  // param idx -> slot
-  // Per witness slot: pending reads as (read index, active id).
-  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> reads;
-  for (size_t i = 0; i < num_pairs; ++i) {
-    const WeightPair& p = marking_->pairs()[i];
-    const uint32_t elems[2] = {p.plus, p.minus};
-    for (int side = 0; side < 2; ++side) {
-      const auto& witnesses = index.ParamsContaining(elems[side]);
-      if (witnesses.empty()) continue;  // stays unfound -> erased
-      auto [it, inserted] = slot_of_param.emplace(
-          witnesses[0], static_cast<uint32_t>(witness_params.size()));
-      if (inserted) {
-        witness_params.push_back(index.param(witnesses[0]));
-        reads.emplace_back();
-      }
-      reads[it->second].push_back(
-          {static_cast<uint32_t>(2 * i + side), elems[side]});
-    }
-  }
+  // Batched serving: answer each distinct witness of the precomputed plan
+  // once (a single columnar AnswerAllFlat round trip — pairs cluster around
+  // low-id witnesses, so distinct witnesses are far fewer than reads), then
+  // resolve each witness's reads through an epoch-stamped flat table keyed
+  // by active id. No per-row allocation and O(1) per read.
+  sc.read_weight.assign(2 * num_pairs, 0);
+  sc.read_found.assign(2 * num_pairs, 0);
+  AnswerAllFlat(suspect, witness_plan_.params, sc.answers);
 
-  const std::vector<AnswerSet> answers = AnswerAll(suspect, witness_params);
+  if (sc.stamp.size() != index.num_active()) {
+    sc.stamp.assign(index.num_active(), 0);
+    sc.row_weight.assign(index.num_active(), 0);
+  }
   const bool unary = index.has_unary_actives();
-  std::vector<uint32_t> stamp(index.num_active(), 0);
-  std::vector<Weight> row_weight(index.num_active(), 0);
-  for (size_t s = 0; s < answers.size(); ++s) {
-    const uint32_t epoch = static_cast<uint32_t>(s) + 1;
-    for (const AnswerRow& row : answers[s]) {
+  for (size_t s = 0; s < witness_plan_.params.size(); ++s) {
+    const uint64_t epoch = ++sc.epoch;
+    for (uint32_t r = sc.answers.param_offsets[s];
+         r < sc.answers.param_offsets[s + 1]; ++r) {
       // Rows outside the active set (inserted fresh tuples) can never match a
       // pair element; the first row per element wins, exactly like the
       // unbatched scan. Unary results resolve to active ids with one array
       // read; general arities pay the tuple hash.
+      const uint32_t eb = sc.answers.elem_offsets[r];
+      const uint32_t ee = sc.answers.elem_offsets[r + 1];
       int64_t w = -1;
       if (unary) {
-        if (row.element.size() == 1) w = index.ActiveIdOfElem(row.element[0]);
+        if (ee - eb == 1) w = index.ActiveIdOfElem(sc.answers.elems[eb]);
       } else {
-        auto found = index.FindActive(row.element);
+        sc.row_tuple.assign(sc.answers.elems.begin() + eb,
+                            sc.answers.elems.begin() + ee);
+        auto found = index.FindActive(sc.row_tuple);
         if (found.ok()) w = static_cast<int64_t>(found.value());
       }
-      if (w < 0 || stamp[w] == epoch) continue;
-      stamp[w] = epoch;
-      row_weight[w] = row.weight;
+      if (w < 0 || sc.stamp[w] == epoch) continue;
+      sc.stamp[w] = epoch;
+      sc.row_weight[w] = sc.answers.weights[r];
     }
-    for (const auto& [slot, w] : reads[s]) {
-      if (stamp[w] == epoch) {
-        read_weight[slot] = row_weight[w];
-        read_found[slot] = 1;
+    for (uint32_t i = witness_plan_.read_offsets[s];
+         i < witness_plan_.read_offsets[s + 1]; ++i) {
+      const auto& [slot, w] = witness_plan_.reads[i];
+      if (sc.stamp[w] == epoch) {
+        sc.read_weight[slot] = sc.row_weight[w];
+        sc.read_found[slot] = 1;
       }
     }
   }
@@ -337,16 +365,24 @@ std::vector<PairObservation> LocalScheme::ObservePairs(
   for (size_t i = 0; i < num_pairs; ++i) {
     const WeightPair& p = marking_->pairs()[i];
     PairObservation obs;
-    if (!read_found[2 * i] || !read_found[2 * i + 1]) {
+    if (!sc.read_found[2 * i] || !sc.read_found[2 * i + 1]) {
       obs.erased = true;
     } else {
-      const Weight d_plus = read_weight[2 * i] - original_weight(p.plus);
-      const Weight d_minus = read_weight[2 * i + 1] - original_weight(p.minus);
+      const Weight d_plus = sc.read_weight[2 * i] - original_weight(p.plus);
+      const Weight d_minus = sc.read_weight[2 * i + 1] - original_weight(p.minus);
       obs.delta = d_plus - d_minus;
     }
-    observations.push_back(obs);
+    sc.observations.push_back(obs);
   }
-  return observations;
+  return sc.observations;
+}
+
+std::vector<PairObservation> LocalScheme::ObservePairs(
+    const WeightMap& original, const AnswerServer& suspect,
+    const DetectOptions& options) const {
+  const DetectContext ctx = MakeDetectContext(original, options);
+  DetectScratch scratch;
+  return ObservePairsInto(ctx, suspect, scratch);
 }
 
 Result<std::vector<Weight>> LocalScheme::PairDeltas(const WeightMap& original,

@@ -123,11 +123,45 @@ class LocalScheme {
                                             const AnswerServer& suspect,
                                             const DetectOptions& options = {}) const;
 
+  /// Per-run read state shared across every suspect of a detection run: the
+  /// owner's weights (and their dense snapshot, hoisted so a multi-suspect
+  /// fan-out builds it once instead of once per suspect).
+  struct DetectContext {
+    const WeightMap* original = nullptr;
+    std::optional<DenseWeightView> original_view;
+    DetectOptions options;
+  };
+  DetectContext MakeDetectContext(const WeightMap& original,
+                                  const DetectOptions& options) const;
+
+  /// ObservePairs against reusable buffers: fills and returns
+  /// scratch.observations (valid until the next call on that scratch).
+  /// Allocation-free once the scratch is warm; observations are bit-identical
+  /// to ObservePairs for every options combination.
+  const std::vector<PairObservation>& ObservePairsInto(
+      const DetectContext& ctx, const AnswerServer& suspect,
+      DetectScratch& scratch) const;
+
  private:
+  /// Witness reads precomputed at plan time (they depend only on the pairs
+  /// and the index, never on the suspect): the distinct witness parameters in
+  /// first-use order, and per witness the (read slot, active id) resolutions,
+  /// flattened CSR-style. Slot 2i reads pair i's plus element, 2i+1 its minus.
+  struct WitnessPlan {
+    // qpwm-lint: allow(legacy-tuple-vector) — witness params interned once at Plan time
+    std::vector<Tuple> params;
+    std::vector<uint32_t> read_offsets;  // per witness: begin index in reads
+    std::vector<std::pair<uint32_t, uint32_t>> reads;  // (read slot, active id)
+  };
+  static WitnessPlan BuildWitnessPlan(const PairMarking& marking);
+
   LocalScheme(std::unique_ptr<PairMarking> marking, LocalSchemeOptions options)
-      : marking_(std::move(marking)), options_(std::move(options)) {}
+      : marking_(std::move(marking)),
+        witness_plan_(BuildWitnessPlan(*marking_)),
+        options_(std::move(options)) {}
 
   std::unique_ptr<PairMarking> marking_;
+  WitnessPlan witness_plan_;
   LocalSchemeOptions options_;
   uint32_t distortion_bound_ = 0;
   uint32_t budget_ = 0;

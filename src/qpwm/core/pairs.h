@@ -32,6 +32,26 @@ struct PairObservation {
   bool erased = false;  // element(s) missing from the suspect's answers
 };
 
+/// Reusable per-worker buffers for erasure-aware pair reading (the schemes'
+/// ObservePairsInto paths). One instance per worker — see util/parallel.h
+/// ScratchPool — makes a steady-state detection pass allocation-free: the
+/// flat answer batch, the stamp/staging tables and the observation list all
+/// keep their capacity across suspects.
+///
+/// `epoch` strictly increases for the lifetime of the scratch and is never
+/// reset, so a stamp written while reading one suspect can never alias a
+/// staging pass over a later suspect.
+struct DetectScratch {
+  FlatAnswerBatch answers;
+  std::vector<uint64_t> stamp;       // per active/node id: epoch last staged
+  std::vector<Weight> row_weight;    // staged weight, valid iff stamp matches
+  std::vector<Weight> read_weight;   // per read slot (2 per pair)
+  std::vector<char> read_found;
+  Tuple row_tuple;                   // reused key for non-unary active lookup
+  std::vector<PairObservation> observations;
+  uint64_t epoch = 0;
+};
+
 /// How a set bit is written into a pair's weights.
 enum class PairEncoding {
   /// bit 1 -> (+1, -1); bit 0 -> no change (the paper's encoding).

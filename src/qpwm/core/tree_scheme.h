@@ -115,12 +115,42 @@ class TreeScheme {
                                             const AnswerServer& suspect,
                                             const DetectOptions& options = {}) const;
 
+  /// Per-run read state shared across every suspect of a detection run.
+  /// (Tree weights are unary and already dense, so unlike the local scheme
+  /// there is no view to hoist — the context just pins the inputs.)
+  struct DetectContext {
+    const WeightMap* original = nullptr;
+    DetectOptions options;
+  };
+  DetectContext MakeDetectContext(const WeightMap& original,
+                                  const DetectOptions& options) const;
+
+  /// ObservePairs against reusable buffers: fills and returns
+  /// scratch.observations (valid until the next call on that scratch).
+  /// Allocation-free once the scratch is warm; observations are bit-identical
+  /// to ObservePairs for every options combination.
+  const std::vector<PairObservation>& ObservePairsInto(
+      const DetectContext& ctx, const AnswerServer& suspect,
+      DetectScratch& scratch) const;
+
  private:
   struct DetectablePair {
     NodeId b_plus;
     NodeId b_minus;
     Tuple witness;  // parameter whose answers contain both pair nodes
   };
+
+  /// Witness reads grouped at plan time (see LocalScheme::WitnessPlan): the
+  /// distinct witness parameters in first-use order and per witness the
+  /// (read slot, node) resolutions, flattened CSR-style. Slot 2i reads pair
+  /// i's b_plus, slot 2i+1 its b_minus.
+  struct WitnessPlan {
+    // qpwm-lint: allow(legacy-tuple-vector) — witness params interned once at Plan time
+    std::vector<Tuple> params;
+    std::vector<uint32_t> read_offsets;
+    std::vector<std::pair<uint32_t, NodeId>> reads;
+  };
+  void BuildWitnessPlan();
 
   TreeScheme() = default;
 
@@ -133,6 +163,7 @@ class TreeScheme {
   std::vector<MarkRegion> regions_;
   DecompositionStats stats_;
   std::vector<DetectablePair> pairs_;
+  WitnessPlan witness_plan_;
 };
 
 }  // namespace qpwm

@@ -143,7 +143,7 @@ const ConjunctiveQuery::Index& ConjunctiveQuery::GetIndex(const Structure& g) co
     index->atoms[a].relation = &rel;
     index->atoms[a].by_pos.resize(rel.arity());
     for (uint32_t t = 0; t < rel.size(); ++t) {
-      const Tuple& tuple = rel.tuples()[t];
+      const TupleRef tuple = rel.tuple(t);
       for (size_t pos = 0; pos < tuple.size(); ++pos) {
         index->atoms[a].by_pos[pos][tuple[pos]].push_back(t);
       }
@@ -202,7 +202,7 @@ std::vector<Tuple> ConjunctiveQuery::Evaluate(const Structure& g,
     }
 
     for (uint32_t t : *candidates) {
-      const Tuple& tuple = ai.relation->tuples()[t];
+      const TupleRef tuple = ai.relation->tuple(t);
       // Check consistency and bind.
       std::vector<std::pair<const CqTerm*, ElemId>> bound;
       bool ok = true;

@@ -45,6 +45,7 @@ std::string UnionQuery::Name() const {
 std::vector<Tuple> UnionQuery::Domain(
     const std::vector<std::vector<Tuple>>& domains) const {
   QPWM_CHECK_EQ(domains.size(), queries_.size());
+  // qpwm-lint: allow(legacy-tuple-vector) — building the returned answer set (API contract)
   std::vector<Tuple> out;
   for (size_t i = 0; i < queries_.size(); ++i) {
     for (const Tuple& inner : domains[i]) {
@@ -69,6 +70,7 @@ std::vector<Tuple> UnionQuery::FullDomain(const Structure& g) const {
   return Domain(domains);
 }
 
+// qpwm-lint: allow(legacy-tuple-vector) — sink parameter; the query owns its group domain
 GroupedQuery::GroupedQuery(const ParametricQuery& inner, std::vector<Tuple> domain,
                            GroupFn group_of)
     : inner_(&inner), domain_(std::move(domain)), group_of_(std::move(group_of)) {}
@@ -76,6 +78,7 @@ GroupedQuery::GroupedQuery(const ParametricQuery& inner, std::vector<Tuple> doma
 std::vector<Tuple> GroupedQuery::Evaluate(const Structure& g,
                                           const Tuple& params) const {
   const uint64_t group = group_of_(g, params);
+  // qpwm-lint: allow(legacy-tuple-vector) — building the returned answer set (API contract)
   std::vector<Tuple> out;
   for (const Tuple& member : domain_) {
     if (group_of_(g, member) != group) continue;

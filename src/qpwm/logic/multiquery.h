@@ -63,6 +63,7 @@ class GroupedQuery : public ParametricQuery {
   /// `group_of` maps a parameter tuple to its group id; Evaluate(a) returns
   /// the union of inner results over the group of a (requires a registered
   /// domain to enumerate the group members).
+  // qpwm-lint: allow(legacy-tuple-vector) — sink parameter; the query owns its group domain
   GroupedQuery(const ParametricQuery& inner, std::vector<Tuple> domain,
                GroupFn group_of);
 
@@ -74,6 +75,7 @@ class GroupedQuery : public ParametricQuery {
 
  private:
   const ParametricQuery* inner_;
+  // qpwm-lint: allow(legacy-tuple-vector) — owned group-enumeration domain, not relation rows
   std::vector<Tuple> domain_;
   GroupFn group_of_;
 };

@@ -10,6 +10,7 @@
 namespace qpwm {
 
 std::vector<Tuple> AllParams(const Structure& g, uint32_t r) {
+  // qpwm-lint: allow(legacy-tuple-vector) — building the returned parameter list (API contract)
   std::vector<Tuple> out;
   const size_t n = g.universe_size();
   if (r == 0) {
@@ -53,6 +54,7 @@ std::vector<Tuple> FormulaQuery::Evaluate(const Structure& g, const Tuple& param
   Environment env;
   for (size_t i = 0; i < param_vars_.size(); ++i) env.elems[param_vars_[i]] = params[i];
 
+  // qpwm-lint: allow(legacy-tuple-vector) — building the returned answer set (API contract)
   std::vector<Tuple> out;
   const uint32_t s = ResultArity();
   Tuple v(s, 0);
@@ -119,7 +121,7 @@ const AtomQuery::Index& AtomQuery::GetIndex(const Structure& g) const {
   QPWM_CHECK(rel_idx.ok());
   const Relation& rel = g.relation(rel_idx.value());
   QPWM_CHECK_EQ(rel.arity(), args_.size());
-  for (const Tuple& t : rel.tuples()) {
+  for (TupleRef t : rel.tuples()) {
     Tuple param(r_), result(s_);
     for (size_t i = 0; i < args_.size(); ++i) {
       if (args_[i].is_param) {
@@ -167,6 +169,7 @@ const GaifmanGraph& DistanceQuery::GetGaifman(const Structure& g) const {
 std::vector<Tuple> DistanceQuery::Evaluate(const Structure& g, const Tuple& params) const {
   QPWM_CHECK_EQ(params.size(), 1u);
   const GaifmanGraph& gg = GetGaifman(g);
+  // qpwm-lint: allow(legacy-tuple-vector) — building the returned answer set (API contract)
   std::vector<Tuple> out;
   for (ElemId e : gg.Sphere(params[0], rho_)) out.push_back(Tuple{e});
   return out;

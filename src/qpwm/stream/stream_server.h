@@ -136,6 +136,7 @@ class StreamServer {
   void Publish();
 
   const LocalScheme* scheme_;
+  // qpwm-lint: allow(legacy-tuple-vector) — owned query-parameter domain snapshot
   std::vector<Tuple> domain_;
   std::shared_ptr<const Structure> structure_;
   std::shared_ptr<const QueryIndex> index_;

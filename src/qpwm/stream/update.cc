@@ -80,9 +80,9 @@ Update UpdateGenerator::EdgeSwap(const Structure& g) {
   // present replacement edges) are emitted anyway: the server's admission
   // gates reject them with a counted Status, which is part of the workload.
   if (!HasEdgeRelation(g, /*min_tuples=*/4)) return WeightRefresh(g);
-  const auto& tuples = g.relation(0).tuples();
-  const Tuple e1 = tuples[rng_.Below(tuples.size())];
-  const Tuple e2 = tuples[rng_.Below(tuples.size())];
+  const TupleList tuples = g.relation(0).tuples();
+  const TupleRef e1 = tuples[rng_.Below(tuples.size())];
+  const TupleRef e2 = tuples[rng_.Below(tuples.size())];
   const ElemId a = e1[0], b = e1[1], c = e2[0], d = e2[1];
   Update u;
   u.kind = UpdateKind::kEdgeSwap;
@@ -147,14 +147,14 @@ Update UpdateGenerator::BurstDelete(const Structure& g) {
   // removes neighborhood types, so the Theorem 8 gate quarantines the whole
   // burst as one unit.
   if (!HasEdgeRelation(g, /*min_tuples=*/1)) return WeightRefresh(g);
-  const auto& tuples = g.relation(0).tuples();
+  const TupleList tuples = g.relation(0).tuples();
   const size_t len = std::min(options_.burst_len, tuples.size());
   const size_t start = rng_.Below(tuples.size());
   Update u;
   u.kind = UpdateKind::kBurstDelete;
   u.edits.reserve(len);
   for (size_t i = 0; i < len; ++i) {
-    u.edits.push_back(Delete(0, tuples[(start + i) % tuples.size()]));
+    u.edits.push_back(Delete(0, tuples[(start + i) % tuples.size()].ToTuple()));
   }
   return u;
 }

@@ -33,7 +33,7 @@ void RefineColors(const Structure& s, const Tuple& dist,
   for (int round = 0; round < kRefineRounds; ++round) {
     scratch.assign(colors.begin(), colors.end());
     for (size_t r = 0; r < s.num_relations(); ++r) {
-      for (const Tuple& t : s.relation(r).tuples()) {
+      for (TupleRef t : s.relation(r).tuples()) {
         uint64_t h = HashCombine(0xABCD, r);
         for (ElemId e : t) h = HashCombine(h, colors[e]);
         for (size_t pos = 0; pos < t.size(); ++pos) {
@@ -47,22 +47,27 @@ void RefineColors(const Structure& s, const Tuple& dist,
   }
 }
 
+// Refinement relabeling shared by the string key and the fingerprint:
+// rank elements by (refined color, input id). When the colors are all
+// distinct the input id never breaks a tie and the relabeling is canonical.
+void RefinementRanks(const Structure& s, const Tuple& dist, CanonKeyScratch& sc) {
+  RefineColors(s, dist, sc.colors, sc.tmp);
+  const size_t n = s.universe_size();
+  sc.order.resize(n);
+  std::iota(sc.order.begin(), sc.order.end(), 0u);
+  std::sort(sc.order.begin(), sc.order.end(), [&sc](ElemId a, ElemId b) {
+    return sc.colors[a] != sc.colors[b] ? sc.colors[a] < sc.colors[b] : a < b;
+  });
+  sc.rank.resize(n);
+  for (size_t i = 0; i < n; ++i) sc.rank[sc.order[i]] = static_cast<uint32_t>(i);
+}
+
 }  // namespace
 
 std::string CanonCacheKey(const Structure& s, const Tuple& distinguished) {
   const size_t n = s.universe_size();
-  std::vector<uint64_t> colors, scratch;
-  RefineColors(s, distinguished, colors, scratch);
-
-  // Relabel by (refined color, input id). When the colors are all distinct
-  // the input id never breaks a tie and the relabeling is canonical.
-  std::vector<ElemId> order(n);
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](ElemId a, ElemId b) {
-    return colors[a] != colors[b] ? colors[a] < colors[b] : a < b;
-  });
-  std::vector<uint32_t> rank(n);
-  for (size_t i = 0; i < n; ++i) rank[order[i]] = static_cast<uint32_t>(i);
+  CanonKeyScratch sc;
+  RefinementRanks(s, distinguished, sc);
 
   size_t words = 2 + distinguished.size();
   for (size_t r = 0; r < s.num_relations(); ++r) {
@@ -72,16 +77,16 @@ std::string CanonCacheKey(const Structure& s, const Tuple& distinguished) {
   out.reserve(words * 4);
   Push32(out, static_cast<uint32_t>(n));
   Push32(out, static_cast<uint32_t>(distinguished.size()));
-  for (ElemId e : distinguished) Push32(out, rank[e]);
+  for (ElemId e : distinguished) Push32(out, sc.rank[e]);
   std::vector<Tuple> remapped;
   for (size_t r = 0; r < s.num_relations(); ++r) {
-    const auto& tuples = s.relation(r).tuples();
+    const TupleList tuples = s.relation(r).tuples();
     remapped.clear();
     remapped.reserve(tuples.size());
-    for (const Tuple& t : tuples) {
+    for (TupleRef t : tuples) {
       Tuple m;
       m.reserve(t.size());
-      for (ElemId e : t) m.push_back(rank[e]);
+      for (ElemId e : t) m.push_back(sc.rank[e]);
       remapped.push_back(std::move(m));
     }
     std::sort(remapped.begin(), remapped.end());
@@ -98,37 +103,118 @@ uint64_t NeighborhoodFingerprint(const Structure& s, const Tuple& distinguished)
   return HashString(CanonCacheKey(s, distinguished));
 }
 
+CanonFingerprint NeighborhoodFingerprint128(const Structure& s,
+                                            const Tuple& distinguished,
+                                            CanonKeyScratch& scratch) {
+  RefinementRanks(s, distinguished, scratch);
+
+  // Two streams with distinct seeds; the second additionally perturbs every
+  // input word so the streams never collapse to one function of the other.
+  uint64_t lo = 0x51AB0FF1CE0ULL;
+  uint64_t hi = 0xC0DEC0FFEE1ULL;
+  auto mix = [&lo, &hi](uint64_t v) {
+    lo = HashCombine(lo, v);
+    hi = HashCombine(hi, v ^ 0xA5A5A5A5A5A5A5A5ULL);
+  };
+  mix(s.universe_size());
+  mix(distinguished.size());
+  for (ElemId e : distinguished) mix(scratch.rank[e]);
+  mix(s.num_relations());
+  for (size_t r = 0; r < s.num_relations(); ++r) {
+    const Relation& rel = s.relation(r);
+    // Per-relation commutative accumulation: each record hashes on its own,
+    // the sums are order-insensitive — no record sort, unlike the string
+    // key, yet records still compare as whole tuples.
+    uint64_t sum_lo = 0;
+    uint64_t sum_hi = 0;
+    for (TupleRef t : rel.tuples()) {
+      uint64_t h = HashCombine(0x7EC0DE, r);
+      for (ElemId e : t) h = HashCombine(h, scratch.rank[e]);
+      sum_lo += h;
+      sum_hi += HashCombine(h, 0x5EED);
+    }
+    mix(rel.arity());
+    mix(rel.size());
+    lo = HashCombine(lo, sum_lo);
+    hi = HashCombine(hi, sum_hi);
+  }
+  return {lo, hi};
+}
+
 CanonCache& CanonCache::Global() {
   static CanonCache* cache = new CanonCache();  // shared with pool workers; leaked
   return *cache;
 }
 
-std::string CanonCache::Canonical(const Structure& s, const Tuple& distinguished) {
-  std::string key = CanonCacheKey(s, distinguished);
-  Shard& shard = shards_[HashString(key) % kShards];
+uint32_t CanonCache::InternForm(std::string canon) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  auto [it, inserted] =
+      form_ids_.emplace(std::move(canon), static_cast<uint32_t>(form_by_id_.size()));
+  if (inserted) form_by_id_.push_back(&it->first);
+  return it->second;
+}
+
+uint32_t CanonCache::CanonicalId(const Structure& s, const Tuple& distinguished,
+                                 CanonKeyScratch& scratch) {
+  const CanonFingerprint fp = NeighborhoodFingerprint128(s, distinguished, scratch);
+  Shard& shard = shards_[fp.hi % kShards];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.map.find(key);
+    auto it = shard.map.find(fp);
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  // Canonicalize outside the lock: concurrent misses on the same key both
-  // compute (identical) results; emplace keeps the first.
-  std::string canon = CanonicalForm(s, distinguished);
+  // Canonicalize outside the lock: concurrent misses on the same fingerprint
+  // both compute (identical) forms and intern to the same id; emplace keeps
+  // the first fingerprint entry.
+  const uint32_t id = InternForm(CanonicalForm(s, distinguished));
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.map.emplace(std::move(key), canon);
+    shard.map.emplace(fp, id);
   }
-  return canon;
+  return id;
+}
+
+std::string CanonCache::CanonicalOfId(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  QPWM_CHECK_LT(id, form_by_id_.size());
+  return *form_by_id_[id];
+}
+
+std::string CanonCache::Canonical(const Structure& s, const Tuple& distinguished) {
+  CanonKeyScratch scratch;
+  return CanonicalOfId(CanonicalId(s, distinguished, scratch));
 }
 
 CanonCache::Stats CanonCache::stats() const {
   Stats out;
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const uint64_t n = shard.map.size();
+    out.entries += n;
+    out.shard_max = std::max(out.shard_max, n);
+    // Unordered-map heap estimate: one bucket pointer per bucket plus one
+    // node (payload + next pointer) per entry.
+    out.bytes_resident +=
+        shard.map.bucket_count() * sizeof(void*) +
+        n * (sizeof(CanonFingerprint) + sizeof(uint32_t) + 2 * sizeof(void*));
+  }
+  out.shard_mean = static_cast<double>(out.entries) / static_cast<double>(kShards);
+  {
+    std::lock_guard<std::mutex> lock(intern_mu_);
+    out.distinct_forms = form_by_id_.size();
+    out.bytes_resident += form_by_id_.capacity() * sizeof(void*);
+    // qpwm-lint: allow(unordered-iter) -- commutative byte-count sum
+    for (const auto& [form, id] : form_ids_) {
+      (void)id;
+      out.bytes_resident += form.capacity() + sizeof(uint32_t) + 3 * sizeof(void*);
+    }
+  }
   return out;
 }
 
@@ -136,6 +222,11 @@ void CanonCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(intern_mu_);
+    form_by_id_.clear();
+    form_ids_.clear();
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);

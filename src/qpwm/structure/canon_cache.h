@@ -2,22 +2,29 @@
 // parameter tuple, and on bounded-degree structures those neighborhoods are
 // tiny and highly repetitive (ntp distinct types over |domain| tuples, with
 // ntp << |domain|), so almost every CanonicalForm call recomputes a result
-// already seen. The cache keys canonicalization on a cheap *sound* cache key:
-// the structure re-serialized under a color-refinement relabeling.
+// already seen.
 //
-//   * Sound: the key is a complete serialization of the relabeled structure,
-//     so equal keys imply isomorphic inputs and hence equal canonical forms —
-//     a hit can never return a wrong answer.
-//   * Effective: when refinement individualises every element (the common
-//     case for small distinguished neighborhoods), the relabeling is
-//     canonical, so isomorphic neighborhoods of *different* tuples collide on
-//     the same key and share one canonicalization. When refinement stalls,
-//     ties are broken by input labels; isomorphic inputs may then miss and
-//     recompute — slower, never wrong.
+// Fast path: probes key on a 128-bit fingerprint of the neighborhood under a
+// cheap color-refinement relabeling — two independent 64-bit hash streams
+// over the relabeled, order-insensitive relation contents. A hit returns an
+// interned CanonicalId without materializing any string (the legacy path
+// built the full serialized key on every probe). Equal fingerprints are
+// *assumed* to mean isomorphic inputs; with 128 independent bits the
+// collision odds over even 10^9 distinct neighborhoods are ~2^-68 —
+// accepted, and documented here because it is the one place the cache trades
+// certainty for speed. The string-keyed CanonCacheKey remains available (and
+// exactly sound) for tests and diagnostics.
+//
+// Identity: ids come from an intern table keyed by the *true* canonical form
+// computed on each miss, so two inputs whose refinement stalls into
+// different fingerprints but equal canonical forms still unify to one id —
+// fingerprint-distinct misses cost a recompute, never a wrong split.
 //
 // Buckets are sharded under striped mutexes so concurrent typing (see
 // util/parallel.h) shares work; the expensive canonicalization itself runs
-// outside any lock.
+// outside any lock. CanonicalIds are assigned in discovery order and are NOT
+// deterministic across runs or thread counts — consumers must re-intern them
+// in their own deterministic order (NeighborhoodTyper does).
 #ifndef QPWM_STRUCTURE_CANON_CACHE_H_
 #define QPWM_STRUCTURE_CANON_CACHE_H_
 
@@ -27,24 +34,64 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "qpwm/structure/structure.h"
 
 namespace qpwm {
 
-/// The sound, refinement-relabeled cache key described above. Exposed for
-/// tests and micro-benchmarks (its cost is the per-hit overhead).
+/// The sound, refinement-relabeled cache key. Exposed for tests and
+/// micro-benchmarks (its cost was the legacy per-hit overhead).
 std::string CanonCacheKey(const Structure& s, const Tuple& distinguished);
 
-/// 64-bit isomorphism-invariant-when-discrete fingerprint (hash of the cache
-/// key); used for shard routing and as a quick diagnostic.
+/// 64-bit hash of the string cache key; diagnostic only.
 uint64_t NeighborhoodFingerprint(const Structure& s, const Tuple& distinguished);
+
+/// Reusable buffers for fingerprint computation (one per worker; see
+/// util/parallel.h ScratchPool). Zero steady-state allocation.
+struct CanonKeyScratch {
+  std::vector<uint64_t> colors;
+  std::vector<uint64_t> tmp;
+  std::vector<ElemId> order;
+  std::vector<uint32_t> rank;
+};
+
+/// 128-bit neighborhood fingerprint: two independent hash streams over the
+/// color-refinement-relabeled structure, order-insensitive per relation.
+struct CanonFingerprint {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  friend bool operator==(const CanonFingerprint& a, const CanonFingerprint& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+struct CanonFingerprintHash {
+  size_t operator()(const CanonFingerprint& f) const {
+    return static_cast<size_t>(HashCombine(f.lo, f.hi));
+  }
+};
+
+/// Fingerprint without any string materialization; allocation-free once
+/// `scratch` is warm.
+CanonFingerprint NeighborhoodFingerprint128(const Structure& s,
+                                            const Tuple& distinguished,
+                                            CanonKeyScratch& scratch);
 
 class CanonCache {
  public:
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    /// Fingerprint entries across shards / distinct interned canonical forms.
+    uint64_t entries = 0;
+    uint64_t distinct_forms = 0;
+    /// Approximate heap bytes held: shard tables + interned form strings.
+    uint64_t bytes_resident = 0;
+    /// Shard occupancy spread (entries in the fullest shard / mean entries
+    /// per shard) — imbalance here means the fingerprint is routing badly.
+    uint64_t shard_max = 0;
+    double shard_mean = 0.0;
     double HitRate() const {
       const uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
@@ -54,7 +101,18 @@ class CanonCache {
   /// Process-wide cache shared by all typers/planners.
   static CanonCache& Global();
 
-  /// CanonicalForm(s, distinguished), memoized. Thread-safe.
+  /// Interned id of CanonicalForm(s, distinguished). Thread-safe. Hits cost
+  /// one fingerprint + one shard lookup; misses canonicalize outside any
+  /// lock. Ids are stable until Clear() — callers must not hold ids across
+  /// a Clear().
+  uint32_t CanonicalId(const Structure& s, const Tuple& distinguished,
+                       CanonKeyScratch& scratch);
+
+  /// The canonical form interned under `id` (copy; the table may rehash).
+  std::string CanonicalOfId(uint32_t id) const;
+
+  /// CanonicalForm(s, distinguished), memoized. Thread-safe. Legacy
+  /// string-returning entry point, now a wrapper over CanonicalId.
   std::string Canonical(const Structure& s, const Tuple& distinguished);
 
   Stats stats() const;
@@ -68,10 +126,16 @@ class CanonCache {
   static constexpr size_t kShards = 64;
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::string, std::string> map;
+    std::unordered_map<CanonFingerprint, uint32_t, CanonFingerprintHash> map;
   };
 
+  /// Id of `canon` in the intern table, inserting if new.
+  uint32_t InternForm(std::string canon);
+
   std::array<Shard, kShards> shards_;
+  mutable std::mutex intern_mu_;
+  std::unordered_map<std::string, uint32_t> form_ids_;
+  std::vector<const std::string*> form_by_id_;  // points at form_ids_ keys
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
 };

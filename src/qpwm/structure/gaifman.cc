@@ -6,27 +6,60 @@
 
 namespace qpwm {
 
-GaifmanGraph::GaifmanGraph(const Structure& s) : adj_(s.universe_size()) {
+GaifmanGraph::GaifmanGraph(const Structure& s) {
+  const size_t n = s.universe_size();
+  // CSR build in three passes: count directed edge endpoints (duplicates
+  // included), prefix-sum + fill, then per-element sort/unique with in-place
+  // compaction. Matches the legacy vector-of-vectors construction exactly —
+  // each neighbor list ends up sorted and deduplicated.
+  offsets_.assign(n + 1, 0);
   for (size_t r = 0; r < s.num_relations(); ++r) {
-    for (const Tuple& t : s.relation(r).tuples()) {
+    for (TupleRef t : s.relation(r).tuples()) {
       for (size_t i = 0; i < t.size(); ++i) {
         for (size_t j = i + 1; j < t.size(); ++j) {
           if (t[i] == t[j]) continue;
-          adj_[t[i]].push_back(t[j]);
-          adj_[t[j]].push_back(t[i]);
+          ++offsets_[t[i] + 1];
+          ++offsets_[t[j] + 1];
         }
       }
     }
   }
-  for (auto& nbrs : adj_) {
-    std::sort(nbrs.begin(), nbrs.end());
-    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  for (size_t e = 0; e < n; ++e) offsets_[e + 1] += offsets_[e];
+  neighbors_.resize(offsets_[n]);
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (size_t r = 0; r < s.num_relations(); ++r) {
+    for (TupleRef t : s.relation(r).tuples()) {
+      for (size_t i = 0; i < t.size(); ++i) {
+        for (size_t j = i + 1; j < t.size(); ++j) {
+          if (t[i] == t[j]) continue;
+          neighbors_[cursor[t[i]]++] = t[j];
+          neighbors_[cursor[t[j]]++] = t[i];
+        }
+      }
+    }
   }
+  uint32_t write = 0;
+  uint32_t begin = 0;
+  for (size_t e = 0; e < n; ++e) {
+    const uint32_t end = offsets_[e + 1];
+    std::sort(neighbors_.begin() + begin, neighbors_.begin() + end);
+    const auto last = std::unique(neighbors_.begin() + begin, neighbors_.begin() + end);
+    const uint32_t kept = static_cast<uint32_t>(last - (neighbors_.begin() + begin));
+    std::copy(neighbors_.begin() + begin, neighbors_.begin() + begin + kept,
+              neighbors_.begin() + write);
+    begin = end;
+    offsets_[e + 1] = write + kept;
+    write += kept;
+  }
+  neighbors_.resize(write);
+  neighbors_.shrink_to_fit();
 }
 
 size_t GaifmanGraph::MaxDegree() const {
   size_t k = 0;
-  for (const auto& nbrs : adj_) k = std::max(k, nbrs.size());
+  for (size_t e = 0; e + 1 < offsets_.size(); ++e) {
+    k = std::max<size_t>(k, offsets_[e + 1] - offsets_[e]);
+  }
   return k;
 }
 
@@ -35,42 +68,52 @@ std::vector<ElemId> GaifmanGraph::Sphere(ElemId a, uint32_t rho) const {
 }
 
 std::vector<ElemId> GaifmanGraph::Sphere(const Tuple& c, uint32_t rho) const {
-  // Multi-source BFS with depth cutoff.
+  SphereScratch scratch;
   std::vector<ElemId> out;
-  std::vector<uint8_t> seen(adj_.size(), 0);
-  std::deque<std::pair<ElemId, uint32_t>> queue;
+  SphereInto(c, rho, scratch, out);
+  return out;
+}
+
+void GaifmanGraph::SphereInto(const Tuple& c, uint32_t rho,
+                              SphereScratch& scratch, std::vector<ElemId>& out) const {
+  // Multi-source BFS by levels; the queue holds exactly the visited set, so
+  // it doubles as the touched list for the bitmap reset.
+  if (scratch.seen.size() != size()) scratch.seen.assign(size(), 0);
+  scratch.queue.clear();
   for (ElemId a : c) {
-    if (!seen[a]) {
-      seen[a] = 1;
-      out.push_back(a);
-      queue.emplace_back(a, 0);
+    if (!scratch.seen[a]) {
+      scratch.seen[a] = 1;
+      scratch.queue.push_back(a);
     }
   }
-  while (!queue.empty()) {
-    auto [e, d] = queue.front();
-    queue.pop_front();
-    if (d == rho) continue;
-    for (ElemId nb : adj_[e]) {
-      if (!seen[nb]) {
-        seen[nb] = 1;
-        out.push_back(nb);
-        queue.emplace_back(nb, d + 1);
+  size_t level_begin = 0;
+  for (uint32_t d = 0; d < rho; ++d) {
+    const size_t level_end = scratch.queue.size();
+    if (level_begin == level_end) break;
+    for (size_t i = level_begin; i < level_end; ++i) {
+      for (ElemId nb : Neighbors(scratch.queue[i])) {
+        if (!scratch.seen[nb]) {
+          scratch.seen[nb] = 1;
+          scratch.queue.push_back(nb);
+        }
       }
     }
+    level_begin = level_end;
   }
+  out.assign(scratch.queue.begin(), scratch.queue.end());
   std::sort(out.begin(), out.end());
-  return out;
+  for (ElemId e : scratch.queue) scratch.seen[e] = 0;
 }
 
 uint32_t GaifmanGraph::Distance(ElemId a, ElemId b) const {
   if (a == b) return 0;
-  std::vector<uint32_t> dist(adj_.size(), UINT32_MAX);
+  std::vector<uint32_t> dist(size(), UINT32_MAX);
   std::deque<ElemId> queue{a};
   dist[a] = 0;
   while (!queue.empty()) {
     ElemId e = queue.front();
     queue.pop_front();
-    for (ElemId nb : adj_[e]) {
+    for (ElemId nb : Neighbors(e)) {
       if (dist[nb] == UINT32_MAX) {
         dist[nb] = dist[e] + 1;
         if (nb == b) return dist[nb];

@@ -1,24 +1,42 @@
 // Gaifman graph of a structure: elements are adjacent iff they co-occur in
 // some relation tuple. Degree bounds, distances and rho-spheres — the
 // combinatorics behind locality (Section 3 of the paper).
+//
+// Adjacency is CSR-packed (offsets + one flat neighbor array). Sphere
+// extraction has an allocation-free variant (SphereInto) driven by a
+// reusable SphereScratch whose visited bitmap persists across calls and is
+// reset via the touched list — the allocating Sphere() overloads zero an
+// O(n) bitmap per call, which is quadratic over a full typing pass at 10^6
+// elements.
 #ifndef QPWM_STRUCTURE_GAIFMAN_H_
 #define QPWM_STRUCTURE_GAIFMAN_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "qpwm/structure/structure.h"
 
 namespace qpwm {
 
+/// Reusable BFS state for SphereInto. Bind to one graph at a time; the
+/// visited bitmap is sized on first use and reset member-by-member after
+/// each call, so steady-state sphere extraction allocates nothing.
+struct SphereScratch {
+  std::vector<uint8_t> seen;
+  std::vector<ElemId> queue;  // BFS order; doubles as the touched list
+};
+
 /// Undirected adjacency view of a structure's Gaifman graph.
 class GaifmanGraph {
  public:
   explicit GaifmanGraph(const Structure& s);
 
-  size_t size() const { return adj_.size(); }
-  const std::vector<ElemId>& Neighbors(ElemId e) const { return adj_[e]; }
-  size_t Degree(ElemId e) const { return adj_[e].size(); }
+  size_t size() const { return offsets_.size() - 1; }
+  std::span<const ElemId> Neighbors(ElemId e) const {
+    return {neighbors_.data() + offsets_[e], offsets_[e + 1] - offsets_[e]};
+  }
+  size_t Degree(ElemId e) const { return offsets_[e + 1] - offsets_[e]; }
 
   /// Maximum degree over all elements — the k of STRUCT_k[tau].
   size_t MaxDegree() const;
@@ -30,11 +48,24 @@ class GaifmanGraph {
   /// S_rho(c) for a tuple: union of the element spheres, sorted ascending.
   std::vector<ElemId> Sphere(const Tuple& c, uint32_t rho) const;
 
+  /// Sphere(c, rho) into `out` using `scratch` — identical output, zero
+  /// steady-state allocation. `scratch` must only ever be used with one
+  /// graph (the bitmap is sized to this graph on first use).
+  void SphereInto(const Tuple& c, uint32_t rho, SphereScratch& scratch,
+                  std::vector<ElemId>& out) const;
+
   /// BFS distance between two elements, or UINT32_MAX if disconnected.
   uint32_t Distance(ElemId a, ElemId b) const;
 
+  /// Heap bytes of the CSR arrays.
+  size_t BytesResident() const {
+    return offsets_.capacity() * sizeof(uint32_t) +
+           neighbors_.capacity() * sizeof(ElemId);
+  }
+
  private:
-  std::vector<std::vector<ElemId>> adj_;
+  std::vector<uint32_t> offsets_;  // universe_size + 1
+  std::vector<ElemId> neighbors_;
 };
 
 }  // namespace qpwm

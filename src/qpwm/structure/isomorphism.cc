@@ -52,7 +52,7 @@ class Canonicalizer {
   uint64_t Signature(ElemId e, const std::vector<uint64_t>& colors) {
     contrib_.clear();
     for (const auto& entry : incidence_.Incident(e)) {
-      const Tuple& t = s_.relation(entry.relation).tuples()[entry.tuple_index];
+      const TupleRef t = s_.relation(entry.relation).tuple(entry.tuple_index);
       for (size_t pos = 0; pos < t.size(); ++pos) {
         if (t[pos] != e) continue;
         uint64_t h = HashCombine(0xABCD, entry.relation);
@@ -100,8 +100,8 @@ class Canonicalizer {
   bool AreTwins(ElemId a, ElemId b) const {
     auto swapped_ok = [&](ElemId source) {
       for (const auto& entry : incidence_.Incident(source)) {
-        const Tuple& t = s_.relation(entry.relation).tuples()[entry.tuple_index];
-        Tuple swapped = t;
+        const TupleRef t = s_.relation(entry.relation).tuple(entry.tuple_index);
+        Tuple swapped = t.ToTuple();
         for (ElemId& x : swapped) {
           if (x == a) {
             x = b;
@@ -175,10 +175,10 @@ class Canonicalizer {
     Push32(out, static_cast<uint32_t>(dist_.size()));
     for (ElemId e : dist_) Push32(out, rank[e]);
     for (size_t r = 0; r < s_.num_relations(); ++r) {
-      const auto& tuples = s_.relation(r).tuples();
+      const TupleList tuples = s_.relation(r).tuples();
       std::vector<Tuple> remapped;
       remapped.reserve(tuples.size());
-      for (const Tuple& t : tuples) {
+      for (TupleRef t : tuples) {
         Tuple m;
         m.reserve(t.size());
         for (ElemId e : t) m.push_back(rank[e]);

@@ -1,6 +1,7 @@
 #include "qpwm/structure/neighborhood.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace qpwm {
 namespace {
@@ -18,17 +19,34 @@ ElemId LocalId(const std::vector<ElemId>& sphere, ElemId x) {
 Neighborhood ExtractNeighborhood(const Structure& g, const GaifmanGraph& gg,
                                  const IncidenceIndex& idx, const Tuple& c,
                                  uint32_t rho) {
-  std::vector<ElemId> sphere = gg.Sphere(c, rho);  // sorted ascending
+  NeighborhoodScratch scratch;
+  ExtractNeighborhoodInto(g, gg, idx, c, rho, scratch);
+  return std::move(scratch.nb);
+}
+
+Neighborhood& ExtractNeighborhoodInto(const Structure& g, const GaifmanGraph& gg,
+                                      const IncidenceIndex& idx, const Tuple& c,
+                                      uint32_t rho, NeighborhoodScratch& scratch) {
+  std::vector<ElemId>& sphere = scratch.nb.global_ids;
+  gg.SphereInto(c, rho, scratch.sphere, sphere);  // sorted ascending
   const ElemId outside = static_cast<ElemId>(sphere.size());
 
-  Neighborhood out{Structure(g.signature(), sphere.size()), {}, sphere};
+  if (scratch.bound != &g || scratch.bound_generation != g.generation()) {
+    scratch.nb.local = Structure(g.signature(), 0);
+    scratch.rel_flat.assign(g.num_relations(), {});
+    scratch.bound = &g;
+    scratch.bound_generation = g.generation();
+  }
+  Structure& local = scratch.nb.local;
+  local.ResetUniverse(sphere.size());
 
   // Candidate tuples via the incidence lists of sphere members, deduplicated
   // by (relation, tuple index) with a sort instead of a hash set — incidence
   // lists over a bounded-degree sphere are tiny. Distinct indices mean
-  // distinct tuples (relations are deduplicated), so the per-relation lists
-  // below can be installed without re-hashing every tuple.
-  std::vector<uint64_t> keys;
+  // distinct tuples (relations are deduplicated), so the per-relation flat
+  // records below can be installed without re-hashing every tuple.
+  std::vector<uint64_t>& keys = scratch.keys;
+  keys.clear();
   for (ElemId e : sphere) {
     for (const auto& entry : idx.Incident(e)) {
       keys.push_back((static_cast<uint64_t>(entry.relation) << 32) | entry.tuple_index);
@@ -37,12 +55,12 @@ Neighborhood ExtractNeighborhood(const Structure& g, const GaifmanGraph& gg,
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
 
-  std::vector<std::vector<Tuple>> per_rel(g.num_relations());
+  for (auto& records : scratch.rel_flat) records.clear();
   for (uint64_t key : keys) {
     const auto rel = static_cast<uint32_t>(key >> 32);
-    const Tuple& t = g.relation(rel).tuples()[static_cast<uint32_t>(key)];
-    Tuple local_t;
-    local_t.reserve(t.size());
+    const TupleRef t = g.relation(rel).tuple(static_cast<uint32_t>(key));
+    std::vector<ElemId>& records = scratch.rel_flat[rel];
+    const size_t mark = records.size();
     bool inside = true;
     for (ElemId x : t) {
       const ElemId lx = LocalId(sphere, x);
@@ -50,18 +68,43 @@ Neighborhood ExtractNeighborhood(const Structure& g, const GaifmanGraph& gg,
         inside = false;
         break;
       }
-      local_t.push_back(lx);
+      records.push_back(lx);
     }
-    if (inside) per_rel[rel].push_back(std::move(local_t));
-  }
-  for (size_t r = 0; r < per_rel.size(); ++r) {
-    std::sort(per_rel[r].begin(), per_rel[r].end());  // Finalize order
-    out.local.mutable_relation(r).SetTuplesUnchecked(std::move(per_rel[r]));
+    if (!inside) records.resize(mark);
   }
 
-  out.distinguished.reserve(c.size());
-  for (ElemId x : c) out.distinguished.push_back(LocalId(sphere, x));
-  return out;
+  for (size_t r = 0; r < scratch.rel_flat.size(); ++r) {
+    std::vector<ElemId>& records = scratch.rel_flat[r];
+    const uint32_t a = g.relation(r).arity();
+    if (a <= 1) {
+      // Unary (or empty) records sort element-wise in place.
+      std::sort(records.begin(), records.end());
+      local.mutable_relation(r).SwapFlatUnchecked(records);
+      continue;
+    }
+    // Finalize order: lexicographic record sort via a permutation gather.
+    const size_t count = records.size() / a;
+    std::vector<uint32_t>& order = scratch.rec_order;
+    order.resize(count);
+    std::iota(order.begin(), order.end(), 0u);
+    const ElemId* base = records.data();
+    std::sort(order.begin(), order.end(), [base, a](uint32_t x, uint32_t y) {
+      return std::lexicographical_compare(base + x * a, base + (x + 1) * a,
+                                          base + y * a, base + (y + 1) * a);
+    });
+    std::vector<ElemId>& sorted = scratch.rel_sorted;
+    sorted.clear();
+    sorted.reserve(records.size());
+    for (uint32_t idx2 : order) {
+      sorted.insert(sorted.end(), base + idx2 * a, base + (idx2 + 1) * a);
+    }
+    local.mutable_relation(r).SwapFlatUnchecked(sorted);
+  }
+
+  scratch.nb.distinguished.clear();
+  scratch.nb.distinguished.reserve(c.size());
+  for (ElemId x : c) scratch.nb.distinguished.push_back(LocalId(sphere, x));
+  return scratch.nb;
 }
 
 }  // namespace qpwm

@@ -21,10 +21,34 @@ struct Neighborhood {
   std::vector<ElemId> global_ids;   // local id -> global id (ascending)
 };
 
+/// Per-worker arena for repeated neighborhood extraction. Holds the BFS
+/// scratch, the per-relation staging buffers and a reusable Neighborhood
+/// whose local structure is recycled (ResetUniverse + buffer swaps), so the
+/// per-element hot loop of a typing pass does zero steady-state allocation.
+/// A scratch binds to one source structure at a time (the local signature is
+/// rebuilt when the source changes) and must not be shared across threads.
+struct NeighborhoodScratch {
+  SphereScratch sphere;
+  std::vector<uint64_t> keys;                  // (relation, tuple index) dedup
+  std::vector<std::vector<ElemId>> rel_flat;   // per relation: local records
+  std::vector<uint32_t> rec_order;             // record sort permutation
+  std::vector<ElemId> rel_sorted;              // gather target for the swap
+  Neighborhood nb;
+  const Structure* bound = nullptr;
+  uint64_t bound_generation = 0;
+};
+
 /// Extracts N_rho(c) from `g`. `gg` and `idx` must be built over `g`.
 Neighborhood ExtractNeighborhood(const Structure& g, const GaifmanGraph& gg,
                                  const IncidenceIndex& idx, const Tuple& c,
                                  uint32_t rho);
+
+/// ExtractNeighborhood into `scratch.nb` — identical output, zero
+/// steady-state allocation. The returned reference points into `scratch`
+/// and is invalidated by the next call on the same scratch.
+Neighborhood& ExtractNeighborhoodInto(const Structure& g, const GaifmanGraph& gg,
+                                      const IncidenceIndex& idx, const Tuple& c,
+                                      uint32_t rho, NeighborhoodScratch& scratch);
 
 }  // namespace qpwm
 

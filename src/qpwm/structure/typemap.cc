@@ -1,10 +1,22 @@
 #include "qpwm/structure/typemap.h"
 
+#include <memory>
+#include <utility>
+
 #include "qpwm/structure/isomorphism.h"
-#include "qpwm/structure/neighborhood.h"
 #include "qpwm/util/parallel.h"
 
 namespace qpwm {
+namespace {
+
+/// Per-worker scratch for the cached TypeAll path: one neighborhood arena and
+/// one fingerprint buffer set, pooled so blocks reuse warm instances.
+struct TypeAllScratch {
+  NeighborhoodScratch nb;
+  CanonKeyScratch key;
+};
+
+}  // namespace
 
 NeighborhoodTyper::NeighborhoodTyper(const Structure& g, uint32_t rho,
                                      CanonCache* cache)
@@ -12,7 +24,6 @@ NeighborhoodTyper::NeighborhoodTyper(const Structure& g, uint32_t rho,
 
 std::string NeighborhoodTyper::Canon(const Tuple& c) const {
   Neighborhood nb = ExtractNeighborhood(g_, gaifman_, incidence_, c, rho_);
-  if (cache_ != nullptr) return cache_->Canonical(nb.local, nb.distinguished);
   return CanonicalForm(nb.local, nb.distinguished);
 }
 
@@ -23,14 +34,51 @@ uint32_t NeighborhoodTyper::Intern(std::string canon, const Tuple& c) {
   return it->second;
 }
 
-uint32_t NeighborhoodTyper::TypeOf(const Tuple& c) { return Intern(Canon(c), c); }
+uint32_t NeighborhoodTyper::InternCacheId(uint32_t cache_id, const Tuple& c) {
+  auto it = cache_id_to_type_.find(cache_id);
+  if (it != cache_id_to_type_.end()) return it->second;
+  const uint32_t type = Intern(cache_->CanonicalOfId(cache_id), c);
+  cache_id_to_type_.emplace(cache_id, type);
+  return type;
+}
+
+uint32_t NeighborhoodTyper::TypeOf(const Tuple& c) {
+  if (cache_ == nullptr) return Intern(Canon(c), c);
+  Neighborhood& nb =
+      ExtractNeighborhoodInto(g_, gaifman_, incidence_, c, rho_, nb_scratch_);
+  return InternCacheId(cache_->CanonicalId(nb.local, nb.distinguished, key_scratch_), c);
+}
 
 std::vector<uint32_t> NeighborhoodTyper::TypeAll(const std::vector<Tuple>& tuples) {
-  std::vector<std::string> canons = ParallelMap<std::string>(
-      tuples.size(), [&](size_t i) { return Canon(tuples[i]); });
+  if (cache_ == nullptr) {
+    std::vector<std::string> canons = ParallelMap<std::string>(
+        tuples.size(), [&](size_t i) { return Canon(tuples[i]); });
+    std::vector<uint32_t> types(tuples.size());
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      types[i] = Intern(std::move(canons[i]), tuples[i]);
+    }
+    return types;
+  }
+  // Cached path: workers produce interned cache ids with pooled scratch —
+  // zero steady-state allocation per tuple — and the serial re-intern below
+  // maps the (discovery-ordered, nondeterministic) cache ids to dense type
+  // ids in input order, so the output matches the serial TypeOf sequence
+  // bit-for-bit at any thread count.
+  ScratchPool<TypeAllScratch> pool;
+  std::vector<uint32_t> cache_ids(tuples.size());
+  ParallelBlocks<int>(tuples.size(), [&](size_t begin, size_t end) {
+    std::unique_ptr<TypeAllScratch> scratch = pool.Acquire();
+    for (size_t i = begin; i < end; ++i) {
+      Neighborhood& nb = ExtractNeighborhoodInto(g_, gaifman_, incidence_,
+                                                 tuples[i], rho_, scratch->nb);
+      cache_ids[i] = cache_->CanonicalId(nb.local, nb.distinguished, scratch->key);
+    }
+    pool.Release(std::move(scratch));
+    return 0;
+  });
   std::vector<uint32_t> types(tuples.size());
   for (size_t i = 0; i < tuples.size(); ++i) {
-    types[i] = Intern(std::move(canons[i]), tuples[i]);
+    types[i] = InternCacheId(cache_ids[i], tuples[i]);
   }
   return types;
 }

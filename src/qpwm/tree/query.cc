@@ -144,6 +144,7 @@ std::unique_ptr<ParametricQuery> MakeTreeQuery(const BinaryTree& t,
   auto fn = [&t, &base_labels, base_count, &dta, param_arity](
                 const Structure&, const Tuple& params) {
     NodeId a = param_arity == 1 ? params[0] : 0;
+    // qpwm-lint: allow(legacy-tuple-vector) — building the returned answer set (API contract)
     std::vector<Tuple> out;
     for (NodeId b : EvaluateWa(t, base_labels, base_count, dta, param_arity, a)) {
       out.push_back(Tuple{b});

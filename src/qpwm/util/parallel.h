@@ -16,6 +16,8 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -72,6 +74,36 @@ std::vector<T> ParallelMap(size_t n, Fn&& fn) {
   ParallelFor(n, [&](size_t i) { out[i] = fn(i); });
   return out;
 }
+
+/// Mutex-guarded free list of per-worker scratch objects for ParallelBlocks
+/// bodies: Acquire() pops a warm instance (or default-constructs the first
+/// time) and Release() returns it, so at most `threads` instances are ever
+/// live regardless of block count and later blocks reuse already-grown
+/// buffers. Scratch never carries results, only buffers, so reuse across
+/// blocks cannot affect output (the determinism contract above holds).
+template <typename T>
+class ScratchPool {
+ public:
+  std::unique_ptr<T> Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<T> out = std::move(free_.back());
+        free_.pop_back();
+        return out;
+      }
+    }
+    return std::make_unique<T>();
+  }
+  void Release(std::unique_ptr<T> scratch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(scratch));
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<T>> free_;
+};
 
 /// Block-parallel reduction input: runs fn(begin, end) over a deterministic
 /// partition of [0, n) and returns the per-block results in block order, so

@@ -14,7 +14,7 @@ namespace {
 Structure Permute(const Structure& s, const std::vector<ElemId>& perm) {
   Structure out(s.signature(), s.universe_size());
   for (size_t r = 0; r < s.num_relations(); ++r) {
-    for (const Tuple& t : s.relation(r).tuples()) {
+    for (TupleRef t : s.relation(r).tuples()) {
       Tuple mapped;
       for (ElemId e : t) mapped.push_back(perm[e]);
       out.AddTuple(r, std::move(mapped));

@@ -1,0 +1,23 @@
+// Known-bad fixture: by-value std::vector<Tuple> storage in library-style
+// code. Rows already live in the relations' flat CSR store; hot paths read
+// them through TupleRef/TupleList views instead of rebuilding row vectors.
+#include <vector>
+
+namespace qpwm {
+
+using Tuple = std::vector<unsigned>;
+
+std::vector<Tuple> CopyAllRows() {  // return-by-value contract: not flagged
+  std::vector<Tuple> rows;          // by-value local storage: flagged
+  return rows;
+}
+
+struct RowCache {
+  std::vector<Tuple> rows_;  // by-value member storage: flagged
+};
+
+void BorrowIsFine(const std::vector<Tuple>& rows) {  // reference: not flagged
+  (void)rows;
+}
+
+}  // namespace qpwm

@@ -272,14 +272,47 @@ TEST(LintRules, LambdaLocalsIncludingCommaChainsAreFine) {
   EXPECT_FALSE(HasRule(fs, kParallelMutation));
 }
 
+TEST(LintRules, LegacyTupleVectorFlaggedInLibraryCode) {
+  auto fs = Analyze("src/qpwm/core/foo.cc",
+                    "void F() { std::vector<Tuple> rows; }\n");
+  EXPECT_TRUE(HasRule(fs, kLegacyTupleVector));
+  // Member storage materializes too.
+  fs = Analyze("src/qpwm/core/foo.h",
+               "struct C { std::vector<Tuple> rows_; };\n");
+  EXPECT_TRUE(HasRule(fs, kLegacyTupleVector));
+  // Returning a materialized answer set is the query API contract.
+  fs = Analyze("src/qpwm/core/foo.h", "std::vector<Tuple> AllRows();\n");
+  EXPECT_FALSE(HasRule(fs, kLegacyTupleVector));
+}
+
+TEST(LintRules, LegacyTupleVectorScopeAndBorrows) {
+  // structure/ is the sanctioned home; tests/bench are out of scope.
+  auto fs = Analyze("src/qpwm/structure/structure.cc",
+                    "void F() { std::vector<Tuple> rows; }\n");
+  EXPECT_FALSE(HasRule(fs, kLegacyTupleVector));
+  fs = Analyze("tests/foo_test.cc", "void F() { std::vector<Tuple> rows; }\n");
+  EXPECT_FALSE(HasRule(fs, kLegacyTupleVector));
+  // Borrowing by reference and nested template arguments do not match.
+  fs = Analyze("src/qpwm/core/foo.cc",
+               "void F(const std::vector<Tuple>& rows);\n"
+               "std::map<int, std::vector<Tuple>>* g;\n");
+  EXPECT_FALSE(HasRule(fs, kLegacyTupleVector));
+  // Pragma waives a deliberate cold-path materialization.
+  fs = Analyze("src/qpwm/core/foo.cc",
+               "// qpwm-lint: allow(legacy-tuple-vector) — cold path\n"
+               "std::vector<Tuple> snapshot;\n");
+  EXPECT_FALSE(HasRule(fs, kLegacyTupleVector));
+}
+
 // --- classification ----------------------------------------------------------
 
 TEST(LintRules, AdvisorySplitMatchesRuleCatalog) {
   EXPECT_TRUE(IsAdvisoryRule(kUnorderedIter));
   EXPECT_TRUE(IsAdvisoryRule(kParallelMutation));
+  EXPECT_TRUE(IsAdvisoryRule(kLegacyTupleVector));
   EXPECT_FALSE(IsAdvisoryRule(kDiscardedStatus));
   EXPECT_FALSE(IsAdvisoryRule(kBareThrow));
-  EXPECT_EQ(AllRules().size(), 8u);
+  EXPECT_EQ(AllRules().size(), 9u);
 }
 
 }  // namespace

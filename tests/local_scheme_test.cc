@@ -224,8 +224,8 @@ TEST(LocalSchemeTest, EdgeWeightsArityTwo) {
       "out-edges", 1, 2,
       [](const Structure& s, const Tuple& params) {
         std::vector<Tuple> out;
-        for (const Tuple& t : s.relation("E").tuples()) {
-          if (t[0] == params[0]) out.push_back(t);
+        for (TupleRef t : s.relation("E").tuples()) {
+          if (t[0] == params[0]) out.push_back(t.ToTuple());
         }
         return out;
       },
@@ -234,7 +234,7 @@ TEST(LocalSchemeTest, EdgeWeightsArityTwo) {
   ASSERT_GT(index.num_active(), 10u);
 
   WeightMap w(2, g.universe_size());
-  for (const Tuple& t : g.relation("E").tuples()) w.Set(t, rng.Uniform(10, 99));
+  for (TupleRef t : g.relation("E").tuples()) w.Set(t.ToTuple(), rng.Uniform(10, 99));
 
   LocalSchemeOptions opts = DefaultOptions(0.5);
   auto scheme = LocalScheme::Plan(index, opts).ValueOrDie();

@@ -31,6 +31,15 @@
 //                        mutates state declared outside the lambda without
 //                        the per-index slot pattern (`out[i] = ...`)
 //
+//   flat storage
+//     legacy-tuple-vector
+//                        a by-value std::vector<Tuple> declaration in library
+//                        code (src/qpwm/) outside structure/ — tuples live in
+//                        the relations' flat CSR store; hot paths should read
+//                        them through TupleRef/TupleList views instead of
+//                        materializing rows (advisory: cold paths allowlist
+//                        with a reason)
+//
 // Findings on a line can be waived with a trailing (or immediately
 // preceding) comment:  // qpwm-lint: allow(rule-id[,rule-id...]) — reason
 //
@@ -58,6 +67,7 @@ inline constexpr char kBareThrow[] = "bare-throw";
 inline constexpr char kNondeterministicRandom[] = "nondeterministic-random";
 inline constexpr char kUnorderedIter[] = "unordered-iter";
 inline constexpr char kParallelMutation[] = "parallel-mutation";
+inline constexpr char kLegacyTupleVector[] = "legacy-tuple-vector";
 
 /// All rule ids, for --help and allow() validation.
 const std::vector<std::string>& AllRules();

@@ -34,6 +34,7 @@ bool RuleAllowsFile(std::string_view rule, const std::string& path) {
   }
   if (rule == kNondeterministicRandom) return PathHas(path, "util/random");
   if (rule == kParallelMutation) return PathHas(path, "util/parallel");
+  if (rule == kLegacyTupleVector) return PathHas(path, "qpwm/structure/");
   return false;
 }
 
@@ -136,12 +137,13 @@ const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kAll = {
       kDiscardedStatus, kNodiscardStatus, kRawStatus,
       kBareAbort,       kBareThrow,       kNondeterministicRandom,
-      kUnorderedIter,   kParallelMutation};
+      kUnorderedIter,   kParallelMutation, kLegacyTupleVector};
   return kAll;
 }
 
 bool IsAdvisoryRule(std::string_view rule) {
-  return rule == kUnorderedIter || rule == kParallelMutation;
+  return rule == kUnorderedIter || rule == kParallelMutation ||
+         rule == kLegacyTupleVector;
 }
 
 void CollectContext(const FileScan& scan, LintContext& ctx) {
@@ -556,6 +558,44 @@ void CheckParallelMutation(const FileScan& scan, std::vector<Finding>& out) {
   }
 }
 
+// flat storage: by-value std::vector<Tuple> in library code outside
+// structure/ rebuilds row storage the flat CSR relations already hold.
+// References/pointers (`const std::vector<Tuple>&` parameters) do not match —
+// borrowing an existing materialization is fine, creating one is the smell.
+// Function declarations (identifier followed by `(`) are exempt: query
+// evaluation returns materialized answer sets by contract.
+void CheckLegacyTupleVector(const FileScan& scan, std::vector<Finding>& out) {
+  // Library code only — tests/bench/tools materialize rows freely. The
+  // fixture directory opts in so the rule stays end-to-end testable.
+  if (!PathHas(scan.path, "src/qpwm/") && !PathHas(scan.path, "lint_fixtures/")) {
+    return;
+  }
+  const std::vector<Token>& t = scan.tokens;
+  for (size_t i = 0; i + 3 < t.size(); ++i) {
+    if (!Is(t, i, "vector") || !Is(t, i + 1, "<") || !Is(t, i + 2, "Tuple") ||
+        !Is(t, i + 3, ">")) {
+      continue;
+    }
+    // `>` followed by an identifier: a by-value variable/member/parameter
+    // declaration. `&`, `*`, `>` (nested template argument) etc. bail out.
+    const size_t j = i + 4;
+    if (!IsIdent(t, j) || IsKeyword(t[j].text)) continue;
+    // Identifier (possibly `::`-qualified) followed by `(` is a function
+    // returning a materialized answer set — that is the query API's
+    // contract, not stored state.
+    size_t name_end = j;
+    while (Is(t, name_end + 1, "::") && IsIdent(t, name_end + 2)) {
+      name_end += 2;
+    }
+    if (Is(t, name_end + 1, "(")) continue;
+    Report(scan, t[i].line, kLegacyTupleVector,
+           "by-value std::vector<Tuple> '" + t[j].text +
+               "' outside structure/; prefer TupleRef/TupleList views over "
+               "the flat store, or allowlist a cold path with a reason",
+           out);
+  }
+}
+
 }  // namespace
 
 void AnalyzeFile(const FileScan& scan_in, const LintContext& ctx,
@@ -569,6 +609,7 @@ void AnalyzeFile(const FileScan& scan_in, const LintContext& ctx,
   CheckNondeterministicRandom(scan, out);
   CheckUnorderedIter(scan, EffectiveUnorderedNames(scan, ctx), out);
   CheckParallelMutation(scan, out);
+  CheckLegacyTupleVector(scan, out);
 }
 
 }  // namespace qpwm::lint
