@@ -47,11 +47,6 @@ WeightMap GuessingPairAttack(const WeightMap& marked, const QueryIndex& index,
   return out;
 }
 
-namespace {
-
-// Shared precondition of every collusion attack: at least one copy, all over
-// the same weight domain (copies of different subsets must not be silently
-// averaged into garbage).
 Status CheckCollusionCopies(const std::vector<const WeightMap*>& copies) {
   if (copies.empty()) {
     return Status::InvalidArgument("collusion needs at least one copy");
@@ -65,11 +60,14 @@ Status CheckCollusionCopies(const std::vector<const WeightMap*>& copies) {
   return Status::OK();
 }
 
-}  // namespace
-
-Result<WeightMap> AveragingCollusionAttack(
-    const std::vector<const WeightMap*>& copies) {
+Result<WeightMap> CollusionAttack::Forge(
+    const std::vector<const WeightMap*>& copies, Rng& rng) const {
   QPWM_RETURN_NOT_OK(CheckCollusionCopies(copies));
+  return ForgeValid(copies, rng);
+}
+
+WeightMap AveragingCollusion::ForgeValid(
+    const std::vector<const WeightMap*>& copies, Rng&) const {
   WeightMap out = *copies[0];
   out.ForEach([&](const Tuple& t, Weight) {
     Weight sum = 0;
@@ -82,9 +80,8 @@ Result<WeightMap> AveragingCollusionAttack(
   return out;
 }
 
-Result<WeightMap> MedianCollusionAttack(
-    const std::vector<const WeightMap*>& copies) {
-  QPWM_RETURN_NOT_OK(CheckCollusionCopies(copies));
+WeightMap MedianCollusion::ForgeValid(
+    const std::vector<const WeightMap*>& copies, Rng&) const {
   WeightMap out = *copies[0];
   std::vector<Weight> values(copies.size());
   out.ForEach([&](const Tuple& t, Weight) {
@@ -96,9 +93,8 @@ Result<WeightMap> MedianCollusionAttack(
   return out;
 }
 
-Result<WeightMap> MinMaxCollusionAttack(const std::vector<const WeightMap*>& copies,
-                                        Rng& rng) {
-  QPWM_RETURN_NOT_OK(CheckCollusionCopies(copies));
+WeightMap MinMaxCollusion::ForgeValid(
+    const std::vector<const WeightMap*>& copies, Rng& rng) const {
   WeightMap out = *copies[0];
   out.ForEach([&](const Tuple& t, Weight) {
     Weight lo = copies[0]->Get(t);
@@ -111,6 +107,92 @@ Result<WeightMap> MinMaxCollusionAttack(const std::vector<const WeightMap*>& cop
     out.Set(t, rng.Coin() ? hi : lo);
   });
   return out;
+}
+
+InterleavingCollusion::InterleavingCollusion(size_t segment_len)
+    : segment_len_(segment_len) {
+  QPWM_CHECK_GE(segment_len_, 1u);
+}
+
+std::string InterleavingCollusion::Name() const {
+  return "interleave:" + std::to_string(segment_len_);
+}
+
+WeightMap InterleavingCollusion::ForgeValid(
+    const std::vector<const WeightMap*>& copies, Rng& rng) const {
+  WeightMap out = *copies[0];
+  // ForEach visits the domain in its deterministic order, so segments are
+  // encountered (and their owners drawn) in a fixed sequence: one Below()
+  // draw per segment, replayable from the rng seed alone.
+  size_t pos = 0;
+  size_t owner = 0;
+  out.ForEach([&](const Tuple& t, Weight) {
+    if (pos % segment_len_ == 0) {
+      owner = static_cast<size_t>(rng.Below(copies.size()));
+    }
+    ++pos;
+    out.Set(t, copies[owner]->Get(t));
+  });
+  return out;
+}
+
+const std::vector<std::string>& KnownCollusionSpecs() {
+  static const std::vector<std::string> kSpecs = {"averaging", "median",
+                                                  "minmax", "interleave"};
+  return kSpecs;
+}
+
+Result<std::unique_ptr<CollusionAttack>> MakeCollusionAttack(
+    const std::string& spec) {
+  if (spec == "averaging") {
+    return std::unique_ptr<CollusionAttack>(new AveragingCollusion());
+  }
+  if (spec == "median") {
+    return std::unique_ptr<CollusionAttack>(new MedianCollusion());
+  }
+  if (spec == "minmax") {
+    return std::unique_ptr<CollusionAttack>(new MinMaxCollusion());
+  }
+  const std::string kInterleave = "interleave";
+  if (spec.rfind(kInterleave, 0) == 0) {
+    size_t segment_len = 64;
+    if (spec.size() > kInterleave.size()) {
+      if (spec[kInterleave.size()] != ':') {
+        return Status::InvalidArgument("unknown collusion attack: " + spec);
+      }
+      const std::string len = spec.substr(kInterleave.size() + 1);
+      segment_len = 0;
+      for (char c : len) {
+        if (c < '0' || c > '9') {
+          return Status::InvalidArgument("bad interleave segment length: " + spec);
+        }
+        segment_len = segment_len * 10 + static_cast<size_t>(c - '0');
+        if (segment_len > 1u << 20) break;
+      }
+      if (segment_len < 1 || segment_len > 1u << 20) {
+        return Status::InvalidArgument("bad interleave segment length: " + spec);
+      }
+    }
+    return std::unique_ptr<CollusionAttack>(new InterleavingCollusion(segment_len));
+  }
+  return Status::InvalidArgument("unknown collusion attack: " + spec);
+}
+
+Result<WeightMap> AveragingCollusionAttack(
+    const std::vector<const WeightMap*>& copies) {
+  Rng rng(kDefaultAttackSeed);
+  return AveragingCollusion().Forge(copies, rng);
+}
+
+Result<WeightMap> MedianCollusionAttack(
+    const std::vector<const WeightMap*>& copies) {
+  Rng rng(kDefaultAttackSeed);
+  return MedianCollusion().Forge(copies, rng);
+}
+
+Result<WeightMap> MinMaxCollusionAttack(const std::vector<const WeightMap*>& copies,
+                                        Rng& rng) {
+  return MinMaxCollusion().Forge(copies, rng);
 }
 
 void TamperedAnswerServer::Tamper(const Tuple& params, AnswerSet& rows) const {

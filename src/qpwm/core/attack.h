@@ -15,6 +15,7 @@
 #define QPWM_CORE_ATTACK_H_
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -53,25 +54,110 @@ WeightMap RoundingAttack(const WeightMap& marked, Weight granularity);
 WeightMap GuessingPairAttack(const WeightMap& marked, const QueryIndex& index,
                              size_t guesses, Rng& rng);
 
-/// Collusion: servers holding several differently-marked copies average them
-/// per weight (rounding toward the first copy on ties). With enough copies
-/// the pair deltas wash out — the auto-collusion risk Section 5 raises
-/// against naive re-marking after updates. All copies must cover the same
-/// weight domain; mismatched domains (e.g. copies of different subsets) are
-/// rejected with kInvalidArgument instead of silently averaging garbage.
+// --- Collusion attacks -------------------------------------------------------
+//
+// Servers holding several differently-marked copies of the same data forge
+// one hybrid — the auto-collusion risk Section 5 raises against naive
+// re-marking after updates, and the threat model fingerprint tracing
+// (coding/fingerprint.h) is provisioned against.
+
+/// Shared precondition of every collusion attack: at least one copy, all over
+/// the same weight domain (copies of different subsets must not be silently
+/// merged into garbage). Violations are kInvalidArgument.
+[[nodiscard]] Status CheckCollusionCopies(const std::vector<const WeightMap*>& copies);
+
+/// One collusion strategy: a coalition pools its marked copies and forges a
+/// hybrid weight map. The domain contract (CheckCollusionCopies) is enforced
+/// in the base class, once, for every strategy.
+class CollusionAttack {
+ public:
+  virtual ~CollusionAttack() = default;
+
+  /// Stable name, echoed into campaign reports ("averaging", "interleave:64").
+  virtual std::string Name() const = 0;
+
+  /// Forges the hybrid. Deterministic given `rng`'s state; strategies that
+  /// need no randomness leave `rng` untouched.
+  [[nodiscard]] Result<WeightMap> Forge(const std::vector<const WeightMap*>& copies,
+                                        Rng& rng) const;
+
+ private:
+  /// Strategy body; only ever sees coalitions that passed the domain check.
+  virtual WeightMap ForgeValid(const std::vector<const WeightMap*>& copies,
+                               Rng& rng) const = 0;
+};
+
+/// Per-weight average, rounding half toward the first copy's side. With
+/// enough copies the pair deltas wash out.
+class AveragingCollusion : public CollusionAttack {
+ public:
+  std::string Name() const override { return "averaging"; }
+
+ private:
+  WeightMap ForgeValid(const std::vector<const WeightMap*>& copies,
+                       Rng& rng) const override;
+};
+
+/// Per-weight lower median: with three or more copies the median kills any
+/// pair delta that only a minority of copies carries — a strictly stronger
+/// wash-out than averaging for odd counts.
+class MedianCollusion : public CollusionAttack {
+ public:
+  std::string Name() const override { return "median"; }
+
+ private:
+  WeightMap ForgeValid(const std::vector<const WeightMap*>& copies,
+                       Rng& rng) const override;
+};
+
+/// Per-weight extremes: each weight becomes the minimum or maximum across
+/// copies, chosen by a coin. Models colluders who prefer plausible-looking
+/// outliers over smoothing; marked deltas survive with probability 1/2 per
+/// pair side instead of being averaged away.
+class MinMaxCollusion : public CollusionAttack {
+ public:
+  std::string Name() const override { return "minmax"; }
+
+ private:
+  WeightMap ForgeValid(const std::vector<const WeightMap*>& copies,
+                       Rng& rng) const override;
+};
+
+/// Segment-interleaving copy-paste: the weight domain, in its deterministic
+/// ForEach order, is cut into runs of `segment_len` consecutive weights and
+/// each run is copied wholesale from one coalition member drawn from `rng`.
+/// Models colluders splicing whole regions (pages, table slices, subtrees)
+/// instead of merging per weight — every weight is an authentic marked value,
+/// but no single codeword is present end to end.
+class InterleavingCollusion : public CollusionAttack {
+ public:
+  explicit InterleavingCollusion(size_t segment_len = 64);
+  std::string Name() const override;
+  size_t segment_len() const { return segment_len_; }
+
+ private:
+  WeightMap ForgeValid(const std::vector<const WeightMap*>& copies,
+                       Rng& rng) const override;
+
+  size_t segment_len_;
+};
+
+/// Specs understood by MakeCollusionAttack, for campaign grids and usage text.
+const std::vector<std::string>& KnownCollusionSpecs();
+
+/// Builds a collusion attack from a spec string: "averaging", "median",
+/// "minmax", or "interleave[:LEN]" (segment length, default 64). Unknown
+/// specs are kInvalidArgument.
+[[nodiscard]] Result<std::unique_ptr<CollusionAttack>> MakeCollusionAttack(
+    const std::string& spec);
+
+/// Free-function form of AveragingCollusion (rng-free strategy, fixed seed).
 [[nodiscard]] Result<WeightMap> AveragingCollusionAttack(const std::vector<const WeightMap*>& copies);
 
-/// Collusion by per-weight median (lower median on even counts): with three
-/// or more copies the median kills any pair delta that only one copy
-/// carries, a strictly stronger wash-out than averaging for odd counts.
-/// Same domain contract as AveragingCollusionAttack.
+/// Free-function form of MedianCollusion.
 [[nodiscard]] Result<WeightMap> MedianCollusionAttack(const std::vector<const WeightMap*>& copies);
 
-/// Collusion by per-weight extremes: each weight is replaced by the minimum
-/// or maximum across copies, chosen by a coin from `rng`. Models colluders
-/// who prefer plausible-looking outliers over smoothing; the marked deltas
-/// survive with probability 1/2 per pair side instead of being averaged
-/// away. Same domain contract as AveragingCollusionAttack.
+/// Free-function form of MinMaxCollusion.
 [[nodiscard]] Result<WeightMap> MinMaxCollusionAttack(const std::vector<const WeightMap*>& copies,
                                         Rng& rng);
 

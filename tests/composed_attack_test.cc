@@ -238,5 +238,88 @@ TEST(ComposedAttackTest, AllCollusionVariantsRejectBadCopySets) {
   check(MedianCollusionAttack({&a, &a, &other}).status());
 }
 
+TEST(ComposedAttackTest, CollusionInterfaceMatchesFreeFunctions) {
+  WeightMap a = SmallMap({10, 5, 7, 101});
+  WeightMap b = SmallMap({12, 5, 1, 199});
+  WeightMap c = SmallMap({11, 9, 4, 150});
+  const std::vector<const WeightMap*> copies = {&a, &b, &c};
+
+  Rng unused(1);
+  EXPECT_EQ(AveragingCollusion().Forge(copies, unused).ValueOrDie(),
+            AveragingCollusionAttack(copies).ValueOrDie());
+  EXPECT_EQ(MedianCollusion().Forge(copies, unused).ValueOrDie(),
+            MedianCollusionAttack(copies).ValueOrDie());
+  Rng via_class(17);
+  Rng via_free(17);
+  EXPECT_EQ(MinMaxCollusion().Forge(copies, via_class).ValueOrDie(),
+            MinMaxCollusionAttack(copies, via_free).ValueOrDie());
+}
+
+TEST(ComposedAttackTest, InterleavingCopiesSegmentsWholeFromOneMember) {
+  // Three copies with pairwise distinct values everywhere, so every forged
+  // weight identifies its source member unambiguously.
+  const size_t n = 1000;
+  WeightMap a(1, n), b(1, n), c(1, n);
+  for (ElemId e = 0; e < n; ++e) {
+    a.SetElem(e, 3 * static_cast<Weight>(e));
+    b.SetElem(e, 3 * static_cast<Weight>(e) + 1);
+    c.SetElem(e, 3 * static_cast<Weight>(e) + 2);
+  }
+  const std::vector<const WeightMap*> copies = {&a, &b, &c};
+  InterleavingCollusion attack(64);
+  EXPECT_EQ(attack.Name(), "interleave:64");
+  Rng rng(23);
+  WeightMap forged = attack.Forge(copies, rng).ValueOrDie();
+
+  std::vector<size_t> member_hits(copies.size(), 0);
+  for (ElemId e = 0; e < n; ++e) {
+    const size_t owner = static_cast<size_t>(forged.GetElem(e) % 3);
+    // Everything inside one 64-weight segment comes from the same member.
+    if (e % 64 != 0) {
+      EXPECT_EQ(owner, static_cast<size_t>(forged.GetElem(e - 1) % 3)) << e;
+    }
+    ++member_hits[owner];
+  }
+  for (size_t m = 0; m < copies.size(); ++m) {
+    EXPECT_GT(member_hits[m], 0u) << "member " << m << " never sampled";
+  }
+
+  // Deterministic replay from the seed.
+  Rng replay(23);
+  EXPECT_EQ(attack.Forge(copies, replay).ValueOrDie(), forged);
+
+  Rng other(24);
+  WeightMap different = attack.Forge(copies, other).ValueOrDie();
+  EXPECT_FALSE(different == forged);
+}
+
+TEST(ComposedAttackTest, InterleavingSharesTheDomainCheck) {
+  WeightMap a = SmallMap({1, 2, 3});
+  WeightMap other(1, 7);
+  Rng rng(29);
+  EXPECT_EQ(InterleavingCollusion().Forge({}, rng).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(InterleavingCollusion().Forge({&a, &other}, rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ComposedAttackTest, MakeCollusionAttackParsesSpecs) {
+  for (const std::string& spec : KnownCollusionSpecs()) {
+    auto attack = MakeCollusionAttack(spec);
+    ASSERT_TRUE(attack.ok()) << spec;
+  }
+  EXPECT_EQ(MakeCollusionAttack("averaging").ValueOrDie()->Name(), "averaging");
+  EXPECT_EQ(MakeCollusionAttack("interleave").ValueOrDie()->Name(),
+            "interleave:64");
+  EXPECT_EQ(MakeCollusionAttack("interleave:128").ValueOrDie()->Name(),
+            "interleave:128");
+  EXPECT_EQ(MakeCollusionAttack("bogus").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeCollusionAttack("interleave:0").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeCollusionAttack("interleave:x").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace qpwm

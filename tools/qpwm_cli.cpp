@@ -32,6 +32,7 @@
 
 #include "qpwm/coding/coded_watermark.h"
 #include "qpwm/coding/codec.h"
+#include "qpwm/coding/fingerprint.h"
 #include "qpwm/core/adversarial.h"
 #include "qpwm/core/attack.h"
 #include "qpwm/core/local_scheme.h"
@@ -78,7 +79,7 @@ const char* const kKnownFlags[] = {
     "in",    "out",          "original",   "suspect",    "schema",
     "table", "query",        "param-column", "key",      "eps",
     "mark",  "redundancy",   "min-margin", "weight-tags", "xpath",
-    "codec",
+    "codec", "fingerprint",  "recipient",  "fp-seed",    "design-c",
 };
 
 bool IsKnownFlag(const std::string& name) {
@@ -182,6 +183,118 @@ Result<size_t> ParseRedundancy(const Args& args) {
     return Status::InvalidArgument("--redundancy must be a positive integer");
   }
   return static_cast<size_t>(value);
+}
+
+// --- Fingerprint mode (--fingerprint N) -------------------------------------
+//
+// Marking embeds the --recipient's Tardos codeword (instead of an explicit
+// --mark); detection traces the suspect against all N candidate codewords and
+// exits 0 (traced), 1 (no mark) or 3 (untraceable) — never accusing anyone
+// whose score clears less than the pool-wide false-positive budget.
+
+// Strict unsigned parse for an optional flag; `min_value` guards nonsense
+// like a zero-sized candidate pool.
+Result<uint64_t> ParseU64Flag(const Args& args, const std::string& flag,
+                              uint64_t fallback, uint64_t min_value) {
+  if (!args.Has(flag)) return fallback;
+  const std::string text = args.GetOr(flag, "");
+  char* end = nullptr;
+  errno = 0;
+  const uint64_t value = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      text[0] == '-' || value < min_value) {
+    return Status::InvalidArgument(StrCat("--", flag,
+                                          " needs an unsigned integer >= ",
+                                          min_value, ", got '", text, "'"));
+  }
+  return value;
+}
+
+Result<TardosOptions> TardosFromArgs(const Args& args) {
+  TardosOptions opts;
+  auto design = ParseU64Flag(args, "design-c", opts.design_c, 1);
+  if (!design.ok()) return design.status();
+  opts.design_c = static_cast<size_t>(design.value());
+  auto seed = ParseU64Flag(args, "fp-seed", opts.seed, 0);
+  if (!seed.ok()) return seed.status();
+  opts.seed = seed.value();
+  return opts;
+}
+
+// mark-* with --fingerprint: embeds the recipient's codeword.
+Result<WeightMap> FingerprintMark(const Args& args,
+                                  const AdversarialScheme& adv,
+                                  const WeightMap& weights) {
+  if (args.Has("mark")) {
+    return Status::InvalidArgument(
+        "--mark and --fingerprint are mutually exclusive");
+  }
+  auto pool = ParseU64Flag(args, "fingerprint", 0, 1);
+  if (!pool.ok()) return pool.status();
+  if (!args.Has("recipient")) {
+    return Status::InvalidArgument("--fingerprint marking needs --recipient");
+  }
+  auto recipient = ParseU64Flag(args, "recipient", 0, 0);
+  if (!recipient.ok()) return recipient.status();
+  if (recipient.value() >= pool.value()) {
+    return Status::InvalidArgument(
+        "--recipient must be below the --fingerprint pool size");
+  }
+  auto codec = MakeCodec(args.GetOr("codec", "identity"));
+  if (!codec.ok()) return codec.status();
+  auto topts = TardosFromArgs(args);
+  if (!topts.ok()) return topts.status();
+  CodedWatermark wm(adv, *codec.value());
+  if (wm.PayloadBits() == 0) {
+    return Status::CapacityExhausted("no payload capacity for fingerprinting");
+  }
+  FingerprintedWatermark fp(wm, topts.value());
+  std::cout << "fingerprint: recipient " << recipient.value() << " of "
+            << pool.value() << " candidate(s), codeword " << fp.code().length()
+            << " bit(s) (codec " << codec.value()->Name() << ", design c="
+            << topts.value().design_c << ", seed " << topts.value().seed
+            << ")\n";
+  return fp.EmbedFor(weights, recipient.value());
+}
+
+// detect-* with --fingerprint: one channel observation, then the scan over
+// the full candidate pool. Returns the process exit code.
+Result<int> FingerprintTrace(const Args& args, const AdversarialScheme& adv,
+                             const WeightMap& original,
+                             BatchAnswerServer& server) {
+  if (args.Has("mark")) {
+    return Status::InvalidArgument(
+        "--mark and --fingerprint are mutually exclusive");
+  }
+  auto pool = ParseU64Flag(args, "fingerprint", 0, 1);
+  if (!pool.ok()) return pool.status();
+  auto codec = MakeCodec(args.GetOr("codec", "identity"));
+  if (!codec.ok()) return codec.status();
+  auto topts = TardosFromArgs(args);
+  if (!topts.ok()) return topts.status();
+  CodedWatermark wm(adv, *codec.value());
+  if (wm.PayloadBits() == 0) {
+    return Status::CapacityExhausted("no payload capacity for fingerprinting");
+  }
+  FingerprintedWatermark fp(wm, topts.value());
+  auto obs = fp.Observe(original, server);
+  if (!obs.ok()) return obs.status();
+  const AdversarialDetection& ch = obs.value().channel.channel;
+  std::cout << "channel: " << ch.bits_recovered << " bit(s) recovered, "
+            << ch.bits_erased << " erased; pairs erased: " << ch.pairs_erased
+            << "\n";
+  TraceResult traced = fp.TraceMany(obs.value(), pool.value());
+  std::cout << "trace: " << traced.candidates << " candidate(s), "
+            << obs.value().positions_scored << " scored position(s), threshold "
+            << FmtDouble(traced.threshold, 1) << ", pruned " << traced.pruned
+            << "\n";
+  for (const Accusation& a : traced.accused) {
+    std::cout << "ACCUSED recipient " << a.recipient << ": score "
+              << FmtDouble(a.score, 1) << ", log10(fp) <= "
+              << FmtDouble(a.log10_fp, 1) << "\n";
+  }
+  std::cout << "verdict: " << TraceVerdictKindName(traced.kind) << "\n";
+  return traced.ExitCode();
 }
 
 // Prints the partial-detection report and maps it to an exit code. Erased
@@ -375,6 +488,27 @@ int MarkCsv(const Args& args) {
             << adv.Redundancy() << " (" << s.scheme->CapacityBits()
             << " pairs), bound <= " << s.scheme->Budget() << " per query\n";
 
+  if (args.Has("fingerprint")) {
+    auto marked = FingerprintMark(args, adv, s.instance->weights);
+    if (!marked.ok()) {
+      std::cerr << marked.status() << "\n";
+      return kExitError;
+    }
+    auto marked_db = ApplyWeightsToDatabase(s.db, *s.instance, marked.value());
+    if (!marked_db.ok()) {
+      std::cerr << marked_db.status() << "\n";
+      return kExitError;
+    }
+    Status written = WriteFile(
+        args.GetOr("out", in.value() + ".marked"),
+        TableToCsv(*marked_db.value().Find(s.table_name).ValueOrDie()));
+    if (!written.ok()) {
+      std::cerr << written << "\n";
+      return kExitError;
+    }
+    return kExitOk;
+  }
+
   auto codec = CodecFromArgs(args);
   if (!codec.ok()) {
     std::cerr << codec.status() << "\n";
@@ -466,6 +600,14 @@ int DetectCsv(const Args& args) {
   }
 
   AdversarialScheme adv(*s.scheme, redundancy.value());
+  if (args.Has("fingerprint")) {
+    auto code = FingerprintTrace(args, adv, s.instance->weights, server);
+    if (!code.ok()) {
+      std::cerr << code.status() << "\n";
+      return kExitError;
+    }
+    return code.value();
+  }
   auto codec = CodecFromArgs(args);
   if (!codec.ok()) {
     std::cerr << codec.status() << "\n";
@@ -561,6 +703,21 @@ int MarkXml(const Args& args) {
             << adv.Redundancy() << " (" << s.scheme->CapacityBits()
             << " pairs), per-query distortion <= " << s.scheme->DistortionBound()
             << "\n";
+  if (args.Has("fingerprint")) {
+    auto marked = FingerprintMark(args, adv, s.encoded->weights);
+    if (!marked.ok()) {
+      std::cerr << marked.status() << "\n";
+      return kExitError;
+    }
+    XmlDocument out_doc = ApplyWeights(s.doc, *s.encoded, marked.value());
+    Status written = WriteFile(args.GetOr("out", in.value() + ".marked"),
+                               SerializeXml(out_doc));
+    if (!written.ok()) {
+      std::cerr << written << "\n";
+      return kExitError;
+    }
+    return kExitOk;
+  }
   auto codec = CodecFromArgs(args);
   if (!codec.ok()) {
     std::cerr << codec.status() << "\n";
@@ -650,6 +807,14 @@ int DetectXml(const Args& args) {
   }
 
   AdversarialScheme adv(*s.scheme, redundancy.value());
+  if (args.Has("fingerprint")) {
+    auto code = FingerprintTrace(args, adv, s.encoded->weights, server);
+    if (!code.ok()) {
+      std::cerr << code.status() << "\n";
+      return kExitError;
+    }
+    return code.value();
+  }
   auto codec = CodecFromArgs(args);
   if (!codec.ok()) {
     std::cerr << codec.status() << "\n";
@@ -692,9 +857,18 @@ void Usage() {
       "                  groups, decode with soft margins, and report a verdict\n"
       "                  with a false-positive bound; identity (or omitting the\n"
       "                  flag) keeps the raw channel path\n"
-      "exit codes: 0 ok / match, 1 mark contradicted or no mark, 2 I/O or usage\n"
-      "            error, 3 partial detection (erasures, margin below\n"
-      "            --min-margin, or a false-positive bound above threshold)\n";
+      "  --fingerprint N fingerprint mode over an N-candidate Tardos code.\n"
+      "                  mark-*: embed --recipient R's codeword (R < N);\n"
+      "                  detect-*: trace the suspect against all N codewords\n"
+      "                  and print any accusations with their false-positive\n"
+      "                  bounds. --fp-seed S (default 1) seeds the code,\n"
+      "                  --design-c C (default 5) sets the design coalition\n"
+      "                  size; both must match between mark and detect.\n"
+      "                  Mutually exclusive with --mark\n"
+      "exit codes: 0 ok / match / traced, 1 mark contradicted or no mark,\n"
+      "            2 I/O or usage error, 3 partial detection (erasures, margin\n"
+      "            below --min-margin, a false-positive bound above threshold,\n"
+      "            or an untraceable fingerprint)\n";
 }
 
 }  // namespace

@@ -64,6 +64,7 @@ struct Options {
   size_t trials = 20;
   uint64_t seed = 1;
   size_t threads = 0;   // 0 = env/hardware default
+  size_t collusion = 0; // max coalition size for the collusion sweep; <2 = off
   std::string codec;    // empty = the full grid
   std::string out;      // empty = stdout
 };
@@ -230,6 +231,136 @@ void AppendLevelJson(std::ostringstream& json, const Options& opt,
        << ", \"mean_min_margin\": " << s.mean_min_margin << ", ";
   AppendTrialSeeds(json, opt, s.level_tag);
   json << "}" << (last ? "\n" : ",\n");
+}
+
+// --- Collusion sweep (channel-level washout under coalition forgeries) ------
+//
+// Each trial embeds `coalition` copies carrying independent random marks,
+// forges a hybrid through one CollusionAttack, and detects against the
+// original. The reported metrics are channel-level washout diagnostics (how
+// much of the mark a coalition of a given size erases or flips), the raw
+// counterpart to the codeword-level tracing campaign in bench_trace:
+//
+//   * unanimous_recovery_rate — bits where every coalition copy agrees must
+//     survive any feasible (marking-assumption) attack; this is the Boneh-Shaw
+//     floor the Tardos accusation leans on.
+//   * member0_agreement — how close the recovered mark is to one member's,
+//     over non-erased bits (0.5 = fully washed, 1.0 = that copy leaked intact).
+
+struct CollusionOutcome {
+  bool internal_error = false;  // forge or detection returned a non-OK Status
+  size_t bits_erased = 0;
+  double min_margin = 0;
+  size_t unanimous_bits = 0;
+  size_t unanimous_recovered = 0;
+  size_t compared_bits = 0;  // non-erased bits
+  size_t member0_agree = 0;  // non-erased bits matching member 0's mark
+};
+
+CollusionOutcome RunCollusionTrial(const Workload& wl,
+                                   const CollusionAttack& attack,
+                                   size_t coalition, uint64_t seed) {
+  Rng rng(seed);
+  CollusionOutcome out;
+  const AdversarialScheme& adv = *wl.adv;
+  if (adv.CapacityBits() == 0) return out;
+
+  std::vector<BitVec> msgs;
+  std::vector<WeightMap> copies;
+  for (size_t j = 0; j < coalition; ++j) {
+    BitVec m(adv.CapacityBits());
+    for (size_t i = 0; i < m.size(); ++i) m.Set(i, rng.Coin());
+    copies.push_back(adv.Embed(*wl.weights, m));
+    msgs.push_back(std::move(m));
+  }
+  std::vector<const WeightMap*> ptrs;
+  for (const WeightMap& c : copies) ptrs.push_back(&c);
+
+  auto forged = attack.Forge(ptrs, rng);
+  if (!forged.ok()) {
+    out.internal_error = true;
+    return out;
+  }
+  HonestServer server(*wl.index, std::move(forged).value());
+  auto detection = adv.Detect(*wl.weights, server);
+  if (!detection.ok()) {
+    out.internal_error = true;
+    return out;
+  }
+  const AdversarialDetection& d = detection.value();
+
+  out.bits_erased = d.bits_erased;
+  out.min_margin = d.min_margin;
+  for (size_t i = 0; i < d.mark.size(); ++i) {
+    bool unanimous = true;
+    for (size_t j = 1; j < coalition; ++j) {
+      unanimous &= msgs[j].Get(i) == msgs[0].Get(i);
+    }
+    if (unanimous) {
+      ++out.unanimous_bits;
+      out.unanimous_recovered +=
+          !d.bit_erased[i] && d.mark.Get(i) == msgs[0].Get(i);
+    }
+    if (!d.bit_erased[i]) {
+      ++out.compared_bits;
+      out.member0_agree += d.mark.Get(i) == msgs[0].Get(i);
+    }
+  }
+  return out;
+}
+
+// Emits the collusion sweep section (coalition size 2..opt.collusion x every
+// registered attack). Returns the number of internal errors.
+size_t RunCollusionSweep(const Options& opt, const Workload& wl,
+                         std::ostringstream& json) {
+  size_t internal_errors = 0;
+  const std::vector<std::string>& specs = KnownCollusionSpecs();
+  json << "  \"collusion_sweep\": [\n";
+  bool first = true;
+  for (size_t k = 2; k <= opt.collusion; ++k) {
+    std::cerr << " c=" << k << std::flush;
+    for (size_t ai = 0; ai < specs.size(); ++ai) {
+      auto attack = MakeCollusionAttack(specs[ai]);
+      QPWM_CHECK(attack.ok());
+      // Level tags continue well past the codec grid's range so the seed
+      // schedule never collides with existing campaigns.
+      const uint64_t level_tag = 10000 + k * 10 + ai;
+      std::vector<CollusionOutcome> outcomes =
+          ParallelMap<CollusionOutcome>(opt.trials, [&](size_t t) {
+            return RunCollusionTrial(wl, *attack.value(), k,
+                                     TrialSeed(opt, level_tag, t));
+          });
+      size_t errors = 0;
+      double erased = 0, margin = 0;
+      double unanimous = 0, unanimous_rec = 0, compared = 0, agree = 0;
+      for (const CollusionOutcome& o : outcomes) {
+        errors += o.internal_error;
+        erased += static_cast<double>(o.bits_erased);
+        margin += o.min_margin;
+        unanimous += static_cast<double>(o.unanimous_bits);
+        unanimous_rec += static_cast<double>(o.unanimous_recovered);
+        compared += static_cast<double>(o.compared_bits);
+        agree += static_cast<double>(o.member0_agree);
+      }
+      internal_errors += errors;
+      const double n = static_cast<double>(opt.trials);
+      json << (first ? "" : ",\n") << "    {\"coalition\": " << k
+           << ", \"attack\": \"" << attack.value()->Name() << "\""
+           << ", \"trials\": " << opt.trials
+           << ", \"mean_bits_erased\": " << erased / n
+           << ", \"mean_min_margin\": " << margin / n
+           << ", \"unanimous_recovery_rate\": "
+           << (unanimous > 0 ? unanimous_rec / unanimous : 0.0)
+           << ", \"member0_agreement\": "
+           << (compared > 0 ? agree / compared : 0.0)
+           << ", \"internal_errors\": " << errors << ", ";
+      AppendTrialSeeds(json, opt, level_tag);
+      json << "}";
+      first = false;
+    }
+  }
+  json << "\n  ],\n";
+  return internal_errors;
 }
 
 // --- Codec grid (coded channel vs composed adversaries) ---------------------
@@ -511,6 +642,14 @@ int Run(const Options& opt) {
   json << "  ],\n";
   std::cerr << "\n";
 
+  // Optional campaign: collusion washout sweep (only with --collusion >= 2,
+  // so default reports stay byte-identical to earlier versions).
+  if (opt.collusion >= 2) {
+    std::cerr << "collusion sweep";
+    internal_errors += RunCollusionSweep(opt, *wl, json);
+    std::cerr << "\n";
+  }
+
   // Campaign 4: codec x composed-adversary severity grid.
   internal_errors += RunCodecGrid(opt, *wl, json);
   json << ",\n  \"internal_errors\": " << internal_errors << "\n}\n";
@@ -537,11 +676,13 @@ int Run(const Options& opt) {
 int Usage(int code) {
   std::cerr << "usage: qpwm_faultgen [--elements N] [--redundancy R]\n"
                "       [--trials T] [--seed S] [--threads N] [--codec C]\n"
-               "       [--out report.json]\n"
+               "       [--collusion C] [--out report.json]\n"
                "codecs: "
             << KnownCodecSpecs()
             << "; --codec restricts the codec grid,\n"
-               "grid labels also accept hamming:flat (no interleaving).\n";
+               "grid labels also accept hamming:flat (no interleaving).\n"
+               "--collusion C adds a coalition sweep (sizes 2..C, every\n"
+               "registered collusion attack) to the report.\n";
   return code;
 }
 
@@ -599,6 +740,8 @@ int main(int argc, char** argv) {
       opt.seed = parsed;
     } else if (flag == "--threads") {
       opt.threads = parsed;
+    } else if (flag == "--collusion") {
+      opt.collusion = parsed;
     } else {
       std::cerr << "unknown flag " << flag << "\n";
       return Usage(2);
