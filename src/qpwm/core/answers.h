@@ -17,6 +17,7 @@
 #include "qpwm/structure/structure.h"
 #include "qpwm/structure/weighted.h"
 #include "qpwm/util/status.h"
+#include "qpwm/util/thread_annotations.h"
 
 namespace qpwm {
 
@@ -248,7 +249,7 @@ class ServingSnapshot : public BatchAnswerServer {
  private:
   const QueryIndex* index_;
   WeightMap weights_;
-  DenseWeightView view_;
+  DenseWeightView view_ QPWM_VIEW_OF(weights_);
   uint64_t epoch_;
   mutable std::atomic<bool> retired_{false};
 };

@@ -31,6 +31,7 @@
 #include "qpwm/util/bitvec.h"
 #include "qpwm/util/hash.h"
 #include "qpwm/util/status.h"
+#include "qpwm/util/thread_annotations.h"
 
 namespace qpwm {
 
@@ -161,7 +162,10 @@ class LocalScheme {
         options_(std::move(options)) {}
 
   std::unique_ptr<PairMarking> marking_;
-  WitnessPlan witness_plan_;
+  // Flattened from *marking_ at construction; slot ids index into the
+  // marking's pair layout, so the plan is only meaningful while marking_
+  // lives (it does: same object, declared just above).
+  WitnessPlan witness_plan_ QPWM_VIEW_OF(marking_);
   LocalSchemeOptions options_;
   uint32_t distortion_bound_ = 0;
   uint32_t budget_ = 0;

@@ -24,6 +24,7 @@
 #include "qpwm/util/bitvec.h"
 #include "qpwm/util/hash.h"
 #include "qpwm/util/status.h"
+#include "qpwm/util/thread_annotations.h"
 
 namespace qpwm {
 
@@ -163,7 +164,9 @@ class TreeScheme {
   std::vector<MarkRegion> regions_;
   DecompositionStats stats_;
   std::vector<DetectablePair> pairs_;
-  WitnessPlan witness_plan_;
+  // Read slots index into pairs_'s witness layout; valid only while pairs_
+  // (declared above, same object) is alive and unmodified after Plan().
+  WitnessPlan witness_plan_ QPWM_VIEW_OF(pairs_);
 };
 
 }  // namespace qpwm

@@ -127,7 +127,7 @@ Result<ConjunctiveQuery> ConjunctiveQuery::Parse(std::string_view text) {
 }
 
 const ConjunctiveQuery::Index& ConjunctiveQuery::GetIndex(const Structure& g) const {
-  std::lock_guard<std::mutex> lock(*cache_mu_);
+  qpwm::MutexLock lock(*cache_mu_);
   auto [it, inserted] = cache_.try_emplace(&g);
   if (!inserted && it->second.generation == g.generation()) {
     return *it->second.index;

@@ -18,6 +18,7 @@
 
 #include "qpwm/logic/query.h"
 #include "qpwm/util/status.h"
+#include "qpwm/util/thread_annotations.h"
 
 namespace qpwm {
 
@@ -82,8 +83,9 @@ class ConjunctiveQuery : public ParametricQuery {
   uint32_t num_join_ = 0;
   // unique_ptr so the query stays movable (guards cache_, per the Evaluate
   // thread-safety contract in query.h).
-  mutable std::unique_ptr<std::mutex> cache_mu_ = std::make_unique<std::mutex>();
-  mutable std::unordered_map<const Structure*, CacheEntry> cache_;
+  mutable std::unique_ptr<qpwm::Mutex> cache_mu_ = std::make_unique<qpwm::Mutex>();
+  mutable std::unordered_map<const Structure*, CacheEntry> cache_
+      QPWM_GUARDED_BY(cache_mu_);
 };
 
 }  // namespace qpwm

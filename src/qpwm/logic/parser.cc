@@ -6,6 +6,7 @@
 
 #include "qpwm/util/check.h"
 #include "qpwm/util/str.h"
+#include "qpwm/util/thread_annotations.h"
 
 namespace qpwm {
 namespace {
@@ -71,7 +72,9 @@ class Lexer {
   }
 
  private:
-  std::string_view src_;
+  // Views the caller's formula text; Lexer never outlives the ParseFormula
+  // call that constructed it.
+  std::string_view src_ QPWM_VIEW_OF(caller_text);
 };
 
 class Parser {

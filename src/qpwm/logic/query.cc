@@ -110,7 +110,7 @@ const AtomQuery::Index& AtomQuery::GetIndex(const Structure& g) const {
   // wait. unordered_map mapped references stay valid across later inserts.
   // A hit must also match the structure's generation — the address of a dead
   // structure can be reused, and in-place mutation bumps the generation.
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  qpwm::MutexLock lock(cache_mu_);
   auto [it, inserted] = cache_.try_emplace(&g);
   if (!inserted && it->second.generation == g.generation()) {
     return it->second.index;
@@ -157,7 +157,7 @@ std::string AtomQuery::Name() const {
 }
 
 const GaifmanGraph& DistanceQuery::GetGaifman(const Structure& g) const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  qpwm::MutexLock lock(cache_mu_);
   auto [it, inserted] = cache_.try_emplace(&g);
   if (inserted || it->second.generation != g.generation()) {
     it->second.generation = g.generation();

@@ -25,6 +25,7 @@
 #include "qpwm/logic/formula.h"
 #include "qpwm/structure/gaifman.h"
 #include "qpwm/structure/structure.h"
+#include "qpwm/util/thread_annotations.h"
 
 namespace qpwm {
 
@@ -121,8 +122,9 @@ class AtomQuery : public ParametricQuery {
   std::vector<Arg> args_;
   uint32_t r_;
   uint32_t s_;
-  mutable std::mutex cache_mu_;  // guards cache_; mapped entry refs are stable
-  mutable std::unordered_map<const Structure*, CacheEntry> cache_;
+  mutable qpwm::Mutex cache_mu_;  // mapped entry refs are stable
+  mutable std::unordered_map<const Structure*, CacheEntry> cache_
+      QPWM_GUARDED_BY(cache_mu_);
 };
 
 /// psi(u, v) = "d(u, v) <= rho" in the Gaifman graph. FO-definable whenever
@@ -146,8 +148,9 @@ class DistanceQuery : public ParametricQuery {
   const GaifmanGraph& GetGaifman(const Structure& g) const;
 
   uint32_t rho_;
-  mutable std::mutex cache_mu_;  // guards cache_
-  mutable std::unordered_map<const Structure*, CacheEntry> cache_;
+  mutable qpwm::Mutex cache_mu_;
+  mutable std::unordered_map<const Structure*, CacheEntry> cache_
+      QPWM_GUARDED_BY(cache_mu_);
 };
 
 /// Wraps a callback; the caller declares arities and (optionally) a locality

@@ -101,6 +101,7 @@ class StreamServer {
   /// Submit for callers that don't branch on the Status (the server has
   /// already recorded the outcome either way).
   void Ingest(const Update& u) {
+    // qpwm-lint: allow(xtu-discarded-status) -- fire-and-forget by contract: Submit records every outcome in the server's admission counters
     const Status status = Submit(u);
     (void)status;
   }

@@ -147,7 +147,7 @@ CanonCache& CanonCache::Global() {
 }
 
 uint32_t CanonCache::InternForm(std::string canon) {
-  std::lock_guard<std::mutex> lock(intern_mu_);
+  qpwm::MutexLock lock(intern_mu_);
   auto [it, inserted] =
       form_ids_.emplace(std::move(canon), static_cast<uint32_t>(form_by_id_.size()));
   if (inserted) form_by_id_.push_back(&it->first);
@@ -159,7 +159,7 @@ uint32_t CanonCache::CanonicalId(const Structure& s, const Tuple& distinguished,
   const CanonFingerprint fp = NeighborhoodFingerprint128(s, distinguished, scratch);
   Shard& shard = shards_[fp.hi % kShards];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    qpwm::MutexLock lock(shard.mu);
     auto it = shard.map.find(fp);
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -172,14 +172,14 @@ uint32_t CanonCache::CanonicalId(const Structure& s, const Tuple& distinguished,
   // the first fingerprint entry.
   const uint32_t id = InternForm(CanonicalForm(s, distinguished));
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    qpwm::MutexLock lock(shard.mu);
     shard.map.emplace(fp, id);
   }
   return id;
 }
 
 std::string CanonCache::CanonicalOfId(uint32_t id) const {
-  std::lock_guard<std::mutex> lock(intern_mu_);
+  qpwm::MutexLock lock(intern_mu_);
   QPWM_CHECK_LT(id, form_by_id_.size());
   return *form_by_id_[id];
 }
@@ -194,7 +194,7 @@ CanonCache::Stats CanonCache::stats() const {
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    qpwm::MutexLock lock(shard.mu);
     const uint64_t n = shard.map.size();
     out.entries += n;
     out.shard_max = std::max(out.shard_max, n);
@@ -206,7 +206,7 @@ CanonCache::Stats CanonCache::stats() const {
   }
   out.shard_mean = static_cast<double>(out.entries) / static_cast<double>(kShards);
   {
-    std::lock_guard<std::mutex> lock(intern_mu_);
+    qpwm::MutexLock lock(intern_mu_);
     out.distinct_forms = form_by_id_.size();
     out.bytes_resident += form_by_id_.capacity() * sizeof(void*);
     // qpwm-lint: allow(unordered-iter) -- commutative byte-count sum
@@ -220,11 +220,11 @@ CanonCache::Stats CanonCache::stats() const {
 
 void CanonCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    qpwm::MutexLock lock(shard.mu);
     shard.map.clear();
   }
   {
-    std::lock_guard<std::mutex> lock(intern_mu_);
+    qpwm::MutexLock lock(intern_mu_);
     form_by_id_.clear();
     form_ids_.clear();
   }
@@ -235,7 +235,7 @@ void CanonCache::Clear() {
 size_t CanonCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    qpwm::MutexLock lock(shard.mu);
     total += shard.map.size();
   }
   return total;

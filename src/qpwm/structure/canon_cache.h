@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "qpwm/structure/structure.h"
+#include "qpwm/util/thread_annotations.h"
 
 namespace qpwm {
 
@@ -125,17 +126,19 @@ class CanonCache {
  private:
   static constexpr size_t kShards = 64;
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<CanonFingerprint, uint32_t, CanonFingerprintHash> map;
+    mutable qpwm::Mutex mu;
+    std::unordered_map<CanonFingerprint, uint32_t, CanonFingerprintHash> map
+        QPWM_GUARDED_BY(mu);
   };
 
   /// Id of `canon` in the intern table, inserting if new.
   uint32_t InternForm(std::string canon);
 
   std::array<Shard, kShards> shards_;
-  mutable std::mutex intern_mu_;
-  std::unordered_map<std::string, uint32_t> form_ids_;
-  std::vector<const std::string*> form_by_id_;  // points at form_ids_ keys
+  mutable qpwm::Mutex intern_mu_;
+  std::unordered_map<std::string, uint32_t> form_ids_ QPWM_GUARDED_BY(intern_mu_);
+  // points at form_ids_ keys
+  std::vector<const std::string*> form_by_id_ QPWM_GUARDED_BY(intern_mu_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
 };

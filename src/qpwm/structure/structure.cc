@@ -156,6 +156,10 @@ void Structure::SetElementName(ElemId e, std::string name) {
   if (element_names_.empty()) element_names_.resize(n_);
   name_index_[name] = e;
   element_names_[e] = std::move(name);
+  // Names feed serialized reports and suspect re-alignment; a rename is a
+  // mutation like any other, or pointer-keyed caches keep serving the old
+  // identity.
+  gen_.Bump();
 }
 
 const std::string& Structure::ElementName(ElemId e) const {

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "qpwm/util/thread_annotations.h"
+
 namespace qpwm {
 namespace {
 
@@ -87,7 +89,7 @@ class ThreadPool {
  private:
   ThreadPool() = default;
 
-  void Shutdown() {
+  void Shutdown() QPWM_REQUIRES(resize_mu_) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       stop_ = true;
@@ -118,17 +120,20 @@ class ThreadPool {
     }
   }
 
+  // Both mutexes stay std::mutex: cv_work_/cv_done_ are std::condition_variable
+  // and need the standard type. The QPWM_GUARDED_BY annotations still document
+  // (and lint-enforce) the locking discipline.
   std::mutex resize_mu_;  // serializes Resize/Run; threads() is cheap
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_ QPWM_GUARDED_BY(resize_mu_);
 
   std::mutex mu_;
   std::condition_variable cv_work_, cv_done_;
-  uint64_t generation_ = 0;
-  const std::function<void(size_t)>* body_ = nullptr;
+  uint64_t generation_ QPWM_GUARDED_BY(mu_) = 0;
+  const std::function<void(size_t)>* body_ QPWM_GUARDED_BY(mu_) = nullptr;
   std::atomic<size_t> next_{0};
-  size_t num_chunks_ = 0;
-  size_t active_ = 0;
-  bool stop_ = false;
+  size_t num_chunks_ QPWM_GUARDED_BY(mu_) = 0;
+  size_t active_ QPWM_GUARDED_BY(mu_) = 0;
+  bool stop_ QPWM_GUARDED_BY(mu_) = false;
 };
 
 // Set while a thread is executing chunk bodies; nested parallel calls from
@@ -140,6 +145,7 @@ void ThreadPool::Drain(const std::function<void(size_t)>& body) {
   t_in_parallel = true;
   for (;;) {
     const size_t c = next_.fetch_add(1, std::memory_order_relaxed);
+    // qpwm-lint: allow(lock-discipline) -- num_chunks_ is frozen for the generation before cv_work_ wakes anyone; workers read it lock-free by design
     if (c >= num_chunks_) break;
     body(c);
   }

@@ -19,6 +19,8 @@
 #include <memory>
 #include <mutex>
 #include <utility>
+
+#include "qpwm/util/thread_annotations.h"
 #include <vector>
 
 namespace qpwm {
@@ -86,7 +88,7 @@ class ScratchPool {
  public:
   std::unique_ptr<T> Acquire() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      qpwm::MutexLock lock(mu_);
       if (!free_.empty()) {
         std::unique_ptr<T> out = std::move(free_.back());
         free_.pop_back();
@@ -96,13 +98,13 @@ class ScratchPool {
     return std::make_unique<T>();
   }
   void Release(std::unique_ptr<T> scratch) {
-    std::lock_guard<std::mutex> lock(mu_);
+    qpwm::MutexLock lock(mu_);
     free_.push_back(std::move(scratch));
   }
 
  private:
-  std::mutex mu_;
-  std::vector<std::unique_ptr<T>> free_;
+  qpwm::Mutex mu_;
+  std::vector<std::unique_ptr<T>> free_ QPWM_GUARDED_BY(mu_);
 };
 
 /// Block-parallel reduction input: runs fn(begin, end) over a deterministic

@@ -1,0 +1,104 @@
+// Thread-safety and lifetime annotations, consumed twice:
+//
+//   1. By clang's -Wthread-safety capability analysis (Hutchins et al.,
+//      "C/C++ Thread Safety Analysis"): under clang the QPWM_* macros expand
+//      to the real __attribute__((guarded_by(...))) family, and qpwm::Mutex /
+//      qpwm::MutexLock are annotated capability types the analysis can track.
+//      Under gcc (or any non-clang compiler) every macro expands to nothing
+//      and Mutex/MutexLock are plain std::mutex wrappers — zero overhead,
+//      zero semantic change. CI compiles one annotated TU with
+//      -Wthread-safety -Werror to keep the clang side honest.
+//
+//   2. By qpwm_lint's cross-TU lock-discipline and view-escape rules: the
+//      lint tokenizer sees the macro *uses* (not their expansion), so
+//      QPWM_GUARDED_BY(mu) on a member declaration tells the analyzer which
+//      mutex protects the member, and the rule then requires every member
+//      function touching it to hold that mutex (or carry QPWM_REQUIRES).
+//      QPWM_VIEW_OF / QPWM_VIEW_TYPE are lint-only lifetime annotations with
+//      no compiler counterpart at all.
+//
+// Which to apply where:
+//   QPWM_GUARDED_BY(mu)   on a data member: reads and writes require `mu`.
+//   QPWM_REQUIRES(mu)     on a member function: callers must hold `mu`; the
+//                         body may then touch `mu`-guarded members lock-free.
+//   QPWM_VIEW_OF(owner)   on a view-typed data member (TupleRef, spans,
+//                         DenseWeightView, WitnessPlan, ...): names the
+//                         owning object the view points into, asserting the
+//                         owner outlives this member. Without it, a stored
+//                         view is a view-escape finding (the PR-3 bug class).
+//   QPWM_VIEW_TYPE        on a class: declares the class itself view-like
+//                         (it holds non-owning pointers into some owner), so
+//                         qpwm_lint tracks members of this type like spans.
+#ifndef QPWM_UTIL_THREAD_ANNOTATIONS_H_
+#define QPWM_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__)
+#define QPWM_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define QPWM_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside clang
+#endif
+
+#define QPWM_CAPABILITY(x) QPWM_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+#define QPWM_SCOPED_CAPABILITY \
+  QPWM_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+#define QPWM_GUARDED_BY(x) QPWM_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+#define QPWM_PT_GUARDED_BY(x) \
+  QPWM_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+#define QPWM_REQUIRES(...) \
+  QPWM_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define QPWM_ACQUIRE(...) \
+  QPWM_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define QPWM_RELEASE(...) \
+  QPWM_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define QPWM_TRY_ACQUIRE(...) \
+  QPWM_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define QPWM_EXCLUDES(...) \
+  QPWM_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+#define QPWM_NO_THREAD_SAFETY_ANALYSIS \
+  QPWM_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+// Lint-only lifetime annotations (see header comment). Both expand to
+// nothing under every compiler; qpwm_lint reads the macro uses.
+#define QPWM_VIEW_OF(owner)
+#define QPWM_VIEW_TYPE
+
+namespace qpwm {
+
+/// std::mutex wrapped in a clang capability so -Wthread-safety can track
+/// acquisition. Drop-in for std::mutex wherever no condition_variable is
+/// involved (condition variables need std::mutex; the thread-pool internals
+/// in util/parallel.cc keep std::mutex for that reason).
+class QPWM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QPWM_ACQUIRE() { mu_.lock(); }
+  void unlock() QPWM_RELEASE() { mu_.unlock(); }
+  bool try_lock() QPWM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over qpwm::Mutex, annotated so clang sees the acquire/release
+/// pair (std::lock_guard is not annotated and would be invisible to the
+/// analysis). qpwm_lint's lock-discipline rule recognizes MutexLock,
+/// lock_guard, unique_lock and scoped_lock alike.
+class QPWM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) QPWM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() QPWM_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace qpwm
+
+#endif  // QPWM_UTIL_THREAD_ANNOTATIONS_H_

@@ -6,6 +6,7 @@
 
 #include "qpwm/util/check.h"
 #include "qpwm/util/str.h"
+#include "qpwm/util/thread_annotations.h"
 
 namespace qpwm {
 namespace {
@@ -198,7 +199,9 @@ class Parser {
     }
   }
 
-  std::string_view in_;
+  // Views the caller's document text; the Parser lives only for one
+  // ParseXml call.
+  std::string_view in_ QPWM_VIEW_OF(caller_text);
   XmlParseLimits limits_;
   size_t pos_ = 0;
   XmlDocument doc_;

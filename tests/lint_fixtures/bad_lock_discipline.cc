@@ -1,0 +1,23 @@
+// Fixture: lock-discipline (a) — a QPWM_GUARDED_BY member touched by a
+// method that neither locks the mutex nor declares QPWM_REQUIRES. Never
+// compiled, only linted (the annotation macro need not expand).
+#include <mutex>
+
+namespace fx {
+
+class Counter {
+ public:
+  void Add(int d) {
+    total_ += d;  // no lock held
+  }
+  int total() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+ private:
+  std::mutex mu_;
+  int total_ QPWM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,23 @@
+// Fixture: stamp-audit — a mutating method of a GenerationStamp-carrying
+// class that forgets to bump; pointer-keyed caches would serve stale
+// answers. Never compiled, only linted.
+#include <vector>
+
+namespace fx {
+
+class Ledger {
+ public:
+  void Append(int v) {
+    entries_.push_back(v);  // mutates without gen_.Bump()
+  }
+  void Clear() {
+    entries_.clear();
+    gen_.Bump();
+  }
+
+ private:
+  std::vector<int> entries_;
+  GenerationStamp gen_;
+};
+
+}  // namespace fx

@@ -1,0 +1,8 @@
+// Fixture: view-escape (c) — a returned lambda capturing locals by
+// reference; the captures dangle at every call site. Never compiled.
+#include <functional>
+
+std::function<int()> MakeCounter() {
+  int count = 0;
+  return [&count] { return ++count; };
+}

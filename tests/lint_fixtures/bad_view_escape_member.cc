@@ -1,0 +1,15 @@
+// Fixture: view-escape (a) — a stored view member with no QPWM_VIEW_OF
+// annotation naming what it points into. Never compiled, only linted.
+#include <string_view>
+
+namespace fx {
+
+class Config {
+ public:
+  explicit Config(std::string_view text) : text_(text) {}
+
+ private:
+  std::string_view text_;
+};
+
+}  // namespace fx

@@ -1,0 +1,6 @@
+// Fixture: view-escape (b) — a view returned rooted at a function-local
+// owner, which dies at end of scope. Never compiled, only linted.
+TupleList LeakTuples() {
+  Relation r = MakeEdges();
+  return r.tuples();
+}

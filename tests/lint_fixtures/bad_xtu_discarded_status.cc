@@ -1,0 +1,13 @@
+// Fixture: xtu-discarded-status — a Status parked in a local that is never
+// inspected afterwards (the interprocedural complement to the bare
+// discarded-status rule). Never compiled, only linted.
+namespace fx {
+
+Status Save(int v);
+
+int Store(int v) {
+  Status status = Save(v);
+  return v + 1;
+}
+
+}  // namespace fx

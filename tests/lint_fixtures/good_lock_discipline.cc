@@ -1,0 +1,26 @@
+// Fixture: clean lock discipline — every guarded access either holds the
+// mutex via RAII or runs in a QPWM_REQUIRES method. Must pass
+// `qpwm_lint --strict`. Never compiled, only linted.
+#include <mutex>
+
+namespace fx {
+
+class Counter {
+ public:
+  void Add(int d) {
+    std::lock_guard<std::mutex> lock(mu_);
+    AddLocked(d);
+  }
+  int total() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+ private:
+  void AddLocked(int d) QPWM_REQUIRES(mu_) { total_ += d; }
+
+  std::mutex mu_;
+  int total_ QPWM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fx

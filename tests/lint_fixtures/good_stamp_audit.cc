@@ -1,0 +1,27 @@
+// Fixture: clean stamp discipline — every mutator bumps the
+// GenerationStamp, directly or through a same-class callee (the transitive
+// closure the index computes). Must pass `qpwm_lint --strict`.
+#include <vector>
+
+namespace fx {
+
+class Ledger {
+ public:
+  void Append(int v) {
+    entries_.push_back(v);
+    Touch();  // bumps transitively
+  }
+  void Clear() {
+    entries_.clear();
+    gen_.Bump();
+  }
+  int size() const { return static_cast<int>(entries_.size()); }
+
+ private:
+  void Touch() { gen_.Bump(); }
+
+  std::vector<int> entries_;
+  GenerationStamp gen_;
+};
+
+}  // namespace fx

@@ -1,0 +1,28 @@
+// Fixture: clean lifetime discipline — the stored view is annotated with
+// QPWM_VIEW_OF(owner), returns are owning, and the returned lambda captures
+// by value. Must pass `qpwm_lint --strict`. Never compiled, only linted.
+#include <string_view>
+#include <vector>
+
+namespace fx {
+
+class Snapshot {
+ public:
+  explicit Snapshot(std::vector<char> storage)
+      : storage_(storage), text_(storage_.data(), storage_.size()) {}
+
+ private:
+  std::vector<char> storage_;
+  std::string_view text_ QPWM_VIEW_OF(storage_);
+};
+
+std::vector<int> CopyOut() {
+  std::vector<int> v;
+  return v;  // by value: an owning return, not a view
+}
+
+auto MakeAdder(int base) {
+  return [base](int x) { return base + x; };  // by-value capture
+}
+
+}  // namespace fx

@@ -1,0 +1,8 @@
+// Fixture: the PR-3 CLI bug, minimized. The original code built a Structure
+// inside a helper and returned relation(...).tuples() — a TupleList viewing
+// the flat store of an object that died at the closing brace; the caller
+// then read freed memory. view-escape (b) must flag this shape.
+TupleList FirstRelationTuples() {
+  Structure g = LoadFromDisk();
+  return g.relation(0).tuples();
+}

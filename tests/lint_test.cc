@@ -18,6 +18,7 @@ std::vector<Finding> Analyze(const std::string& path, std::string_view src) {
   FileScan scan = ScanSource(path, src);
   LintContext ctx;
   CollectContext(scan, ctx);
+  FinalizeContext(ctx);
   std::vector<Finding> out;
   AnalyzeFile(scan, ctx, out);
   return out;
@@ -34,6 +35,7 @@ std::vector<Finding> AnalyzeWith(
   }
   FileScan scan = ScanSource(path, src);
   CollectContext(scan, ctx);
+  FinalizeContext(ctx);
   std::vector<Finding> out;
   AnalyzeFile(scan, ctx, out);
   return out;
@@ -304,15 +306,261 @@ TEST(LintRules, LegacyTupleVectorScopeAndBorrows) {
   EXPECT_FALSE(HasRule(fs, kLegacyTupleVector));
 }
 
+// --- the symbol index (pass 1) -----------------------------------------------
+
+TEST(LintIndex, ClassMembersAndAnnotationsExtracted) {
+  FileSymbols syms = CollectFileSymbols(ScanSource(
+      "a.h",
+      "class CanonCache {\n"
+      " public:\n"
+      "  int Get();\n"
+      " private:\n"
+      "  mutable std::mutex mu_;\n"
+      "  std::map<int, int> by_id_ QPWM_GUARDED_BY(mu_);\n"
+      "  GenerationStamp gen_;\n"
+      "  std::atomic<bool> sealed_{false};\n"
+      "};\n"));
+  ASSERT_EQ(syms.classes.size(), 1u);
+  const ClassSym& cls = syms.classes[0];
+  EXPECT_EQ(cls.name, "CanonCache");
+  ASSERT_EQ(cls.members.size(), 4u);
+  EXPECT_TRUE(cls.members[0].is_mutex);
+  EXPECT_TRUE(cls.members[0].is_mutable);
+  EXPECT_EQ(cls.members[1].name, "by_id_");
+  EXPECT_EQ(cls.members[1].guarded_by, "mu_");
+  EXPECT_EQ(cls.members[2].name, "gen_");
+  EXPECT_TRUE(cls.members[2].is_stamp);
+  EXPECT_EQ(cls.members[3].name, "sealed_");
+  EXPECT_TRUE(cls.members[3].is_atomic);
+}
+
+TEST(LintIndex, FunctionsResolveAcrossDeclAndDefinition) {
+  // QPWM_REQUIRES on the header declaration is honored at the out-of-line
+  // definition through the merged per-key function entry.
+  LintContext ctx;
+  CollectContext(ScanSource("c.h",
+                            "class C {\n"
+                            "  void Locked() QPWM_REQUIRES(mu_);\n"
+                            "  std::mutex mu_;\n"
+                            "  int n_ QPWM_GUARDED_BY(mu_);\n"
+                            "};\n"),
+                 ctx);
+  FileScan def = ScanSource("c.cc", "void C::Locked() { n_ += 1; }\n");
+  CollectContext(def, ctx);
+  FinalizeContext(ctx);
+  ASSERT_TRUE(ctx.functions.count("C::Locked"));
+  EXPECT_TRUE(ctx.functions["C::Locked"].requires_mutexes.count("mu_"));
+  std::vector<Finding> out;
+  AnalyzeFile(def, ctx, out);
+  EXPECT_FALSE(HasRule(out, kLockDiscipline));
+}
+
+TEST(LintIndex, CallGraphEdgesAndBumpClosure) {
+  FileSymbols syms = CollectFileSymbols(ScanSource(
+      "a.cc",
+      "class L {\n"
+      "  void Append() { Touch(); }\n"
+      "  void Touch() { gen_.Bump(); }\n"
+      "  GenerationStamp gen_;\n"
+      "};\n"));
+  ASSERT_EQ(syms.functions.size(), 2u);
+  EXPECT_TRUE(syms.functions[0].calls.count("Touch"));
+  EXPECT_TRUE(syms.functions[1].bump_targets.count("gen_"));
+
+  LintContext ctx;
+  MergeSymbols(syms, ctx);
+  FinalizeContext(ctx);
+  // After finalization the closure makes Append a (transitive) bumper.
+  ASSERT_TRUE(ctx.functions.count("L::Append"));
+  EXPECT_TRUE(ctx.functions["L::Append"].bump_targets.count("gen_"));
+}
+
+TEST(LintIndex, ViewTypesAreBuiltinsPlusMarkedClasses) {
+  LintContext ctx;
+  CollectContext(ScanSource("v.h", "class QPWM_VIEW_TYPE WeightPeek {};\n"),
+                 ctx);
+  FinalizeContext(ctx);
+  EXPECT_TRUE(ctx.view_types.count("TupleRef"));
+  EXPECT_TRUE(ctx.view_types.count("string_view"));
+  EXPECT_TRUE(ctx.view_types.count("WeightPeek"));
+  // A member of the marked type is view-like in any other class.
+  auto fs = AnalyzeWith({{"v.h", "class QPWM_VIEW_TYPE WeightPeek {};\n"}},
+                        "u.h", "class Holder { WeightPeek peek_; };\n");
+  EXPECT_TRUE(HasRule(fs, kViewEscape));
+}
+
+TEST(LintIndex, ContextDigestIgnoresLineShiftsButSeesFacts) {
+  auto digest_of = [](std::string_view src) {
+    LintContext ctx;
+    CollectContext(ScanSource("a.h", src), ctx);
+    FinalizeContext(ctx);
+    return ContextDigest(ctx);
+  };
+  const uint64_t base = digest_of("class C { int n_; };\n");
+  // A pure line shift (leading blank lines) does not invalidate findings.
+  EXPECT_EQ(base, digest_of("\n\n\nclass C { int n_; };\n"));
+  // A new annotation is a semantic change and must alter the digest.
+  EXPECT_NE(base, digest_of("class C { std::mutex m_;\n"
+                            "          int n_ QPWM_GUARDED_BY(m_); };\n"));
+}
+
+// --- lifetime: view-escape ---------------------------------------------------
+
+TEST(LintRules, ViewMemberWithoutAnnotationFlagged) {
+  auto fs = Analyze("a.h", "class H { TupleList rows_; };\n");
+  EXPECT_TRUE(HasRule(fs, kViewEscape));
+  auto clean =
+      Analyze("a.h", "class H { TupleList rows_ QPWM_VIEW_OF(store_);\n"
+                     "          std::vector<int> store_; };\n");
+  EXPECT_FALSE(HasRule(clean, kViewEscape));
+}
+
+TEST(LintRules, ViewTypeClassesAreExemptFromMemberRule) {
+  // A view of a view adds no lifetime edge — TupleList itself holds a span.
+  auto fs = Analyze("a.h",
+                    "class QPWM_VIEW_TYPE Cursor { TupleRef row_; };\n");
+  EXPECT_FALSE(HasRule(fs, kViewEscape));
+}
+
+TEST(LintRules, ReturnViewOfLocalOwnerFlagged) {
+  // The minimized PR-3 shape: a view into a function-local Structure.
+  auto fs = Analyze("a.cc",
+                    "TupleList F() {\n"
+                    "  Structure g = Load();\n"
+                    "  return g.relation(0).tuples();\n"
+                    "}\n");
+  EXPECT_TRUE(HasRule(fs, kViewEscape));
+  // Views rooted at a parameter the caller owns are fine.
+  auto clean = Analyze("a.cc",
+                       "TupleList F(const Structure& g) {\n"
+                       "  return g.relation(0).tuples();\n"
+                       "}\n");
+  EXPECT_FALSE(HasRule(clean, kViewEscape));
+}
+
+TEST(LintRules, ReturnedLambdaRefCaptureFlagged) {
+  auto fs = Analyze("a.cc",
+                    "auto F() { int n = 0; return [&n] { return n; }; }\n");
+  EXPECT_TRUE(HasRule(fs, kViewEscape));
+  auto clean = Analyze("a.cc",
+                       "auto F() { int n = 0; return [n] { return n; }; }\n");
+  EXPECT_FALSE(HasRule(clean, kViewEscape));
+}
+
+// --- parallel hygiene: lock-discipline ---------------------------------------
+
+TEST(LintRules, GuardedMemberTouchedWithoutLockFlagged) {
+  const char* header =
+      "class C {\n"
+      "  void Inc();\n"
+      "  std::mutex mu_;\n"
+      "  int n_ QPWM_GUARDED_BY(mu_);\n"
+      "};\n";
+  auto fs = AnalyzeWith({{"c.h", header}}, "c.cc",
+                        "void C::Inc() { n_ += 1; }\n");
+  EXPECT_TRUE(HasRule(fs, kLockDiscipline));
+  auto locked = AnalyzeWith(
+      {{"c.h", header}}, "c.cc",
+      "void C::Inc() { std::lock_guard<std::mutex> l(mu_); n_ += 1; }\n");
+  EXPECT_FALSE(HasRule(locked, kLockDiscipline));
+  auto raii = AnalyzeWith({{"c.h", header}}, "c.cc",
+                          "void C::Inc() { MutexLock l(mu_); n_ += 1; }\n");
+  EXPECT_FALSE(HasRule(raii, kLockDiscipline));
+}
+
+TEST(LintRules, MutexWithNoGuardedMembersAdvisoryShape) {
+  auto fs = Analyze("a.h",
+                    "class C { std::mutex mu_; int n_; };\n");
+  EXPECT_TRUE(HasRule(fs, kLockDiscipline));
+  auto clean = Analyze("a.h",
+                       "class C { std::mutex mu_;\n"
+                       "          int n_ QPWM_GUARDED_BY(mu_); };\n");
+  EXPECT_FALSE(HasRule(clean, kLockDiscipline));
+}
+
+// --- lifetime/identity: stamp-audit ------------------------------------------
+
+TEST(LintRules, MutationWithoutBumpFlagged) {
+  auto fs = Analyze("a.h",
+                    "class L {\n"
+                    "  void Add(int v) { xs_.push_back(v); }\n"
+                    "  std::vector<int> xs_;\n"
+                    "  GenerationStamp gen_;\n"
+                    "};\n");
+  EXPECT_TRUE(HasRule(fs, kStampAudit));
+}
+
+TEST(LintRules, DirectAndTransitiveBumpsAreClean) {
+  auto direct = Analyze("a.h",
+                        "class L {\n"
+                        "  void Add(int v) { xs_.push_back(v); gen_.Bump(); }\n"
+                        "  std::vector<int> xs_;\n"
+                        "  GenerationStamp gen_;\n"
+                        "};\n");
+  EXPECT_FALSE(HasRule(direct, kStampAudit));
+  auto transitive = Analyze("a.h",
+                            "class L {\n"
+                            "  void Add(int v) { xs_.push_back(v); Touch(); }\n"
+                            "  void Touch() { gen_.Bump(); }\n"
+                            "  std::vector<int> xs_;\n"
+                            "  GenerationStamp gen_;\n"
+                            "};\n");
+  EXPECT_FALSE(HasRule(transitive, kStampAudit));
+}
+
+TEST(LintRules, ConstReadsAndMutableMembersNotFlagged) {
+  auto fs = Analyze("a.h",
+                    "class L {\n"
+                    "  int size() const { return n_; }\n"
+                    "  void Note() const { hits_ += 1; }\n"
+                    "  int n_ = 0;\n"
+                    "  mutable int hits_ = 0;\n"
+                    "  GenerationStamp gen_;\n"
+                    "};\n");
+  EXPECT_FALSE(HasRule(fs, kStampAudit));
+}
+
+// --- error-discipline: xtu-discarded-status ----------------------------------
+
+TEST(LintRules, ParkedStatusNeverInspectedFlagged) {
+  auto fs = Analyze("a.cc",
+                    "Status Save(int);\n"
+                    "void F() { Status s = Save(1); }\n");
+  EXPECT_TRUE(HasRule(fs, kXtuDiscardedStatus));
+  auto voided = Analyze("a.cc",
+                        "Status Save(int);\n"
+                        "void F() { Status s = Save(1); (void)s; }\n");
+  EXPECT_TRUE(HasRule(voided, kXtuDiscardedStatus));
+  auto checked = Analyze("a.cc",
+                         "Status Save(int);\n"
+                         "void F() { Status s = Save(1); if (!s.ok()) return; }\n");
+  EXPECT_FALSE(HasRule(checked, kXtuDiscardedStatus));
+}
+
+TEST(LintRules, AutoAliasOnlyFlaggedForKnownStatusApis) {
+  // The callee's Status return is declared in another file: the project
+  // index makes the auto alias checkable.
+  auto fs = AnalyzeWith({{"lib.h", "Status Flush();\n"}}, "use.cc",
+                        "void F() { auto rc = Flush(); }\n");
+  EXPECT_TRUE(HasRule(fs, kXtuDiscardedStatus));
+  // Unknown callee: auto alias is out of scope.
+  auto clean = Analyze("use.cc", "void F() { auto rc = Flush(); }\n");
+  EXPECT_FALSE(HasRule(clean, kXtuDiscardedStatus));
+}
+
 // --- classification ----------------------------------------------------------
 
 TEST(LintRules, AdvisorySplitMatchesRuleCatalog) {
   EXPECT_TRUE(IsAdvisoryRule(kUnorderedIter));
   EXPECT_TRUE(IsAdvisoryRule(kParallelMutation));
   EXPECT_TRUE(IsAdvisoryRule(kLegacyTupleVector));
+  EXPECT_TRUE(IsAdvisoryRule(kViewEscape));
+  EXPECT_TRUE(IsAdvisoryRule(kLockDiscipline));
   EXPECT_FALSE(IsAdvisoryRule(kDiscardedStatus));
   EXPECT_FALSE(IsAdvisoryRule(kBareThrow));
-  EXPECT_EQ(AllRules().size(), 9u);
+  EXPECT_FALSE(IsAdvisoryRule(kStampAudit));
+  EXPECT_FALSE(IsAdvisoryRule(kXtuDiscardedStatus));
+  EXPECT_EQ(AllRules().size(), 13u);
 }
 
 }  // namespace

@@ -60,6 +60,16 @@ TEST(StructureTest, ElementNames) {
   EXPECT_FALSE(s.FindElement("nobody").ok());
 }
 
+// Regression (found by the stamp-audit lint rule): renaming an element is a
+// mutation and must bump the generation, or pointer-keyed caches keyed on
+// (pointer, generation) keep serving the pre-rename identity.
+TEST(StructureTest, SetElementNameBumpsGeneration) {
+  Structure s = TinyGraph();
+  const uint64_t before = s.generation();
+  s.SetElementName(1, "bob");
+  EXPECT_GT(s.generation(), before);
+}
+
 TEST(IncidenceIndexTest, ListsTuplesPerElement) {
   Structure s = TinyGraph();
   IncidenceIndex idx(s);

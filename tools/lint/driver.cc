@@ -5,8 +5,10 @@
 // headers and sources. Explicit paths bypass the walk (and its fixture
 // exclusion), which is how the self-tests lint known-bad snippets.
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "lint.h"
@@ -114,19 +116,106 @@ bool RunLint(const DriverOptions& opt, DriverResult& result) {
                           }),
               canon.end());
 
-  std::vector<FileScan> scans;
-  scans.reserve(canon.size());
-  LintContext ctx;
-  for (const auto& [canonical, given] : canon) {
-    std::string text;
-    if (!ReadFile(given, text)) continue;  // e.g. generated TU since removed
-    scans.push_back(ScanSource(given, text));
-    CollectContext(scans.back(), ctx);
-  }
-  result.files_scanned = scans.size();
+  const auto run_start = std::chrono::steady_clock::now();
+  const auto ms_since = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
 
+  IndexCache cache;
+  if (!opt.index_cache.empty()) cache = LoadIndexCache(opt.index_cache);
+
+  // Pass 1. Per file: an mtime match trusts the cached symbols without
+  // reading; otherwise a content-hash match still reuses them (mtime churn
+  // from fresh checkouts); only genuinely changed files are re-scanned.
+  struct FileState {
+    std::string given;   // path as discovered (used for I/O)
+    std::string key;     // normalized path (cache + report key)
+    int64_t mtime = 0;
+    uint64_t hash = 0;   // 0 until the content has been read
+    bool dirty = false;  // symbols re-computed this run
+    std::optional<FileScan> scan;  // populated lazily
+  };
+  const auto pass1_start = std::chrono::steady_clock::now();
+  std::vector<FileState> states;
+  states.reserve(canon.size());
+  LintContext ctx;
+  IndexCache next_cache;
+  for (const auto& [canonical, given] : canon) {
+    FileState st;
+    st.given = given;
+    std::string key = given;
+    std::replace(key.begin(), key.end(), '\\', '/');
+    st.key = key;
+    std::error_code ec;
+    const auto ftime = fs::last_write_time(given, ec);
+    if (ec) continue;
+    st.mtime = static_cast<int64_t>(ftime.time_since_epoch().count());
+
+    const auto cached = cache.find(st.key);
+    bool reused = false;
+    if (cached != cache.end() && cached->second.mtime == st.mtime) {
+      reused = true;  // trusted without a read
+      st.hash = cached->second.hash;
+    } else {
+      std::string text;
+      if (!ReadFile(given, text)) continue;  // e.g. removed generated TU
+      st.hash = HashContent(text);
+      if (cached != cache.end() && cached->second.hash == st.hash) {
+        reused = true;  // same content, new mtime
+      } else {
+        st.scan = ScanSource(given, text);
+        st.dirty = true;
+      }
+    }
+    CachedFile entry;
+    if (reused) {
+      entry = cached->second;
+      entry.mtime = st.mtime;
+      ++result.files_from_cache;
+    } else {
+      entry.mtime = st.mtime;
+      entry.hash = st.hash;
+      entry.symbols = CollectFileSymbols(*st.scan);
+    }
+    MergeSymbols(entry.symbols, ctx);
+    next_cache[st.key] = std::move(entry);
+    states.push_back(std::move(st));
+  }
+  FinalizeContext(ctx);
+  const uint64_t digest = ContextDigest(ctx);
+  result.index_ms = ms_since(pass1_start);
+  result.files_scanned = states.size();
+
+  // Pass 2: findings are reusable only for unchanged files analyzed under
+  // the identical merged context (any edit anywhere invalidates cross-TU
+  // findings everywhere, which the digest captures).
   std::vector<Finding> findings;
-  for (const FileScan& scan : scans) AnalyzeFile(scan, ctx, findings);
+  for (FileState& st : states) {
+    CachedFile& entry = next_cache[st.key];
+    if (!st.dirty && entry.ctx_digest == digest) {
+      findings.insert(findings.end(), entry.findings.begin(),
+                      entry.findings.end());
+      ++result.findings_from_cache;
+      continue;
+    }
+    if (!st.scan.has_value()) {
+      std::string text;
+      if (!ReadFile(st.given, text)) continue;
+      st.scan = ScanSource(st.given, text);
+    }
+    std::vector<Finding> file_findings;
+    AnalyzeFile(*st.scan, ctx, file_findings, &result.rule_ms);
+    entry.ctx_digest = digest;
+    entry.findings = file_findings;
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+
+  if (!opt.index_cache.empty()) {
+    SaveIndexCache(opt.index_cache, next_cache);  // best-effort persistence
+  }
+
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.file != b.file) return a.file < b.file;
@@ -137,6 +226,7 @@ bool RunLint(const DriverOptions& opt, DriverResult& result) {
     (IsAdvisoryRule(f.rule) ? result.warnings : result.errors)
         .push_back(std::move(f));
   }
+  result.total_ms = ms_since(run_start);
   return true;
 }
 
@@ -162,7 +252,19 @@ bool WriteReport(const std::string& path, const DriverResult& result) {
     }
     out << "  ]" << (trailing_comma ? "," : "") << "\n";
   };
-  out << "{\n  \"files_scanned\": " << result.files_scanned << ",\n";
+  out << "{\n  \"schema_version\": " << kReportSchemaVersion << ",\n";
+  out << "  \"files_scanned\": " << result.files_scanned << ",\n";
+  out << "  \"files_from_cache\": " << result.files_from_cache << ",\n";
+  out << "  \"findings_from_cache\": " << result.findings_from_cache << ",\n";
+  out << "  \"index_ms\": " << result.index_ms << ",\n";
+  out << "  \"total_ms\": " << result.total_ms << ",\n";
+  out << "  \"rule_ms\": {";
+  bool first = true;
+  for (const auto& [rule, ms] : result.rule_ms) {
+    out << (first ? "" : ",") << "\n    \"" << escape(rule) << "\": " << ms;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
   emit(result.errors, "errors", true);
   emit(result.warnings, "warnings", false);
   out << "}\n";

@@ -1,113 +1,16 @@
-// Pattern rules for qpwm_lint. Everything here works on the token stream
-// from lexer.cc; see lint.h for the rule catalog and the rationale.
-#include <algorithm>
-#include <cctype>
+// Per-file pattern rules for qpwm_lint, plus the AnalyzeFile dispatcher that
+// also runs the cross-TU families from xtu_rules.cc. Everything here works
+// on the token stream from lexer.cc; see lint.h for the rule catalog. Pass-1
+// symbol collection lives in index.cc.
+#include <chrono>
 
+#include "internal.h"
 #include "lint.h"
 
 namespace qpwm::lint {
 namespace {
 
-constexpr size_t kNpos = static_cast<size_t>(-1);
-
-// --- Path scoping -----------------------------------------------------------
-
-std::string NormalizePath(std::string_view path) {
-  std::string out(path);
-  std::replace(out.begin(), out.end(), '\\', '/');
-  return out;
-}
-
-bool PathHas(const std::string& path, std::string_view needle) {
-  return path.find(needle) != std::string::npos;
-}
-
-bool IsHeader(const std::string& path) {
-  return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
-}
-
-// Files where a rule's banned construct is the sanctioned implementation.
-bool RuleAllowsFile(std::string_view rule, const std::string& path) {
-  if (rule == kRawStatus) return PathHas(path, "util/status.h");
-  if (rule == kBareAbort) {
-    return PathHas(path, "util/check.h") || PathHas(path, "util/status");
-  }
-  if (rule == kNondeterministicRandom) return PathHas(path, "util/random");
-  if (rule == kParallelMutation) return PathHas(path, "util/parallel");
-  if (rule == kLegacyTupleVector) return PathHas(path, "qpwm/structure/");
-  return false;
-}
-
-// --- Token helpers ----------------------------------------------------------
-
-bool Is(const std::vector<Token>& t, size_t i, std::string_view text) {
-  return i < t.size() && t[i].text == text;
-}
-
-bool IsIdent(const std::vector<Token>& t, size_t i) {
-  return i < t.size() && t[i].kind == Token::Kind::kIdent;
-}
-
-// i at `<`: returns the index just past the matching `>`, or kNpos if the
-// angle run hits a statement boundary first (then it was a comparison).
-size_t SkipAngles(const std::vector<Token>& t, size_t i) {
-  int depth = 0;
-  for (; i < t.size(); ++i) {
-    const std::string& x = t[i].text;
-    if (x == ";" || x == "{" || x == "}") return kNpos;
-    if (x == "<") ++depth;
-    else if (x == "<<") depth += 2;
-    else if (x == ">") --depth;
-    else if (x == ">>") depth -= 2;
-    if (depth <= 0 && (x == ">" || x == ">>")) return i + 1;
-  }
-  return kNpos;
-}
-
-// i at `(` (or `[`, `{`): returns the index just past the matching closer.
-size_t SkipBalanced(const std::vector<Token>& t, size_t i) {
-  int depth = 0;
-  for (; i < t.size(); ++i) {
-    const std::string& x = t[i].text;
-    if (x == "(" || x == "[" || x == "{") ++depth;
-    else if (x == ")" || x == "]" || x == "}") {
-      if (--depth == 0) return i + 1;
-    }
-  }
-  return kNpos;
-}
-
-bool IsKeyword(const std::string& s) {
-  static const std::set<std::string> kKeywords = {
-      "if",       "else",    "for",      "while",   "do",        "switch",
-      "case",     "default", "break",    "continue", "return",   "goto",
-      "new",      "delete",  "using",    "namespace", "template", "typedef",
-      "typename", "class",   "struct",   "enum",    "union",     "public",
-      "private",  "protected", "static_assert", "sizeof", "alignof",
-      "co_await", "co_return", "co_yield", "try",   "catch",     "operator",
-      "const",    "constexpr", "static",  "inline", "virtual",   "explicit",
-      "friend",   "extern",  "mutable",  "auto",    "void",      "this"};
-  return kKeywords.count(s) > 0;
-}
-
-// Specifiers that may sit between a declaration boundary and the return type.
-bool IsDeclSpecifier(const std::string& s) {
-  return s == "static" || s == "virtual" || s == "inline" || s == "constexpr" ||
-         s == "explicit" || s == "friend" || s == "extern";
-}
-
-void Report(const FileScan& scan, int line, const char* rule,
-            std::string message, std::vector<Finding>& out) {
-  // allow() on the finding's line or the line just above waives it.
-  for (int l : {line, line - 1}) {
-    auto it = scan.allows.find(l);
-    if (it != scan.allows.end() && it->second.count(rule)) return;
-  }
-  if (RuleAllowsFile(rule, scan.path)) return;
-  out.push_back(Finding{scan.path, line, rule, std::move(message)});
-}
-
-// --- Pass 1: context collection ---------------------------------------------
+using namespace qpwm::lint::internal;
 
 // Matches `Status Name(` / `Result<...> Name(` and returns the index of the
 // function-name token, or kNpos. `i` is the index of the type token.
@@ -135,66 +38,23 @@ bool IsUnorderedType(const std::string& s) {
 
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kAll = {
-      kDiscardedStatus, kNodiscardStatus, kRawStatus,
-      kBareAbort,       kBareThrow,       kNondeterministicRandom,
-      kUnorderedIter,   kParallelMutation, kLegacyTupleVector};
+      kDiscardedStatus, kXtuDiscardedStatus, kNodiscardStatus,
+      kRawStatus,       kBareAbort,          kBareThrow,
+      kNondeterministicRandom, kUnorderedIter, kParallelMutation,
+      kLegacyTupleVector, kViewEscape,       kLockDiscipline,
+      kStampAudit};
   return kAll;
 }
 
 bool IsAdvisoryRule(std::string_view rule) {
+  // view-escape and lock-discipline are heuristic lifetime/locking shapes:
+  // advisory by default, gating under --strict like the other advisories.
   return rule == kUnorderedIter || rule == kParallelMutation ||
-         rule == kLegacyTupleVector;
+         rule == kLegacyTupleVector || rule == kViewEscape ||
+         rule == kLockDiscipline;
 }
 
-void CollectContext(const FileScan& scan, LintContext& ctx) {
-  const std::vector<Token>& t = scan.tokens;
-  std::set<std::string>& unordered = ctx.unordered_by_file[NormalizePath(scan.path)];
-  for (size_t i = 0; i < t.size(); ++i) {
-    if (!IsIdent(t, i)) continue;
-    // Status-returning function names. A call site never matches: calls have
-    // no identifier between the type name and the `(`.
-    if (t[i].text == "Status" || t[i].text == "Result") {
-      // Skip call/construction positions (`return Status::OK()`, member
-      // access); a return type is never preceded by `.` or `->`.
-      if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) continue;
-      const size_t name = MatchStatusApi(t, i);
-      if (name != kNpos) ctx.status_apis.insert(t[name].text);
-      continue;
-    }
-    // Unordered-typed variable/member names: after the template argument
-    // list, an identifier (possibly behind &/*/const) declares it. The close
-    // must be exact — in `vector<unordered_set<...>>` the `>>` also closes
-    // the vector, so the following identifier names an ordered container.
-    if (IsUnorderedType(t[i].text) && Is(t, i + 1, "<")) {
-      int depth = 0;
-      size_t j = i + 1;
-      bool exact = false;
-      for (; j < t.size(); ++j) {
-        const std::string& x = t[j].text;
-        if (x == ";" || x == "{" || x == "}") break;
-        if (x == "<") ++depth;
-        else if (x == "<<") depth += 2;
-        else if (x == ">" || x == ">>") {
-          const int closes = x == ">" ? 1 : 2;
-          exact = depth == closes;
-          depth -= closes;
-          if (depth <= 0) {
-            ++j;
-            break;
-          }
-        }
-      }
-      if (!exact) continue;
-      while (j < t.size() &&
-             (t[j].text == "&" || t[j].text == "*" || t[j].text == "const")) {
-        ++j;
-      }
-      if (IsIdent(t, j) && !IsKeyword(t[j].text)) unordered.insert(t[j].text);
-    }
-  }
-}
-
-// --- Pass 2: rules ----------------------------------------------------------
+// --- Pass 2: per-file rules --------------------------------------------------
 
 namespace {
 
@@ -599,17 +459,42 @@ void CheckLegacyTupleVector(const FileScan& scan, std::vector<Finding>& out) {
 }  // namespace
 
 void AnalyzeFile(const FileScan& scan_in, const LintContext& ctx,
-                 std::vector<Finding>& out) {
+                 std::vector<Finding>& out, RuleTimings* timings) {
   FileScan scan = scan_in;
   scan.path = NormalizePath(scan.path);
-  CheckNodiscard(scan, out);
-  CheckDiscardedStatus(scan, ctx, out);
-  CheckRawStatus(scan, out);
-  CheckAbortThrow(scan, out);
-  CheckNondeterministicRandom(scan, out);
-  CheckUnorderedIter(scan, EffectiveUnorderedNames(scan, ctx), out);
-  CheckParallelMutation(scan, out);
-  CheckLegacyTupleVector(scan, out);
+  const auto timed = [&](const char* rule, auto&& run) {
+    if (timings == nullptr) {
+      run();
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    run();
+    (*timings)[rule] +=
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+  };
+  // The cross-TU rules need this file's symbols with live token spans; the
+  // merged context only keeps spanless facts. Accounted under its own key
+  // in the report's rule_ms.
+  FileSymbols syms;
+  timed("symbol-scan", [&] { syms = CollectFileSymbols(scan); });
+  timed(kNodiscardStatus, [&] { CheckNodiscard(scan, out); });
+  timed(kDiscardedStatus, [&] { CheckDiscardedStatus(scan, ctx, out); });
+  timed(kRawStatus, [&] { CheckRawStatus(scan, out); });
+  timed(kBareAbort, [&] { CheckAbortThrow(scan, out); });
+  timed(kNondeterministicRandom,
+        [&] { CheckNondeterministicRandom(scan, out); });
+  timed(kUnorderedIter, [&] {
+    CheckUnorderedIter(scan, EffectiveUnorderedNames(scan, ctx), out);
+  });
+  timed(kParallelMutation, [&] { CheckParallelMutation(scan, out); });
+  timed(kLegacyTupleVector, [&] { CheckLegacyTupleVector(scan, out); });
+  timed(kViewEscape, [&] { CheckViewEscape(scan, syms, ctx, out); });
+  timed(kLockDiscipline, [&] { CheckLockDiscipline(scan, syms, ctx, out); });
+  timed(kStampAudit, [&] { CheckStampAudit(scan, syms, ctx, out); });
+  timed(kXtuDiscardedStatus,
+        [&] { CheckXtuDiscardedStatus(scan, syms, ctx, out); });
 }
 
 }  // namespace qpwm::lint
